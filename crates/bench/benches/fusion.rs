@@ -1,0 +1,39 @@
+//! Criterion wrapper for the fusion workload (small-n version; the full
+//! Table 4 / Figure 1 sweeps come from the `table4` / `figure1` binaries).
+//!
+//! Run with: `cargo bench -p spear-bench --bench fusion`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spear_bench::fusion_exp::{measure, FusionConfig, FusionOrder};
+use spear_llm::ModelProfile;
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_harness");
+    group.sample_size(10);
+    let profile = ModelProfile::qwen25_7b_instruct();
+    for (name, order) in [
+        ("map_filter_n50", FusionOrder::MapFilter),
+        ("filter_map_n50", FusionOrder::FilterMap),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    measure(
+                        &profile,
+                        order,
+                        &FusionConfig {
+                            n_tweets: 50,
+                            seed: 140,
+                            selectivity: 0.5,
+                        },
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion wrapper for the Table 3 workload (small-n version suitable
+//! for `cargo bench`; the full 1000-tweet table comes from the `table3`
+//! binary). Measures the end-to-end harness cost of each refinement
+//! strategy — wall-clock of simulation + bookkeeping, not the virtual
+//! latencies the table reports.
+//!
+//! Run with: `cargo bench -p spear-bench --bench refinement`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spear_bench::table3::{run, Table3Config};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_harness");
+    group.sample_size(10);
+    group.bench_function("all_strategies_n50", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run(&Table3Config {
+                    n_tweets: 50,
+                    ..Table3Config::default()
+                })
+                .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

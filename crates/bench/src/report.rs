@@ -1,0 +1,112 @@
+//! Plain-text table rendering for benchmark reports.
+//!
+//! Every harness binary prints the same fixed-width tables the paper shows,
+//! plus a JSON line per row (machine-readable, for EXPERIMENTS.md and CI
+//! diffing).
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with `headers`.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `d` decimals.
+#[must_use]
+pub fn f(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+/// Format a percentage with sign, e.g. `-10.35%`.
+#[must_use]
+pub fn pct(x: f64, d: usize) -> String {
+    format!("{x:+.d$}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["Strategy", "Time (s)", "F1"]);
+        t.row(vec!["Static Prompt".into(), "3.10".into(), "0.70".into()]);
+        t.row(vec!["Auto".into(), "2.12".into(), "0.81".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Strategy"));
+        assert!(lines[1].starts_with("---"));
+        // All rows equal width per column: "Static Prompt" sets column 0.
+        assert!(lines[3].starts_with("Auto         "));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(-10.349, 2), "-10.35%");
+        assert_eq!(pct(21.166, 2), "+21.17%");
+    }
+}

@@ -1,0 +1,184 @@
+//! Shared workload text: the reusable view **V** of the paper's §7
+//! evaluation ("summarize tweets (Map) and select those with negative
+//! sentiment (Filter) ... stored as a reusable view V"), the Static-Prompt
+//! baseline text, and the Filter/Map stage instructions for the fusion
+//! experiments.
+//!
+//! Wording discipline matters here: the quality model keys on structural
+//! markers ("Objective:", "focus on", "step by step", worked examples), so
+//! the base texts deliberately avoid them — the *refinement strategies* are
+//! what introduce them, exactly as in the paper.
+
+use spear_core::view::ViewDef;
+
+/// Guidelines shared by the base view (kept free of bonus markers).
+const V_GUIDELINES: &[&str] = &[
+    "Read the entire tweet before deciding and weigh every clause, including \
+     trailing qualifiers, emoticons, and elongated words that often carry the \
+     author's real attitude toward the subject.",
+    "Treat sarcasm and irony with care: praise of an obviously bad situation \
+     should be read as criticism of that situation rather than as genuine \
+     approval of it.",
+    "Disregard usernames, hashtags, and links when judging the content, but \
+     retain any attitude they imply about the subject under discussion.",
+    "When several subjects appear in one tweet, decide based on the subject \
+     the author spends the most words on rather than the one mentioned first.",
+    "If the tweet quotes or replies to someone else, classify the author's \
+     attitude toward the quoted material rather than the material itself.",
+    "Prefer the literal wording over outside knowledge: the author's stated \
+     experience determines the label even when that experience seems unusual.",
+    "Keep the cleaned rendering faithful to the original: drop decorations \
+     and repair obvious typos without adding, softening, or strengthening \
+     any claim the author makes.",
+    "Weigh intensity words and repeated punctuation as amplifiers of the \
+     surrounding attitude rather than as independent signals, and never let \
+     an amplifier alone decide the label when the wording is neutral.",
+    "When the attitude changes over the course of the tweet, label the \
+     final attitude the author lands on, since closing words usually state \
+     the author's settled judgement of the subject.",
+    "Produce the answer in the requested output format with no preamble and \
+     no commentary beyond what the format itself asks for.",
+];
+
+/// Render the base view V: summarize (Map) + negative-sentiment filter,
+/// with a word limit for consistent generation lengths (§7: "we include
+/// word limit constraints in the instructions").
+#[must_use]
+pub fn view_v_text() -> String {
+    let mut text = String::from(
+        "You are given one tweet per request. Summarize the tweet and decide \
+         whether it expresses negative sentiment; only tweets that do are \
+         selected.\nGuidelines:\n",
+    );
+    for (i, g) in V_GUIDELINES.iter().enumerate() {
+        text.push_str(&format!("{}. {g}\n", i + 1));
+    }
+    text.push_str(
+        "Answer with the selection label, then ' :: ', then the cleaned \
+         summary, using a word limit of 60 for the whole answer.",
+    );
+    text
+}
+
+/// The base view V as a registered view definition.
+#[must_use]
+pub fn view_v() -> ViewDef {
+    ViewDef::new("tweet_pipeline", view_v_text())
+        .with_tag("sentiment")
+        .with_description(
+            "Base tweet pipeline: summarize (Map) + negative-sentiment filter",
+        )
+}
+
+/// The Static-Prompt baseline: a freshly written instruction for the
+/// *refined* task (negative AND school-related), with no reference to V and
+/// no structural bonus markers — what a user writing from scratch produces.
+#[must_use]
+pub fn static_prompt_text() -> String {
+    let mut text = String::from(
+        "For each tweet you receive, summarize it and decide whether it is \
+         both about school topics and negative in sentiment; select only \
+         tweets meeting both conditions.\nRules to follow:\n",
+    );
+    for (i, g) in V_GUIDELINES.iter().enumerate() {
+        // Re-worded ordering so the static prompt shares no prefix with V.
+        text.push_str(&format!(
+            "{}. {}\n",
+            i + 1,
+            g.replace("tweet", "message").replace("author", "writer")
+        ));
+    }
+    text.push_str(
+        "Answer with the selection label, then ' :: ', then the cleaned \
+         summary, using a word limit of 60 for the whole answer.",
+    );
+    text
+}
+
+/// Map-stage instruction for the fusion experiments: a moderate cleanup
+/// spec (cheaper than the filter, but not free).
+#[must_use]
+pub fn map_instruction() -> String {
+    "Clean up the tweet and summarize the remaining content. Remove \
+     usernames, hashtags, link fragments, and decorative punctuation; repair \
+     obvious typos and collapse elongated words to their plain spelling; \
+     keep every factual claim and every attitude word exactly as the author \
+     wrote it; do not reorder the remaining words unless a repaired typo \
+     forces it; and render the result as a single plain sentence without \
+     quotation marks."
+        .to_string()
+}
+
+/// Filter-stage instruction for the fusion experiments: a detailed criteria
+/// block (filters in the paper's workload are the expensive stage — long
+/// criteria prefill plus a justification decode).
+#[must_use]
+pub fn filter_instruction() -> String {
+    let mut text = String::from(
+        "Classify the sentiment of the tweet as positive or negative and \
+         keep only negative tweets. Decision criteria:\n",
+    );
+    for (i, g) in V_GUIDELINES.iter().take(4).enumerate() {
+        text.push_str(&format!("{}. {g}\n", i + 1));
+    }
+    text.push_str(
+        "Apply every criterion above before answering, and state a \
+         justification.",
+    );
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_core::features::PromptFeatures;
+    use spear_llm::Tokenizer;
+
+    #[test]
+    fn base_texts_avoid_bonus_markers() {
+        for text in [view_v_text(), static_prompt_text(), filter_instruction()] {
+            let f = PromptFeatures::detect(&text);
+            assert!(!f.has_objective, "no objective marker in base text");
+            assert!(!f.has_specificity, "no specificity marker");
+            assert!(!f.has_hint, "no reasoning hint");
+            assert!(!f.has_example, "no worked example");
+        }
+    }
+
+    #[test]
+    fn view_v_is_long_enough_to_cache_meaningfully() {
+        let tokens = Tokenizer::new().count(&view_v_text());
+        assert!(
+            (350..700).contains(&tokens),
+            "V should be a substantial instruction, got {tokens} tokens"
+        );
+    }
+
+    #[test]
+    fn static_prompt_shares_no_prefix_with_v() {
+        let v = view_v_text();
+        let s = static_prompt_text();
+        let common = v
+            .chars()
+            .zip(s.chars())
+            .take_while(|(a, b)| a == b)
+            .count();
+        assert!(common < 10, "prefixes must diverge, common={common}");
+    }
+
+    #[test]
+    fn filter_is_much_longer_than_map() {
+        let t = Tokenizer::new();
+        let f = t.count(&filter_instruction());
+        let m = t.count(&map_instruction());
+        assert!(f > m * 3 / 2, "filter {f} vs map {m}");
+    }
+
+    #[test]
+    fn texts_carry_the_task_detection_markers() {
+        let v = view_v_text().to_lowercase();
+        assert!(v.contains("summarize") && v.contains("sentiment"));
+        let s = static_prompt_text().to_lowercase();
+        assert!(s.contains("school") && s.contains("summarize"));
+    }
+}

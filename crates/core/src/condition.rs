@@ -1,0 +1,368 @@
+//! The CHECK condition language.
+//!
+//! CHECK "conditionally applies a transformation if a metadata condition
+//! cond(C, M) is satisfied" (paper §3.3). Conditions are small boolean
+//! expressions over metadata signals and context keys, e.g.
+//! `M["confidence"] < 0.7` or `"orders" not in C`. They are plain data
+//! (serializable, displayable), so pipelines — and their triggers in the
+//! ref_log — can be logged and replayed.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::error::{Result, SpearError};
+use crate::metadata::Metadata;
+use crate::value::Value;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::{Equal, Greater, Less};
+        matches!(
+            (self, ord),
+            (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+                | (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+        )
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A value source in a condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// `M["key"]` — a metadata signal.
+    Signal(String),
+    /// `C["key"]` — a context entry.
+    Ctx(String),
+    /// A literal.
+    Lit(Value),
+}
+
+impl Operand {
+    /// Resolve against the execution state. Missing signals/keys resolve to
+    /// `Null` (so `M["confidence"] < 0.7` on a fresh pipeline is an
+    /// *evaluation error* rather than silently true/false — comparisons with
+    /// Null are incomparable).
+    fn resolve(&self, c: &Context, m: &Metadata) -> Value {
+        match self {
+            Operand::Signal(k) => m.get(k).unwrap_or(Value::Null),
+            Operand::Ctx(k) => c.get(k).unwrap_or(Value::Null),
+            Operand::Lit(v) => v.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Signal(k) => write!(f, "M[{k:?}]"),
+            Operand::Ctx(k) => write!(f, "C[{k:?}]"),
+            Operand::Lit(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A CHECK condition over `(C, M)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cond {
+    /// Always true.
+    Always,
+    /// Always false.
+    Never,
+    /// Binary comparison.
+    Cmp {
+        /// Left operand.
+        lhs: Operand,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `"key" in C`
+    InContext(String),
+    /// `"key" not in C`
+    NotInContext(String),
+    /// `"key" in M`
+    HasSignal(String),
+    /// Truthiness of an operand (`Null`, `false`, `0`, empty ⇒ false).
+    Truthy(Operand),
+    /// Negation.
+    Not(Box<Cond>),
+    /// Conjunction (empty ⇒ true).
+    All(Vec<Cond>),
+    /// Disjunction (empty ⇒ false).
+    Any(Vec<Cond>),
+}
+
+impl Cond {
+    /// Evaluate against the execution state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::Condition`] when a comparison is between
+    /// incomparable values (including a missing signal compared against a
+    /// number — surfacing the bug instead of guessing).
+    pub fn eval(&self, c: &Context, m: &Metadata) -> Result<bool> {
+        match self {
+            Cond::Always => Ok(true),
+            Cond::Never => Ok(false),
+            Cond::Cmp { lhs, op, rhs } => {
+                let l = lhs.resolve(c, m);
+                let r = rhs.resolve(c, m);
+                // Equality against Null is well-defined; ordering is not.
+                if matches!(op, CmpOp::Eq) {
+                    return Ok(l == r);
+                }
+                if matches!(op, CmpOp::Ne) {
+                    return Ok(l != r);
+                }
+                l.partial_cmp_value(&r)
+                    .map(|ord| op.eval(ord))
+                    .ok_or_else(|| {
+                        SpearError::Condition(format!(
+                            "cannot compare {lhs} (= {l}) {op} {rhs} (= {r})"
+                        ))
+                    })
+            }
+            Cond::InContext(k) => Ok(c.contains(k)),
+            Cond::NotInContext(k) => Ok(!c.contains(k)),
+            Cond::HasSignal(k) => Ok(m.contains(k)),
+            Cond::Truthy(operand) => Ok(operand.resolve(c, m).is_truthy()),
+            Cond::Not(inner) => Ok(!inner.eval(c, m)?),
+            Cond::All(parts) => {
+                for p in parts {
+                    if !p.eval(c, m)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Cond::Any(parts) => {
+                for p in parts {
+                    if p.eval(c, m)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Convenience: `M[signal] op lit`.
+    #[must_use]
+    pub fn signal_cmp(signal: &str, op: CmpOp, lit: impl Into<Value>) -> Cond {
+        Cond::Cmp {
+            lhs: Operand::Signal(signal.to_string()),
+            op,
+            rhs: Operand::Lit(lit.into()),
+        }
+    }
+
+    /// Convenience: `M["confidence"] < threshold` — the paper's canonical
+    /// retry trigger.
+    #[must_use]
+    pub fn low_confidence(threshold: f64) -> Cond {
+        Cond::signal_cmp("confidence", CmpOp::Lt, threshold)
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Always => f.write_str("true"),
+            Cond::Never => f.write_str("false"),
+            Cond::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Cond::InContext(k) => write!(f, "{k:?} in C"),
+            Cond::NotInContext(k) => write!(f, "{k:?} not in C"),
+            Cond::HasSignal(k) => write!(f, "{k:?} in M"),
+            Cond::Truthy(operand) => write!(f, "truthy({operand})"),
+            Cond::Not(c) => write!(f, "!({c})"),
+            Cond::All(parts) => {
+                f.write_str("(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" && ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_str(")")
+            }
+            Cond::Any(parts) => {
+                f.write_str("(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" || ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> (Context, Metadata) {
+        let mut c = Context::new();
+        c.set("orders", Value::from(vec![Value::from("enoxaparin")]));
+        c.set("empty_list", Value::List(vec![]));
+        let mut m = Metadata::new();
+        m.set("confidence", 0.62);
+        m.set("latency_ms", 120.0);
+        (c, m)
+    }
+
+    #[test]
+    fn confidence_threshold_check() {
+        let (c, m) = state();
+        assert!(Cond::low_confidence(0.7).eval(&c, &m).unwrap());
+        assert!(!Cond::low_confidence(0.5).eval(&c, &m).unwrap());
+    }
+
+    #[test]
+    fn membership_checks() {
+        let (c, m) = state();
+        assert!(Cond::InContext("orders".into()).eval(&c, &m).unwrap());
+        assert!(Cond::NotInContext("labs".into()).eval(&c, &m).unwrap());
+        assert!(Cond::HasSignal("confidence".into()).eval(&c, &m).unwrap());
+        assert!(!Cond::HasSignal("coverage".into()).eval(&c, &m).unwrap());
+    }
+
+    #[test]
+    fn comparison_operators_exhaustive() {
+        let (c, m) = state();
+        let cases = [
+            (CmpOp::Lt, 0.7, true),
+            (CmpOp::Le, 0.62, true),
+            (CmpOp::Gt, 0.5, true),
+            (CmpOp::Ge, 0.62, true),
+            (CmpOp::Eq, 0.62, true),
+            (CmpOp::Ne, 0.62, false),
+        ];
+        for (op, lit, expect) in cases {
+            let cond = Cond::signal_cmp("confidence", op, lit);
+            assert_eq!(cond.eval(&c, &m).unwrap(), expect, "{op}");
+        }
+    }
+
+    #[test]
+    fn missing_signal_ordering_is_an_error_but_equality_is_not() {
+        let (c, m) = state();
+        let err = Cond::signal_cmp("nonexistent", CmpOp::Lt, 1.0)
+            .eval(&c, &m)
+            .unwrap_err();
+        assert!(matches!(err, SpearError::Condition(_)));
+        // Equality against Null works (it's just "not equal").
+        assert!(!Cond::signal_cmp("nonexistent", CmpOp::Eq, 1.0)
+            .eval(&c, &m)
+            .unwrap());
+        assert!(Cond::signal_cmp("nonexistent", CmpOp::Ne, 1.0)
+            .eval(&c, &m)
+            .unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators_and_short_circuit() {
+        let (c, m) = state();
+        let t = Cond::Always;
+        let f = Cond::Never;
+        assert!(Cond::All(vec![t.clone(), t.clone()]).eval(&c, &m).unwrap());
+        assert!(!Cond::All(vec![t.clone(), f.clone()]).eval(&c, &m).unwrap());
+        assert!(Cond::Any(vec![f.clone(), t.clone()]).eval(&c, &m).unwrap());
+        assert!(!Cond::Any(vec![]).eval(&c, &m).unwrap());
+        assert!(Cond::All(vec![]).eval(&c, &m).unwrap());
+        assert!(Cond::Not(Box::new(f)).eval(&c, &m).unwrap());
+
+        // Short-circuit: the second clause would error, but the first decides.
+        let erroring = Cond::signal_cmp("nonexistent", CmpOp::Lt, 1.0);
+        assert!(!Cond::All(vec![Cond::Never, erroring.clone()])
+            .eval(&c, &m)
+            .unwrap());
+        assert!(Cond::Any(vec![Cond::Always, erroring]).eval(&c, &m).unwrap());
+    }
+
+    #[test]
+    fn truthiness_of_context_values() {
+        let (c, m) = state();
+        assert!(Cond::Truthy(Operand::Ctx("orders".into())).eval(&c, &m).unwrap());
+        assert!(!Cond::Truthy(Operand::Ctx("empty_list".into()))
+            .eval(&c, &m)
+            .unwrap());
+        assert!(!Cond::Truthy(Operand::Ctx("missing".into()))
+            .eval(&c, &m)
+            .unwrap());
+    }
+
+    #[test]
+    fn context_vs_signal_comparison() {
+        let mut c = Context::new();
+        c.set("expected_count", 3);
+        let mut m = Metadata::new();
+        m.set("retrieved_count", 2);
+        let cond = Cond::Cmp {
+            lhs: Operand::Signal("retrieved_count".into()),
+            op: CmpOp::Lt,
+            rhs: Operand::Ctx("expected_count".into()),
+        };
+        assert!(cond.eval(&c, &m).unwrap());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let cond = Cond::low_confidence(0.7);
+        assert_eq!(cond.to_string(), "M[\"confidence\"] < 0.7");
+        assert_eq!(
+            Cond::NotInContext("orders".into()).to_string(),
+            "\"orders\" not in C"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cond = Cond::All(vec![
+            Cond::low_confidence(0.7),
+            Cond::NotInContext("orders".into()),
+        ]);
+        let json = serde_json::to_string(&cond).unwrap();
+        let back: Cond = serde_json::from_str(&json).unwrap();
+        assert_eq!(cond, back);
+    }
+}

@@ -1,0 +1,188 @@
+//! The runtime context **C**.
+//!
+//! "Context (C) provides runtime data on which the prompts depend. It is a
+//! dynamic map of runtime data inputs and intermediate outputs." (paper §3.2)
+//! RET places retrieved data here, GEN reads from and writes generations into
+//! it, and REF functions may write structured output back for downstream
+//! steps.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A single recorded context mutation (for introspection and shadow diffs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextWrite {
+    /// Executor step at which the write happened (0 when written outside a
+    /// pipeline, e.g. during setup).
+    pub step: u64,
+    /// Key written.
+    pub key: String,
+    /// Which operator (or caller) performed the write, e.g. `"GEN"`.
+    pub writer: String,
+}
+
+/// The dynamic context map **C**.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Context {
+    entries: BTreeMap<String, Value>,
+    write_log: Vec<ContextWrite>,
+}
+
+impl Context {
+    /// Create an empty context.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get a value by key (cloned; values are small or structurally shared
+    /// by the caller).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Value> {
+        self.entries.get(key).cloned()
+    }
+
+    /// Borrow a value by key.
+    #[must_use]
+    pub fn get_ref(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Whether `key` is present (CHECK's `"orders" in C`).
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Set `key` without attribution (setup code, tests).
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.set_attributed(key, value, 0, "caller");
+    }
+
+    /// Set `key`, recording which operator wrote it at which step.
+    pub fn set_attributed(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<Value>,
+        step: u64,
+        writer: &str,
+    ) {
+        let key = key.into();
+        self.write_log.push(ContextWrite {
+            step,
+            key: key.clone(),
+            writer: writer.to_string(),
+        });
+        self.entries.insert(key, value.into());
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
+    /// All keys, sorted.
+    #[must_use]
+    pub fn keys(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the context is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The full mutation log, oldest first.
+    #[must_use]
+    pub fn write_log(&self) -> &[ContextWrite] {
+        &self.write_log
+    }
+
+    /// Iterate over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Keys present in `self` but with a different (or missing) value in
+    /// `other` — used by shadow-execution diffs.
+    #[must_use]
+    pub fn changed_keys_vs(&self, other: &Context) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(k, v)| other.entries.get(*k) != Some(*v))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_contains_remove() {
+        let mut c = Context::new();
+        assert!(c.is_empty());
+        c.set("orders", Value::from(vec![Value::from("enoxaparin 40mg")]));
+        assert!(c.contains("orders"));
+        assert_eq!(c.len(), 1);
+        assert!(c.get("orders").unwrap().as_list().is_some());
+        assert!(c.remove("orders").is_some());
+        assert!(!c.contains("orders"));
+    }
+
+    #[test]
+    fn writes_are_logged_with_attribution() {
+        let mut c = Context::new();
+        c.set_attributed("answer_0", "text", 3, "GEN");
+        c.set("raw", 1);
+        let log = c.write_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].writer, "GEN");
+        assert_eq!(log[0].step, 3);
+        assert_eq!(log[1].writer, "caller");
+    }
+
+    #[test]
+    fn overwrite_keeps_both_log_entries() {
+        let mut c = Context::new();
+        c.set("k", 1);
+        c.set("k", 2);
+        assert_eq!(c.get("k").unwrap().as_i64(), Some(2));
+        assert_eq!(c.write_log().len(), 2);
+    }
+
+    #[test]
+    fn changed_keys_vs_detects_differences() {
+        let mut a = Context::new();
+        a.set("same", 1);
+        a.set("diff", 1);
+        a.set("only_a", 1);
+        let mut b = Context::new();
+        b.set("same", 1);
+        b.set("diff", 2);
+        let mut changed = a.changed_keys_vs(&b);
+        changed.sort();
+        assert_eq!(changed, vec!["diff".to_string(), "only_a".to_string()]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut c = Context::new();
+        c.set_attributed("k", 42, 1, "RET");
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Context = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("k").unwrap().as_i64(), Some(42));
+        assert_eq!(back.write_log().len(), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Structural and semantic prompt diffs (the derived `DIFF` operator,
+//! paper Table 2: "Compute structural or semantic difference between prompt
+//! versions").
+
+use serde::{Deserialize, Serialize};
+
+/// One edit in a line-level diff.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiffEdit {
+    /// Line present in both texts.
+    Keep(String),
+    /// Line only in the left text.
+    Remove(String),
+    /// Line only in the right text.
+    Add(String),
+}
+
+/// Result of diffing two prompt texts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromptDiff {
+    /// Line-level edit script (LCS-based), left → right.
+    pub edits: Vec<DiffEdit>,
+    /// Number of added lines.
+    pub added: usize,
+    /// Number of removed lines.
+    pub removed: usize,
+    /// Length (in characters) of the common prefix — the quantity prefix
+    /// caching cares about.
+    pub common_prefix_chars: usize,
+    /// Word-level Jaccard similarity in `[0, 1]` — a cheap semantic proxy.
+    pub similarity: f64,
+}
+
+impl PromptDiff {
+    /// Whether the two texts were identical.
+    #[must_use]
+    pub fn is_identical(&self) -> bool {
+        self.added == 0 && self.removed == 0
+    }
+
+    /// Unified-diff-style rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.edits {
+            match e {
+                DiffEdit::Keep(l) => {
+                    out.push_str("  ");
+                    out.push_str(l);
+                }
+                DiffEdit::Remove(l) => {
+                    out.push_str("- ");
+                    out.push_str(l);
+                }
+                DiffEdit::Add(l) => {
+                    out.push_str("+ ");
+                    out.push_str(l);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Diff two prompt texts.
+#[must_use]
+pub fn diff(left: &str, right: &str) -> PromptDiff {
+    let l_lines: Vec<&str> = left.lines().collect();
+    let r_lines: Vec<&str> = right.lines().collect();
+    let edits = lcs_edits(&l_lines, &r_lines);
+    let added = edits.iter().filter(|e| matches!(e, DiffEdit::Add(_))).count();
+    let removed = edits
+        .iter()
+        .filter(|e| matches!(e, DiffEdit::Remove(_)))
+        .count();
+    PromptDiff {
+        added,
+        removed,
+        common_prefix_chars: common_prefix_chars(left, right),
+        similarity: jaccard_words(left, right),
+        edits,
+    }
+}
+
+/// Length in characters of the longest common prefix (on char boundaries).
+#[must_use]
+pub fn common_prefix_chars(a: &str, b: &str) -> usize {
+    a.chars()
+        .zip(b.chars())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// Word-level Jaccard similarity. Tokens are lowercased alphanumeric runs.
+#[must_use]
+pub fn jaccard_words(a: &str, b: &str) -> f64 {
+    let words = |s: &str| -> std::collections::BTreeSet<String> {
+        s.split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .map(str::to_lowercase)
+            .collect()
+    };
+    let wa = words(a);
+    let wb = words(b);
+    if wa.is_empty() && wb.is_empty() {
+        return 1.0;
+    }
+    let inter = wa.intersection(&wb).count();
+    let union = wa.union(&wb).count();
+    inter as f64 / union as f64
+}
+
+/// Classic O(n·m) LCS edit script over lines. Prompt texts are short
+/// (tens of lines), so the quadratic table is fine; the optimizer never
+/// diffs documents.
+fn lcs_edits(left: &[&str], right: &[&str]) -> Vec<DiffEdit> {
+    let n = left.len();
+    let m = right.len();
+    // dp[i][j] = LCS length of left[i..] and right[j..]
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if left[i] == right[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut edits = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if left[i] == right[j] {
+            edits.push(DiffEdit::Keep(left[i].to_string()));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            edits.push(DiffEdit::Remove(left[i].to_string()));
+            i += 1;
+        } else {
+            edits.push(DiffEdit::Add(right[j].to_string()));
+            j += 1;
+        }
+    }
+    while i < n {
+        edits.push(DiffEdit::Remove(left[i].to_string()));
+        i += 1;
+    }
+    while j < m {
+        edits.push(DiffEdit::Add(right[j].to_string()));
+        j += 1;
+    }
+    edits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts() {
+        let d = diff("a\nb", "a\nb");
+        assert!(d.is_identical());
+        assert_eq!(d.similarity, 1.0);
+        assert_eq!(d.common_prefix_chars, 3);
+    }
+
+    #[test]
+    fn pure_append_is_adds_only() {
+        let d = diff("Summarize the notes.", "Summarize the notes.\nFocus on dosage.");
+        assert_eq!(d.removed, 0);
+        assert_eq!(d.added, 1);
+        assert_eq!(d.common_prefix_chars, "Summarize the notes.".len());
+    }
+
+    #[test]
+    fn replacement_counts_both_sides() {
+        let d = diff("old line\nshared", "new line\nshared");
+        assert_eq!(d.added, 1);
+        assert_eq!(d.removed, 1);
+        assert!(d.similarity < 1.0 && d.similarity > 0.0);
+    }
+
+    #[test]
+    fn render_marks_edits() {
+        let d = diff("a\nb", "a\nc");
+        let r = d.render();
+        assert!(r.contains("  a"));
+        assert!(r.contains("- b"));
+        assert!(r.contains("+ c"));
+    }
+
+    #[test]
+    fn jaccard_edges() {
+        assert_eq!(jaccard_words("", ""), 1.0);
+        assert_eq!(jaccard_words("a b", ""), 0.0);
+        assert_eq!(jaccard_words("Dose timing", "dose TIMING"), 1.0);
+        assert!((jaccard_words("a b c d", "a b") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn common_prefix_is_char_safe() {
+        assert_eq!(common_prefix_chars("héllo", "hénry"), 2);
+        assert_eq!(common_prefix_chars("", "x"), 0);
+    }
+
+    #[test]
+    fn lcs_preserves_order() {
+        let d = diff("1\n2\n3\n4", "2\n4\n5");
+        // LCS is {2, 4}; 1 and 3 removed; 5 added.
+        assert_eq!(d.removed, 2);
+        assert_eq!(d.added, 1);
+        let kept: Vec<_> = d
+            .edits
+            .iter()
+            .filter_map(|e| match e {
+                DiffEdit::Keep(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kept, vec!["2", "4"]);
+    }
+}

@@ -1,0 +1,283 @@
+//! The LLM client boundary used by GEN and assisted refinement.
+//!
+//! `spear-core` defines the interface; `spear-llm` provides the simulated
+//! inference engine with prefix caching; downstream users can plug real
+//! backends. The interface's key design point is [`PromptIdentity`]: GEN
+//! requests carry the *structured identity* of the prompt (view name,
+//! version, parameter hash) when one exists. Backends use it to decide
+//! prefix-cache registration — an opaque string has no stable identity, so
+//! its prefix cannot safely be indexed and reused, which is exactly the
+//! paper's argument for making prompts structured data.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SpearError};
+use crate::metadata::TokenUsage;
+
+/// Identity of the prompt behind a generation request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PromptIdentity {
+    /// Ad-hoc string; not cacheable.
+    #[default]
+    Opaque,
+    /// Structured prompt with a stable identity (see
+    /// [`crate::prompt::PromptEntry::cache_identity`]).
+    Structured {
+        /// The identity token, e.g. `view:med_summary@2#1a2b/v3`.
+        id: String,
+    },
+}
+
+/// Generation options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenOptions {
+    /// Maximum tokens to decode.
+    pub max_tokens: u32,
+    /// Sampling temperature (the simulator treats 0.0 as fully greedy).
+    pub temperature: f64,
+    /// Optional task hint, e.g. `"classify"` — backends may use it to route
+    /// behavioural task models; real backends ignore it.
+    pub task: Option<String>,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self {
+            max_tokens: 256,
+            temperature: 0.0,
+            task: None,
+        }
+    }
+}
+
+/// A generation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenRequest {
+    /// Fully rendered prompt text.
+    pub text: String,
+    /// Identity used for prefix-cache decisions.
+    pub identity: PromptIdentity,
+    /// Options.
+    pub options: GenOptions,
+}
+
+impl GenRequest {
+    /// An opaque request with default options.
+    #[must_use]
+    pub fn opaque(text: impl Into<String>) -> Self {
+        Self {
+            text: text.into(),
+            identity: PromptIdentity::Opaque,
+            options: GenOptions::default(),
+        }
+    }
+
+    /// A structured request with default options.
+    #[must_use]
+    pub fn structured(text: impl Into<String>, id: impl Into<String>) -> Self {
+        Self {
+            text: text.into(),
+            identity: PromptIdentity::Structured { id: id.into() },
+            options: GenOptions::default(),
+        }
+    }
+}
+
+/// Why decoding stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FinishReason {
+    /// Natural end of generation.
+    Stop,
+    /// Hit `max_tokens`.
+    Length,
+}
+
+/// A generation response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenResponse {
+    /// Generated text.
+    pub text: String,
+    /// Model self-reported confidence in `[0, 1]` (the simulator derives it
+    /// from its task model; real backends may use logprobs).
+    pub confidence: f64,
+    /// Token accounting, including cached prefill tokens.
+    pub usage: TokenUsage,
+    /// (Possibly virtual) latency of the call.
+    pub latency: Duration,
+    /// Which model produced the response.
+    pub model: String,
+    /// Why decoding stopped.
+    pub finish: FinishReason,
+}
+
+/// An LLM backend.
+pub trait LlmClient: Send + Sync {
+    /// Run one generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::Llm`] on backend failure.
+    fn generate(&self, request: &GenRequest) -> Result<GenResponse>;
+
+    /// Stable model name (used in traces and benchmark labels).
+    fn model_name(&self) -> &str;
+}
+
+impl fmt::Debug for dyn LlmClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LlmClient({})", self.model_name())
+    }
+}
+
+/// Trivial deterministic backend for tests and examples: echoes a digest of
+/// the prompt. Confidence starts at `base_confidence` and rises by
+/// `hint_bonus` when the prompt contains a reasoning hint ("step by step" or
+/// "rationale"), mimicking the effect the paper's refinements target.
+pub struct EchoLlm {
+    /// Confidence for unrefined prompts.
+    pub base_confidence: f64,
+    /// Added when the prompt carries a reasoning hint.
+    pub hint_bonus: f64,
+}
+
+impl Default for EchoLlm {
+    fn default() -> Self {
+        Self {
+            base_confidence: 0.6,
+            hint_bonus: 0.25,
+        }
+    }
+}
+
+impl LlmClient for EchoLlm {
+    fn generate(&self, request: &GenRequest) -> Result<GenResponse> {
+        let lower = request.text.to_lowercase();
+        let hinted = lower.contains("step by step") || lower.contains("rationale");
+        let confidence =
+            (self.base_confidence + if hinted { self.hint_bonus } else { 0.0 }).min(1.0);
+        let words: Vec<&str> = request.text.split_whitespace().collect();
+        let tail: String = words
+            .iter()
+            .rev()
+            .take(8)
+            .rev()
+            .copied()
+            .collect::<Vec<_>>()
+            .join(" ");
+        let prompt_tokens = words.len() as u64;
+        let text = format!("[echo:{}w] {tail}", words.len());
+        Ok(GenResponse {
+            confidence,
+            usage: TokenUsage {
+                prompt_tokens,
+                cached_tokens: 0,
+                completion_tokens: text.split_whitespace().count() as u64,
+            },
+            latency: Duration::from_micros(100 + 10 * prompt_tokens),
+            model: "echo".to_string(),
+            finish: FinishReason::Stop,
+            text,
+        })
+    }
+
+    fn model_name(&self) -> &str {
+        "echo"
+    }
+}
+
+/// Test backend that returns scripted responses in order, then errors.
+pub struct ScriptedLlm {
+    responses: Mutex<std::collections::VecDeque<GenResponse>>,
+}
+
+impl ScriptedLlm {
+    /// Queue up `responses` to be returned in order.
+    #[must_use]
+    pub fn new(responses: Vec<GenResponse>) -> Self {
+        Self {
+            responses: Mutex::new(responses.into()),
+        }
+    }
+
+    /// Build a minimal response with given text and confidence.
+    #[must_use]
+    pub fn response(text: &str, confidence: f64) -> GenResponse {
+        GenResponse {
+            text: text.to_string(),
+            confidence,
+            usage: TokenUsage {
+                prompt_tokens: 10,
+                cached_tokens: 0,
+                completion_tokens: text.split_whitespace().count() as u64,
+            },
+            latency: Duration::from_millis(1),
+            model: "scripted".to_string(),
+            finish: FinishReason::Stop,
+        }
+    }
+}
+
+impl LlmClient for ScriptedLlm {
+    fn generate(&self, _request: &GenRequest) -> Result<GenResponse> {
+        self.responses
+            .lock()
+            .expect("scripted llm mutex poisoned")
+            .pop_front()
+            .ok_or_else(|| SpearError::Llm("scripted llm exhausted".to_string()))
+    }
+
+    fn model_name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_is_deterministic() {
+        let llm = EchoLlm::default();
+        let a = llm.generate(&GenRequest::opaque("summarize the notes")).unwrap();
+        let b = llm.generate(&GenRequest::opaque("summarize the notes")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.usage.prompt_tokens, 3);
+    }
+
+    #[test]
+    fn echo_confidence_responds_to_hints() {
+        let llm = EchoLlm::default();
+        let plain = llm.generate(&GenRequest::opaque("classify this")).unwrap();
+        let hinted = llm
+            .generate(&GenRequest::opaque("classify this. Think step by step."))
+            .unwrap();
+        assert!(hinted.confidence > plain.confidence);
+    }
+
+    #[test]
+    fn scripted_plays_in_order_then_errors() {
+        let llm = ScriptedLlm::new(vec![
+            ScriptedLlm::response("first", 0.4),
+            ScriptedLlm::response("second", 0.9),
+        ]);
+        let req = GenRequest::opaque("x");
+        assert_eq!(llm.generate(&req).unwrap().text, "first");
+        assert_eq!(llm.generate(&req).unwrap().text, "second");
+        assert!(llm.generate(&req).is_err());
+    }
+
+    #[test]
+    fn request_constructors_set_identity() {
+        assert_eq!(GenRequest::opaque("t").identity, PromptIdentity::Opaque);
+        assert_eq!(
+            GenRequest::structured("t", "view:v@1#0/v1").identity,
+            PromptIdentity::Structured {
+                id: "view:v@1#0/v1".into()
+            }
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! Pipelines and the derived operators of Table 2.
+//!
+//! A [`Pipeline`] is a named sequence of core operators. The
+//! [`PipelineBuilder`] provides an ergonomic construction API, and the
+//! derived operators (EXPAND, RETRY, MAP, SWITCH, VIEW, DIFF) are
+//! implemented exactly as the paper presents them — as "reusable prompt
+//! patterns using combinations of core operators" — i.e. they *lower* onto
+//! RET/GEN/REF/CHECK/MERGE/DELEGATE at construction time. RETRY, which
+//! needs bounded repetition, lowers into an unrolled chain of CHECKs (one
+//! per permitted retry), keeping the executed algebra strictly first-order.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::condition::Cond;
+use crate::history::{RefAction, RefinementMode};
+use crate::llm::GenOptions;
+use crate::ops::{MergePolicy, Op, PayloadSpec, PromptRef};
+use crate::retriever::RetrievalQuery;
+use crate::value::{map, Value};
+
+/// A named operator pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Pipeline name (used in traces).
+    pub name: String,
+    /// The operators, executed in order.
+    pub ops: Vec<Op>,
+}
+
+impl Pipeline {
+    /// Start building a pipeline.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> PipelineBuilder {
+        PipelineBuilder {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Total operator count including nested branches.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.ops.iter().map(Op::size).sum()
+    }
+
+    /// Multi-line description in paper notation.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut out = format!("PIPELINE {:?}\n", self.name);
+        for op in &self.ops {
+            out.push_str("  ");
+            out.push_str(&op.describe());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Fluent builder for [`Pipeline`]s.
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    name: String,
+    ops: Vec<Op>,
+}
+
+impl PipelineBuilder {
+    /// Append a raw operator.
+    #[must_use]
+    pub fn op(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Append several raw operators.
+    #[must_use]
+    pub fn ops(mut self, ops: impl IntoIterator<Item = Op>) -> Self {
+        self.ops.extend(ops);
+        self
+    }
+
+    /// `RET[source] -> C[into]` fetching everything (up to `limit`).
+    #[must_use]
+    pub fn ret(self, source: &str, into: &str, limit: usize) -> Self {
+        self.op(Op::Ret {
+            source: source.to_string(),
+            query: RetrievalQuery::All,
+            prompt: None,
+            into: into.to_string(),
+            limit,
+        })
+    }
+
+    /// Structured retrieval with field filters.
+    #[must_use]
+    pub fn ret_structured(
+        self,
+        source: &str,
+        filters: BTreeMap<String, Value>,
+        into: &str,
+        limit: usize,
+    ) -> Self {
+        self.op(Op::Ret {
+            source: source.to_string(),
+            query: RetrievalQuery::Structured(filters),
+            prompt: None,
+            into: into.to_string(),
+            limit,
+        })
+    }
+
+    /// Prompt-based retrieval: the intent is the *rendered* prompt at key
+    /// `prompt_key`, so upstream REFs can refine what gets retrieved.
+    #[must_use]
+    pub fn ret_with_prompt(self, source: &str, prompt_key: &str, into: &str, limit: usize) -> Self {
+        self.op(Op::Ret {
+            source: source.to_string(),
+            query: RetrievalQuery::All,
+            prompt: Some(prompt_key.to_string()),
+            into: into.to_string(),
+            limit,
+        })
+    }
+
+    /// `GEN[label]` using the prompt stored at `prompt_key`.
+    #[must_use]
+    pub fn gen(self, label: &str, prompt_key: &str) -> Self {
+        self.gen_with(label, PromptRef::key(prompt_key), GenOptions::default())
+    }
+
+    /// `GEN[label]` with full control of prompt reference and options.
+    #[must_use]
+    pub fn gen_with(self, label: &str, prompt: PromptRef, options: GenOptions) -> Self {
+        self.op(Op::Gen {
+            label: label.to_string(),
+            prompt,
+            options,
+        })
+    }
+
+    /// `REF[CREATE, set_text(text)]` — define a prompt from raw text.
+    #[must_use]
+    pub fn create_text(self, target: &str, text: &str, mode: RefinementMode) -> Self {
+        self.op(Op::Ref {
+            target: target.to_string(),
+            action: RefAction::Create,
+            refiner: "set_text".to_string(),
+            args: Value::from(text),
+            mode,
+        })
+    }
+
+    /// `REF[CREATE, f_view(args)]` — define a prompt from a view
+    /// (the derived VIEW operator of Table 2).
+    #[must_use]
+    pub fn create_from_view(
+        self,
+        target: &str,
+        view: &str,
+        args: BTreeMap<String, Value>,
+    ) -> Self {
+        self.op(Op::Ref {
+            target: target.to_string(),
+            action: RefAction::Create,
+            refiner: "from_view".to_string(),
+            args: map([
+                ("view", Value::from(view)),
+                ("args", Value::Map(args)),
+            ]),
+            mode: RefinementMode::Manual,
+        })
+    }
+
+    /// Generic `REF[action, refiner(args)]`.
+    #[must_use]
+    pub fn refine(
+        self,
+        target: &str,
+        action: RefAction,
+        refiner: &str,
+        args: Value,
+        mode: RefinementMode,
+    ) -> Self {
+        self.op(Op::Ref {
+            target: target.to_string(),
+            action,
+            refiner: refiner.to_string(),
+            args,
+            mode,
+        })
+    }
+
+    /// The derived `EXPAND[prompt_key, addition]` (Table 2): append new
+    /// content to an existing prompt. Lowers onto `REF[APPEND, append]`.
+    #[must_use]
+    pub fn expand(self, target: &str, addition: &str) -> Self {
+        self.refine(
+            target,
+            RefAction::Append,
+            "append",
+            Value::from(addition),
+            RefinementMode::Manual,
+        )
+    }
+
+    /// `CHECK[cond] { then }` — build the then-branch with a closure.
+    #[must_use]
+    pub fn check(self, cond: Cond, then: impl FnOnce(PipelineBuilder) -> PipelineBuilder) -> Self {
+        self.check_else(cond, then, |b| b)
+    }
+
+    /// `CHECK[cond] { then } else { otherwise }`.
+    #[must_use]
+    pub fn check_else(
+        mut self,
+        cond: Cond,
+        then: impl FnOnce(PipelineBuilder) -> PipelineBuilder,
+        otherwise: impl FnOnce(PipelineBuilder) -> PipelineBuilder,
+    ) -> Self {
+        let then_ops = then(Pipeline::builder("then")).ops;
+        let else_ops = otherwise(Pipeline::builder("else")).ops;
+        self.ops.push(Op::Check {
+            cond,
+            then_ops,
+            else_ops,
+        });
+        self
+    }
+
+    /// `MERGE[P_left, P_right] -> P[into]`.
+    #[must_use]
+    pub fn merge(self, left: &str, right: &str, into: &str, policy: MergePolicy) -> Self {
+        self.op(Op::Merge {
+            left: left.to_string(),
+            right: right.to_string(),
+            into: into.to_string(),
+            policy,
+        })
+    }
+
+    /// `DELEGATE[agent, payload] -> C[into]`.
+    #[must_use]
+    pub fn delegate(self, agent: &str, payload: PayloadSpec, into: &str) -> Self {
+        self.op(Op::Delegate {
+            agent: agent.to_string(),
+            payload,
+            into: into.to_string(),
+        })
+    }
+
+    /// The derived `RETRY[GEN[label], condition]` (Table 2), lowered onto
+    /// GEN + CHECK + REF as the paper specifies. Emits:
+    ///
+    /// ```text
+    /// GEN[label_0]
+    /// CHECK[cond] { REF[...]; GEN[label_1] }
+    /// CHECK[cond] { REF[...]; GEN[label_2] }   (max_retries times)
+    /// ```
+    ///
+    /// Each retry re-checks the condition against the *latest* generation's
+    /// signals, refines the prompt with `refiner`, and regenerates. The
+    /// unrolling keeps the algebra loop-free; `max_retries` is the bound.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn retry_gen(
+        mut self,
+        label: &str,
+        prompt_key: &str,
+        cond: Cond,
+        refiner: &str,
+        refiner_args: Value,
+        mode: RefinementMode,
+        max_retries: u32,
+    ) -> Self {
+        self.ops.push(Op::Gen {
+            label: format!("{label}_0"),
+            prompt: PromptRef::key(prompt_key),
+            options: GenOptions::default(),
+        });
+        for attempt in 1..=max_retries {
+            self.ops.push(Op::Check {
+                cond: cond.clone(),
+                then_ops: vec![
+                    Op::Ref {
+                        target: prompt_key.to_string(),
+                        action: RefAction::Update,
+                        refiner: refiner.to_string(),
+                        args: refiner_args.clone(),
+                        mode,
+                    },
+                    Op::Gen {
+                        label: format!("{label}_{attempt}"),
+                        prompt: PromptRef::key(prompt_key),
+                        options: GenOptions::default(),
+                    },
+                ],
+                else_ops: vec![],
+            });
+        }
+        self
+    }
+
+    /// The derived `MAP[keys, f]` (Table 2): apply one refiner to a list of
+    /// prompt fragments. Lowers onto one REF per key.
+    #[must_use]
+    pub fn map_prompts(
+        mut self,
+        keys: &[&str],
+        refiner: &str,
+        args: Value,
+        mode: RefinementMode,
+    ) -> Self {
+        for key in keys {
+            self.ops.push(Op::Ref {
+                target: (*key).to_string(),
+                action: RefAction::Update,
+                refiner: refiner.to_string(),
+                args: args.clone(),
+                mode,
+            });
+        }
+        self
+    }
+
+    /// The derived `SWITCH[cond -> action]` (Table 2): first matching case
+    /// wins. Lowers onto nested CHECKs (case 2 lives in case 1's else
+    /// branch, and so on).
+    #[must_use]
+    pub fn switch(mut self, cases: Vec<(Cond, Vec<Op>)>, default: Vec<Op>) -> Self {
+        let mut acc = default;
+        for (cond, ops) in cases.into_iter().rev() {
+            acc = vec![Op::Check {
+                cond,
+                then_ops: ops,
+                else_ops: acc,
+            }];
+        }
+        self.ops.extend(acc);
+        self
+    }
+
+    /// The derived `DIFF[P_1, P_2]` (Table 2): compute the difference
+    /// between two prompt entries into `C[into]`. Lowers onto REF with the
+    /// built-in `diff` refiner (which writes to C and leaves text alone).
+    #[must_use]
+    pub fn diff(self, left: &str, right: &str, into: &str) -> Self {
+        self.refine(
+            left,
+            RefAction::Update,
+            "diff",
+            map([
+                ("left", Value::from(left)),
+                ("right", Value::from(right)),
+                ("into", Value::from(into)),
+            ]),
+            RefinementMode::Manual,
+        )
+    }
+
+    /// Finish building.
+    #[must_use]
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            name: self.name,
+            ops: self.ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_ordered_ops() {
+        let p = Pipeline::builder("qa")
+            .ret("initial_notes", "notes", 5)
+            .create_from_view(
+                "qa_prompt",
+                "med_summary",
+                [("drug".to_string(), Value::from("Enoxaparin"))]
+                    .into_iter()
+                    .collect(),
+            )
+            .gen("answer_0", "qa_prompt")
+            .build();
+        assert_eq!(p.ops.len(), 3);
+        assert_eq!(p.ops[0].kind(), "RET");
+        assert_eq!(p.ops[1].kind(), "REF");
+        assert_eq!(p.ops[2].kind(), "GEN");
+        assert_eq!(p.size(), 3);
+    }
+
+    #[test]
+    fn retry_unrolls_into_gen_plus_checks() {
+        let p = Pipeline::builder("retry")
+            .create_text("p", "classify", RefinementMode::Manual)
+            .retry_gen(
+                "answer",
+                "p",
+                Cond::low_confidence(0.7),
+                "auto_refine",
+                Value::Null,
+                RefinementMode::Auto,
+                2,
+            )
+            .build();
+        // create + initial gen + 2 checks
+        assert_eq!(p.ops.len(), 4);
+        assert_eq!(p.ops[1].kind(), "GEN");
+        assert_eq!(p.ops[2].kind(), "CHECK");
+        assert_eq!(p.ops[3].kind(), "CHECK");
+        // Each check contains REF then GEN.
+        if let Op::Check { then_ops, .. } = &p.ops[2] {
+            assert_eq!(then_ops[0].kind(), "REF");
+            assert_eq!(then_ops[1].kind(), "GEN");
+        } else {
+            panic!("expected CHECK");
+        }
+        assert_eq!(p.size(), 1 + 1 + 3 + 3);
+    }
+
+    #[test]
+    fn switch_nests_checks_first_match_wins() {
+        let p = Pipeline::builder("dispatch")
+            .switch(
+                vec![
+                    (
+                        Cond::InContext("discharge".into()),
+                        vec![Op::Gen {
+                            label: "d".into(),
+                            prompt: PromptRef::key("discharge_view"),
+                            options: GenOptions::default(),
+                        }],
+                    ),
+                    (
+                        Cond::InContext("radiology".into()),
+                        vec![Op::Gen {
+                            label: "r".into(),
+                            prompt: PromptRef::key("radiology_view"),
+                            options: GenOptions::default(),
+                        }],
+                    ),
+                ],
+                vec![Op::Gen {
+                    label: "default".into(),
+                    prompt: PromptRef::key("generic_view"),
+                    options: GenOptions::default(),
+                }],
+            )
+            .build();
+        assert_eq!(p.ops.len(), 1);
+        let Op::Check { else_ops, .. } = &p.ops[0] else {
+            panic!("expected CHECK");
+        };
+        assert_eq!(else_ops.len(), 1);
+        assert_eq!(else_ops[0].kind(), "CHECK", "second case nests in else");
+    }
+
+    #[test]
+    fn map_emits_one_ref_per_key() {
+        let p = Pipeline::builder("norm")
+            .map_prompts(
+                &["intro_note", "followup_note"],
+                "normalize",
+                Value::Null,
+                RefinementMode::Manual,
+            )
+            .build();
+        assert_eq!(p.ops.len(), 2);
+        assert!(p.ops.iter().all(|o| o.kind() == "REF"));
+    }
+
+    #[test]
+    fn expand_lowers_to_ref_append() {
+        let p = Pipeline::builder("e")
+            .expand("qa_prompt", "Include PE risk factors.")
+            .build();
+        let Op::Ref {
+            action, refiner, ..
+        } = &p.ops[0]
+        else {
+            panic!("expected REF");
+        };
+        assert_eq!(*action, RefAction::Append);
+        assert_eq!(refiner, "append");
+    }
+
+    #[test]
+    fn describe_and_serde() {
+        let p = Pipeline::builder("qa")
+            .ret("notes", "notes", 3)
+            .gen("a", "p")
+            .build();
+        let d = p.describe();
+        assert!(d.contains("PIPELINE \"qa\""));
+        assert!(d.contains("RET[\"notes\"]"));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Pipeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,498 @@
+//! The prompt store **P**.
+//!
+//! "Prompt (P) is a structured store of named prompt fragments ... Each
+//! entry in P captures how it was constructed, refined, and reused."
+//! (paper §3.2). The store is backed by the `spear-kv` versioned KV
+//! substrate (paper §6), so every write of an entry is itself versioned at
+//! the storage layer, independently of the entry-level `ref_log` — the
+//! former gives storage-level rollback/snapshots, the latter gives the
+//! prompt-evolution provenance the paper's introspection features need.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spear_kv::{KvStore, LogOp, LogRecord, Persister};
+
+use crate::diff::{self, PromptDiff};
+use crate::error::{Result, SpearError};
+use crate::history::{RefAction, RefinementMode};
+use crate::prompt::PromptEntry;
+use crate::value::Value;
+
+/// Named store of structured prompt fragments.
+///
+/// Cloning the store clones the *handle*; both handles see the same entries
+/// (the KV substrate is internally shared). Entry mutation is
+/// read-modify-write and is not transactional across concurrent writers to
+/// the *same key*; SPEAR pipelines mutate P single-threaded from the
+/// executor, which is the intended usage.
+#[derive(Clone)]
+pub struct PromptStore {
+    backend: KvStore<PromptEntry>,
+    persister: Option<Arc<dyn Persister<PromptEntry>>>,
+}
+
+impl std::fmt::Debug for PromptStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PromptStore")
+            .field("entries", &self.len())
+            .field("durable", &self.persister.is_some())
+            .finish()
+    }
+}
+
+impl Default for PromptStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PromptStore {
+    /// Create an empty store on a fresh in-memory backend.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            backend: KvStore::new(),
+            persister: None,
+        }
+    }
+
+    /// Create a store over an existing KV backend (e.g. one recovered from
+    /// a durability log).
+    #[must_use]
+    pub fn with_backend(backend: KvStore<PromptEntry>) -> Self {
+        Self {
+            backend,
+            persister: None,
+        }
+    }
+
+    /// Attach a durability sink: every subsequent entry write (insert,
+    /// refine, rollback, merge, clone) is mirrored as a KV log record, so
+    /// the store — including every embedded ref_log — can be rebuilt with
+    /// `JsonlLog::recover` after a restart (paper §6: stores "may be ...
+    /// backed by high-performance key-value systems").
+    #[must_use]
+    pub fn with_persister(mut self, persister: Arc<dyn Persister<PromptEntry>>) -> Self {
+        self.persister = Some(persister);
+        self
+    }
+
+    /// Mirror a completed write to the persister, if any. The in-memory
+    /// mutation has already landed, so a log failure cannot be unwound;
+    /// it is reported on stderr rather than silently dropped. Callers that
+    /// need hard durability guarantees should check [`PromptStore::sync`]
+    /// at their commit points.
+    fn persist(&self, key: &str) {
+        if let Some(p) = &self.persister {
+            if let Some(versioned) = self.backend.get_versioned(key) {
+                let record = LogRecord {
+                    seq: versioned.seq,
+                    key: key.to_string(),
+                    op: versioned
+                        .value
+                        .map_or(LogOp::Delete, LogOp::Put),
+                };
+                if let Err(e) = p.append(&record) {
+                    eprintln!("spear-core: durability append failed for {key:?}: {e}");
+                }
+            }
+        }
+    }
+
+    /// Flush the durability sink, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates persister flush failures.
+    pub fn sync(&self) -> Result<()> {
+        if let Some(p) = &self.persister {
+            p.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The underlying KV store (for snapshotting and persistence wiring).
+    #[must_use]
+    pub fn backend(&self) -> &KvStore<PromptEntry> {
+        &self.backend
+    }
+
+    /// Insert `entry` under `key`, replacing any existing entry.
+    pub fn insert(&self, key: impl Into<String>, entry: PromptEntry) {
+        let key = key.into();
+        self.backend.put(key.clone(), entry);
+        self.persist(&key);
+    }
+
+    /// Convenience: create a fresh entry from raw text.
+    pub fn define(
+        &self,
+        key: impl Into<String>,
+        text: impl Into<String>,
+        f_name: &str,
+        mode: RefinementMode,
+    ) {
+        self.insert(key, PromptEntry::new(text, f_name, mode));
+    }
+
+    /// Fetch the entry at `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::PromptNotFound`] when absent.
+    pub fn get(&self, key: &str) -> Result<PromptEntry> {
+        self.backend
+            .get(key)
+            .ok_or_else(|| SpearError::PromptNotFound(key.to_string()))
+    }
+
+    /// Fetch the entry at `key`, or `None`.
+    #[must_use]
+    pub fn try_get(&self, key: &str) -> Option<PromptEntry> {
+        self.backend.get(key)
+    }
+
+    /// Whether `key` exists.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.backend.contains(key)
+    }
+
+    /// All keys, sorted.
+    #[must_use]
+    pub fn keys(&self) -> Vec<String> {
+        self.backend.keys()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.backend.is_empty()
+    }
+
+    /// Remove `key`. Returns `true` if it existed.
+    pub fn remove(&self, key: &str) -> bool {
+        let removed = self.backend.delete(key);
+        if removed {
+            self.persist(key);
+        }
+        removed
+    }
+
+    /// Read-modify-write an entry in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::PromptNotFound`] when absent.
+    pub fn update<F: FnOnce(&mut PromptEntry)>(&self, key: &str, f: F) -> Result<()> {
+        let mut entry = self.get(key)?;
+        f(&mut entry);
+        self.backend.put(key, entry);
+        self.persist(key);
+        Ok(())
+    }
+
+    /// Apply a refinement producing `new_text` to the entry at `key`,
+    /// recording full provenance. This is the storage-side half of REF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::PromptNotFound`] when absent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn refine(
+        &self,
+        key: &str,
+        new_text: String,
+        action: RefAction,
+        f_name: &str,
+        mode: RefinementMode,
+        step: u64,
+        trigger: Option<String>,
+        signals: BTreeMap<String, Value>,
+        note: Option<String>,
+    ) -> Result<u64> {
+        let mut entry = self.get(key)?;
+        entry.apply_refinement(new_text, action, f_name, mode, step, trigger, signals, note);
+        let version = entry.version;
+        self.backend.put(key, entry);
+        self.persist(key);
+        Ok(version)
+    }
+
+    /// Roll an entry back to an earlier version. The rollback is itself a
+    /// refinement (the history is append-only — the paper's ref_log never
+    /// loses steps), so the entry's version still increases.
+    ///
+    /// # Errors
+    ///
+    /// [`SpearError::PromptNotFound`] if the key is absent,
+    /// [`SpearError::PromptVersionNotFound`] if the version is not retained.
+    pub fn rollback(&self, key: &str, version: u64, step: u64) -> Result<u64> {
+        let entry = self.get(key)?;
+        let old_text = entry
+            .text_at_version(version)
+            .ok_or_else(|| SpearError::PromptVersionNotFound {
+                key: key.to_string(),
+                version,
+            })?
+            .to_string();
+        self.refine(
+            key,
+            old_text,
+            RefAction::Rollback,
+            &format!("rollback_to_v{version}"),
+            RefinementMode::Manual,
+            step,
+            None,
+            BTreeMap::new(),
+            None,
+        )
+    }
+
+    /// Clone the entry at `src` to `dst` ("clone successful configurations",
+    /// paper §4.3). The clone keeps the full ref_log so provenance survives.
+    ///
+    /// # Errors
+    ///
+    /// [`SpearError::PromptNotFound`] if `src` is absent.
+    pub fn clone_entry(&self, src: &str, dst: impl Into<String>) -> Result<()> {
+        let entry = self.get(src)?;
+        let dst = dst.into();
+        self.backend.put(dst.clone(), entry);
+        self.persist(&dst);
+        Ok(())
+    }
+
+    /// Diff the current texts of two entries (`DIFF[P_1, P_2]`).
+    ///
+    /// # Errors
+    ///
+    /// [`SpearError::PromptNotFound`] if either key is absent.
+    pub fn diff(&self, left: &str, right: &str) -> Result<PromptDiff> {
+        let l = self.get(left)?;
+        let r = self.get(right)?;
+        Ok(diff::diff(&l.text, &r.text))
+    }
+
+    /// Diff two versions of the same entry.
+    ///
+    /// # Errors
+    ///
+    /// [`SpearError::PromptNotFound`] / [`SpearError::PromptVersionNotFound`].
+    pub fn diff_versions(&self, key: &str, v1: u64, v2: u64) -> Result<PromptDiff> {
+        let entry = self.get(key)?;
+        let t1 = entry
+            .text_at_version(v1)
+            .ok_or_else(|| SpearError::PromptVersionNotFound {
+                key: key.to_string(),
+                version: v1,
+            })?;
+        let t2 = entry
+            .text_at_version(v2)
+            .ok_or_else(|| SpearError::PromptVersionNotFound {
+                key: key.to_string(),
+                version: v2,
+            })?;
+        Ok(diff::diff(t1, t2))
+    }
+
+    /// Keys of entries carrying `tag` (runtime dispatch, paper §3.1).
+    #[must_use]
+    pub fn keys_with_tag(&self, tag: &str) -> Vec<String> {
+        self.keys()
+            .into_iter()
+            .filter(|k| {
+                self.try_get(k)
+                    .is_some_and(|e| e.tags.contains(tag))
+            })
+            .collect()
+    }
+
+    /// Deep-copy every entry into a fresh store (used by shadow execution:
+    /// the shadow must not see writes from the primary, and vice versa).
+    #[must_use]
+    pub fn deep_clone(&self) -> PromptStore {
+        let fresh = PromptStore::new();
+        for key in self.keys() {
+            if let Some(entry) = self.try_get(&key) {
+                fresh.insert(key, entry);
+            }
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(key: &str, text: &str) -> PromptStore {
+        let s = PromptStore::new();
+        s.define(key, text, "f_base", RefinementMode::Manual);
+        s
+    }
+
+    #[test]
+    fn define_get_roundtrip() {
+        let s = store_with("qa_prompt", "Summarize the medication history.");
+        let e = s.get("qa_prompt").unwrap();
+        assert_eq!(e.version, 1);
+        assert!(s.contains("qa_prompt"));
+        assert!(matches!(
+            s.get("missing"),
+            Err(SpearError::PromptNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn refine_persists_new_version() {
+        let s = store_with("p", "base");
+        let v = s
+            .refine(
+                "p",
+                "base\nextra".into(),
+                RefAction::Append,
+                "f_expand",
+                RefinementMode::Manual,
+                1,
+                None,
+                BTreeMap::new(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(v, 2);
+        let e = s.get("p").unwrap();
+        assert_eq!(e.text, "base\nextra");
+        assert_eq!(e.ref_log.len(), 2);
+    }
+
+    #[test]
+    fn rollback_restores_text_but_appends_history() {
+        let s = store_with("p", "v1 text");
+        s.refine(
+            "p",
+            "v2 text".into(),
+            RefAction::Update,
+            "f",
+            RefinementMode::Auto,
+            1,
+            None,
+            BTreeMap::new(),
+            None,
+        )
+        .unwrap();
+        let v = s.rollback("p", 1, 2).unwrap();
+        assert_eq!(v, 3);
+        let e = s.get("p").unwrap();
+        assert_eq!(e.text, "v1 text");
+        assert_eq!(e.ref_log.len(), 3, "history is append-only");
+        assert_eq!(e.ref_log[2].action, RefAction::Rollback);
+    }
+
+    #[test]
+    fn rollback_to_unknown_version_errors() {
+        let s = store_with("p", "v1");
+        assert!(matches!(
+            s.rollback("p", 7, 1),
+            Err(SpearError::PromptVersionNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn clone_entry_copies_provenance() {
+        let s = store_with("src", "text");
+        s.clone_entry("src", "dst").unwrap();
+        let d = s.get("dst").unwrap();
+        assert_eq!(d.text, "text");
+        assert_eq!(d.ref_log.len(), 1);
+        assert!(s.clone_entry("missing", "x").is_err());
+    }
+
+    #[test]
+    fn diff_between_entries_and_versions() {
+        let s = store_with("a", "shared line");
+        s.define("b", "shared line\nextra", "f", RefinementMode::Manual);
+        let d = s.diff("a", "b").unwrap();
+        assert_eq!(d.added, 1);
+        assert_eq!(d.removed, 0);
+
+        s.refine(
+            "a",
+            "shared line\nmore".into(),
+            RefAction::Append,
+            "f",
+            RefinementMode::Manual,
+            1,
+            None,
+            BTreeMap::new(),
+            None,
+        )
+        .unwrap();
+        let dv = s.diff_versions("a", 1, 2).unwrap();
+        assert_eq!(dv.added, 1);
+        assert!(s.diff_versions("a", 1, 9).is_err());
+    }
+
+    #[test]
+    fn tag_query() {
+        let s = PromptStore::new();
+        s.insert(
+            "discharge",
+            PromptEntry::new("t", "f", RefinementMode::Manual).with_tag("clinical"),
+        );
+        s.insert(
+            "radiology",
+            PromptEntry::new("t", "f", RefinementMode::Manual).with_tag("clinical"),
+        );
+        s.insert("tweet", PromptEntry::new("t", "f", RefinementMode::Manual));
+        assert_eq!(s.keys_with_tag("clinical").len(), 2);
+        assert!(s.keys_with_tag("nope").is_empty());
+    }
+
+    #[test]
+    fn deep_clone_isolates_writes() {
+        let s = store_with("p", "original");
+        let shadow = s.deep_clone();
+        shadow
+            .refine(
+                "p",
+                "mutated".into(),
+                RefAction::Update,
+                "f",
+                RefinementMode::Auto,
+                1,
+                None,
+                BTreeMap::new(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(s.get("p").unwrap().text, "original");
+        assert_eq!(shadow.get("p").unwrap().text, "mutated");
+    }
+
+    #[test]
+    fn backend_versioning_tracks_entry_writes() {
+        let s = store_with("p", "v1");
+        s.refine(
+            "p",
+            "v2".into(),
+            RefAction::Update,
+            "f",
+            RefinementMode::Manual,
+            1,
+            None,
+            BTreeMap::new(),
+            None,
+        )
+        .unwrap();
+        // Two storage-level versions of the entry exist.
+        assert_eq!(s.backend().history("p").len(), 2);
+    }
+}

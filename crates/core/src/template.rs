@@ -1,0 +1,257 @@
+//! Prompt-text templating.
+//!
+//! Prompt fragments in P are "possibly parameterized with variables from
+//! context C" (paper §3.1). Templates use `{{name}}` placeholders that
+//! resolve, in order, against (1) the entry's own parameters, (2) the
+//! runtime context, with the explicit forms `{{param:name}}` and
+//! `{{ctx:name}}` pinning one source. The `{{view:name}}` form is resolved
+//! earlier, at view-instantiation time (see [`crate::view`]); encountering it
+//! here is an error, which catches views that were never instantiated.
+
+use std::collections::BTreeMap;
+
+use crate::context::Context;
+use crate::error::{Result, SpearError};
+use crate::value::Value;
+
+/// One parsed segment of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Literal text.
+    Text(String),
+    /// A `{{...}}` placeholder, with its optional `source:` prefix split off.
+    Placeholder {
+        /// `None` for plain `{{name}}`; `Some("ctx")`, `Some("param")`, or
+        /// `Some("view")` for the prefixed forms.
+        source: Option<String>,
+        /// The placeholder name.
+        name: String,
+    },
+}
+
+/// Split a template into literal and placeholder segments.
+///
+/// # Errors
+///
+/// Returns [`SpearError::MalformedTemplate`] on an unclosed `{{`.
+pub fn parse(template: &str) -> Result<Vec<Segment>> {
+    let mut segments = Vec::new();
+    let mut rest = template;
+    while let Some(start) = rest.find("{{") {
+        if !rest[..start].is_empty() {
+            segments.push(Segment::Text(rest[..start].to_string()));
+        }
+        let after = &rest[start + 2..];
+        let Some(end) = after.find("}}") else {
+            return Err(SpearError::MalformedTemplate(truncate(template)));
+        };
+        let inner = after[..end].trim();
+        if inner.is_empty() {
+            return Err(SpearError::MalformedTemplate(truncate(template)));
+        }
+        let (source, name) = match inner.split_once(':') {
+            Some((src, n)) => (Some(src.trim().to_string()), n.trim().to_string()),
+            None => (None, inner.to_string()),
+        };
+        segments.push(Segment::Placeholder { source, name });
+        rest = &after[end + 2..];
+    }
+    if !rest.is_empty() {
+        segments.push(Segment::Text(rest.to_string()));
+    }
+    Ok(segments)
+}
+
+/// Names of all placeholders in `template`, in order of first appearance
+/// (view references excluded — those are resolved at instantiation time).
+///
+/// # Errors
+///
+/// Propagates parse errors.
+pub fn placeholders(template: &str) -> Result<Vec<String>> {
+    let mut names = Vec::new();
+    for seg in parse(template)? {
+        if let Segment::Placeholder { source, name } = seg {
+            if source.as_deref() != Some("view") && !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Render `template`, resolving placeholders from `params` then `context`.
+///
+/// # Errors
+///
+/// Returns [`SpearError::UnboundPlaceholder`] if a placeholder resolves
+/// nowhere, and [`SpearError::MalformedTemplate`] on syntax errors.
+pub fn render(
+    template: &str,
+    params: &BTreeMap<String, Value>,
+    context: &Context,
+) -> Result<String> {
+    let segments = parse(template)?;
+    let mut out = String::with_capacity(template.len());
+    for seg in segments {
+        match seg {
+            Segment::Text(t) => out.push_str(&t),
+            Segment::Placeholder { source, name } => {
+                let resolved: Option<Value> = match source.as_deref() {
+                    None => params
+                        .get(&name)
+                        .cloned()
+                        .or_else(|| context.get(&name)),
+                    Some("param") => params.get(&name).cloned(),
+                    Some("ctx") => context.get(&name),
+                    Some("view") => {
+                        return Err(SpearError::InvalidPipeline(format!(
+                            "template still contains uninstantiated view reference \
+                             {{{{view:{name}}}}}; instantiate it through the ViewCatalog"
+                        )));
+                    }
+                    Some(other) => {
+                        return Err(SpearError::MalformedTemplate(format!(
+                            "unknown placeholder source {other:?} in {}",
+                            truncate(template)
+                        )));
+                    }
+                };
+                match resolved {
+                    Some(v) => out.push_str(&v.render()),
+                    None => {
+                        return Err(SpearError::UnboundPlaceholder {
+                            placeholder: name,
+                            template: truncate(template),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn truncate(template: &str) -> String {
+    const HEAD: usize = 80;
+    if template.len() <= HEAD {
+        template.to_string()
+    } else {
+        let mut end = HEAD;
+        while !template.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &template[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::map;
+
+    fn params(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        let ctx = Context::new();
+        assert_eq!(
+            render("no placeholders here", &BTreeMap::new(), &ctx).unwrap(),
+            "no placeholders here"
+        );
+    }
+
+    #[test]
+    fn params_take_precedence_over_context() {
+        let mut ctx = Context::new();
+        ctx.set("drug", Value::from("Heparin"));
+        let p = params(&[("drug", Value::from("Enoxaparin"))]);
+        assert_eq!(
+            render("Use of {{drug}}.", &p, &ctx).unwrap(),
+            "Use of Enoxaparin."
+        );
+        // Explicit sources override the search order.
+        assert_eq!(
+            render("{{ctx:drug}} vs {{param:drug}}", &p, &ctx).unwrap(),
+            "Heparin vs Enoxaparin"
+        );
+    }
+
+    #[test]
+    fn context_fallback() {
+        let mut ctx = Context::new();
+        ctx.set("notes", Value::from("patient stable"));
+        assert_eq!(
+            render("Notes: {{notes}}", &BTreeMap::new(), &ctx).unwrap(),
+            "Notes: patient stable"
+        );
+    }
+
+    #[test]
+    fn unbound_placeholder_is_an_error() {
+        let err = render("{{missing}}", &BTreeMap::new(), &Context::new()).unwrap_err();
+        assert!(matches!(err, SpearError::UnboundPlaceholder { .. }));
+    }
+
+    #[test]
+    fn unclosed_brace_is_malformed() {
+        let err = render("bad {{oops", &BTreeMap::new(), &Context::new()).unwrap_err();
+        assert!(matches!(err, SpearError::MalformedTemplate(_)));
+    }
+
+    #[test]
+    fn empty_placeholder_is_malformed() {
+        assert!(matches!(
+            parse("{{ }}"),
+            Err(SpearError::MalformedTemplate(_))
+        ));
+    }
+
+    #[test]
+    fn uninstantiated_view_reference_is_caught() {
+        let err = render("{{view:base}}", &BTreeMap::new(), &Context::new()).unwrap_err();
+        assert!(matches!(err, SpearError::InvalidPipeline(_)));
+    }
+
+    #[test]
+    fn unknown_source_prefix_is_malformed() {
+        let err = render("{{env:HOME}}", &BTreeMap::new(), &Context::new()).unwrap_err();
+        assert!(matches!(err, SpearError::MalformedTemplate(_)));
+    }
+
+    #[test]
+    fn placeholders_lists_unique_names_in_order() {
+        let names =
+            placeholders("{{a}} {{b}} {{a}} {{ctx:c}} {{view:ignored}}").unwrap();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn compound_values_render_as_json() {
+        let mut ctx = Context::new();
+        ctx.set("labs", map([("d_dimer", Value::from(2.1))]));
+        let s = render("Labs: {{labs}}", &BTreeMap::new(), &ctx).unwrap();
+        assert!(s.contains("d_dimer"));
+    }
+
+    #[test]
+    fn whitespace_inside_braces_is_tolerated() {
+        let p = params(&[("x", Value::from(1))]);
+        assert_eq!(
+            render("{{ x }} and {{ param:x }}", &p, &Context::new()).unwrap(),
+            "1 and 1"
+        );
+    }
+
+    #[test]
+    fn multibyte_template_truncation_is_safe() {
+        let long = "é".repeat(200);
+        let err = render(&format!("{long}{{{{x"), &BTreeMap::new(), &Context::new());
+        assert!(err.is_err()); // must not panic on char boundaries
+    }
+}

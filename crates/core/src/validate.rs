@@ -1,0 +1,362 @@
+//! Static pipeline validation.
+//!
+//! Pipelines are data, so they can be checked before execution — the
+//! prompt-level analogue of semantic analysis in a query compiler. The
+//! validator walks a pipeline against a runtime's registries and reports:
+//!
+//! - references to unregistered refiners, views, retrievers, or agents,
+//! - operators reading prompt keys that no reachable path has created,
+//! - MERGE sources that cannot exist yet,
+//! - GEN without an LLM configured.
+//!
+//! Keys created inside CHECK branches are treated optimistically (defined
+//! if *either* branch defines them): the validator flags definite
+//! mistakes, not conservative may-issues — runtime errors still catch the
+//! rest. Keys already present in a caller-provided starting state can be
+//! declared via [`Validator::assume_prompt`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ops::{Op, PayloadSpec, PromptRef};
+use crate::pipeline::Pipeline;
+use crate::runtime::Runtime;
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// Which operator (by `describe()` rendering) the issue is on.
+    pub op: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.op, self.message)
+    }
+}
+
+/// Pipeline validator over a runtime's registries.
+pub struct Validator<'a> {
+    runtime: &'a Runtime,
+    assumed_prompts: BTreeSet<String>,
+}
+
+impl<'a> Validator<'a> {
+    /// Validate against `runtime`'s registries.
+    #[must_use]
+    pub fn new(runtime: &'a Runtime) -> Self {
+        Self {
+            runtime,
+            assumed_prompts: BTreeSet::new(),
+        }
+    }
+
+    /// Declare a prompt key that exists in the starting state.
+    #[must_use]
+    pub fn assume_prompt(mut self, key: impl Into<String>) -> Self {
+        self.assumed_prompts.insert(key.into());
+        self
+    }
+
+    /// Run validation; an empty result means the pipeline is statically
+    /// sound against this runtime.
+    #[must_use]
+    pub fn validate(&self, pipeline: &Pipeline) -> Vec<ValidationIssue> {
+        let mut issues = Vec::new();
+        let mut prompts = self.assumed_prompts.clone();
+        self.walk(&pipeline.ops, &mut prompts, &mut issues);
+        issues
+    }
+
+    fn check_view(&self, op: &Op, name: &str, issues: &mut Vec<ValidationIssue>) {
+        if !self.runtime.views().contains(name) {
+            issues.push(ValidationIssue {
+                op: op.describe(),
+                message: format!("view {name:?} is not registered"),
+            });
+        }
+    }
+
+    fn walk(
+        &self,
+        ops: &[Op],
+        prompts: &mut BTreeSet<String>,
+        issues: &mut Vec<ValidationIssue>,
+    ) {
+        for op in ops {
+            match op {
+                Op::Ret { source, prompt, .. } => {
+                    if self.runtime.retriever_sources().binary_search(source).is_err() {
+                        issues.push(ValidationIssue {
+                            op: op.describe(),
+                            message: format!("retriever source {source:?} is not registered"),
+                        });
+                    }
+                    if let Some(key) = prompt {
+                        if !prompts.contains(key) {
+                            issues.push(ValidationIssue {
+                                op: op.describe(),
+                                message: format!(
+                                    "retrieval prompt P[{key:?}] is never created before this RET"
+                                ),
+                            });
+                        }
+                    }
+                }
+                Op::Gen { prompt, .. } => {
+                    if self.runtime.llm().is_none() {
+                        issues.push(ValidationIssue {
+                            op: op.describe(),
+                            message: "runtime has no LLM configured".to_string(),
+                        });
+                    }
+                    match prompt {
+                        PromptRef::Key(key) => {
+                            if !prompts.contains(key) {
+                                issues.push(ValidationIssue {
+                                    op: op.describe(),
+                                    message: format!(
+                                        "P[{key:?}] is never created before this GEN"
+                                    ),
+                                });
+                            }
+                        }
+                        PromptRef::View { name, .. } => self.check_view(op, name, issues),
+                        PromptRef::Inline(_) => {}
+                    }
+                }
+                Op::Ref {
+                    target,
+                    action,
+                    refiner,
+                    args,
+                    ..
+                } => {
+                    if self.runtime.refiner_names().binary_search(refiner).is_err() {
+                        issues.push(ValidationIssue {
+                            op: op.describe(),
+                            message: format!("refiner {refiner:?} is not registered"),
+                        });
+                    }
+                    if refiner == "from_view" {
+                        if let Some(name) =
+                            args.as_map().and_then(|m| m.get("view")).and_then(|v| v.as_str())
+                        {
+                            self.check_view(op, name, issues);
+                        }
+                    }
+                    let creates = *action == crate::history::RefAction::Create;
+                    if !creates && !prompts.contains(target) {
+                        issues.push(ValidationIssue {
+                            op: op.describe(),
+                            message: format!(
+                                "P[{target:?}] is refined ({action}) before any CREATE"
+                            ),
+                        });
+                    }
+                    prompts.insert(target.clone());
+                }
+                Op::Check {
+                    then_ops, else_ops, ..
+                } => {
+                    // Optimistic branch semantics: a key defined in either
+                    // branch counts as defined afterwards.
+                    let mut then_prompts = prompts.clone();
+                    self.walk(then_ops, &mut then_prompts, issues);
+                    let mut else_prompts = prompts.clone();
+                    self.walk(else_ops, &mut else_prompts, issues);
+                    prompts.extend(then_prompts);
+                    prompts.extend(else_prompts);
+                }
+                Op::Merge {
+                    left, right, into, ..
+                } => {
+                    for side in [left, right] {
+                        if !prompts.contains(side) {
+                            issues.push(ValidationIssue {
+                                op: op.describe(),
+                                message: format!(
+                                    "MERGE source P[{side:?}] is never created"
+                                ),
+                            });
+                        }
+                    }
+                    prompts.insert(into.clone());
+                }
+                Op::Delegate { agent, payload, .. } => {
+                    if self.runtime.agent_names().binary_search(agent).is_err() {
+                        issues.push(ValidationIssue {
+                            op: op.describe(),
+                            message: format!("agent {agent:?} is not registered"),
+                        });
+                    }
+                    if let PayloadSpec::PromptKey(key) = payload {
+                        if !prompts.contains(key) {
+                            issues.push(ValidationIssue {
+                                op: op.describe(),
+                                message: format!(
+                                    "payload prompt P[{key:?}] is never created"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Runtime {
+    /// Statically validate `pipeline` against this runtime's registries.
+    /// See [`Validator`] for the checks performed; use [`Validator`]
+    /// directly to declare pre-existing prompt keys.
+    #[must_use]
+    pub fn validate(&self, pipeline: &Pipeline) -> Vec<ValidationIssue> {
+        Validator::new(self).validate(pipeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Cond;
+    use crate::history::{RefAction, RefinementMode};
+    use crate::llm::EchoLlm;
+    use crate::ops::MergePolicy;
+    use crate::retriever::InMemoryRetriever;
+    use crate::value::Value;
+    use crate::view::ViewDef;
+    use std::sync::Arc;
+
+    fn runtime() -> Runtime {
+        let views = crate::view::ViewCatalog::new();
+        views.register(ViewDef::new("known_view", "template"));
+        Runtime::builder()
+            .llm(Arc::new(EchoLlm::default()))
+            .retriever("notes", Arc::new(InMemoryRetriever::from_texts([("a", "x")])))
+            .agent(
+                "scorer",
+                Arc::new(crate::agent::FnAgent(|p: &Value, _: &crate::context::Context| {
+                    Ok(p.clone())
+                })),
+            )
+            .views(views)
+            .build()
+    }
+
+    #[test]
+    fn sound_pipeline_has_no_issues() {
+        let rt = runtime();
+        let p = Pipeline::builder("ok")
+            .ret("notes", "docs", 5)
+            .create_from_view("prompt", "known_view", Default::default())
+            .gen("answer", "prompt")
+            .check(Cond::low_confidence(0.7), |b| b.expand("prompt", "hint"))
+            .delegate(
+                "scorer",
+                PayloadSpec::PromptKey("prompt".into()),
+                "score",
+            )
+            .build();
+        assert_eq!(rt.validate(&p), vec![]);
+    }
+
+    #[test]
+    fn catches_use_before_create() {
+        let rt = runtime();
+        let p = Pipeline::builder("bad")
+            .gen("answer", "ghost_prompt")
+            .expand("other_ghost", "text")
+            .build();
+        let issues = rt.validate(&p);
+        assert_eq!(issues.len(), 2);
+        assert!(issues[0].message.contains("never created"));
+        assert!(issues[1].message.contains("before any CREATE"));
+    }
+
+    #[test]
+    fn catches_unknown_registry_entries() {
+        let rt = runtime();
+        let p = Pipeline::builder("bad")
+            .ret("ghost_source", "docs", 5)
+            .create_from_view("p", "ghost_view", Default::default())
+            .refine(
+                "p",
+                RefAction::Update,
+                "ghost_refiner",
+                Value::Null,
+                RefinementMode::Manual,
+            )
+            .delegate("ghost_agent", PayloadSpec::Lit(Value::Null), "out")
+            .build();
+        let issues = rt.validate(&p);
+        let messages: Vec<&str> = issues.iter().map(|i| i.message.as_str()).collect();
+        assert!(messages.iter().any(|m| m.contains("retriever source")));
+        assert!(messages.iter().any(|m| m.contains("view \"ghost_view\"")));
+        assert!(messages.iter().any(|m| m.contains("refiner \"ghost_refiner\"")));
+        assert!(messages.iter().any(|m| m.contains("agent \"ghost_agent\"")));
+    }
+
+    #[test]
+    fn branch_definitions_are_optimistic() {
+        let rt = runtime();
+        let p = Pipeline::builder("branchy")
+            .check_else(
+                Cond::Always,
+                |b| b.create_text("p", "then text", RefinementMode::Manual),
+                |b| b.create_text("p", "else text", RefinementMode::Manual),
+            )
+            .gen("answer", "p")
+            .build();
+        assert_eq!(rt.validate(&p), vec![]);
+    }
+
+    #[test]
+    fn merge_sources_are_checked() {
+        let rt = runtime();
+        let p = Pipeline::builder("m")
+            .create_text("left", "x", RefinementMode::Manual)
+            .merge("left", "missing_right", "out", MergePolicy::PreferLeft)
+            .gen("a", "out")
+            .build();
+        let issues = rt.validate(&p);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].message.contains("missing_right"));
+    }
+
+    #[test]
+    fn assumed_prompts_suppress_false_positives() {
+        let rt = runtime();
+        let p = Pipeline::builder("pre")
+            .gen("answer", "preexisting")
+            .build();
+        assert_eq!(rt.validate(&p).len(), 1);
+        let issues = Validator::new(&rt)
+            .assume_prompt("preexisting")
+            .validate(&p);
+        assert_eq!(issues, vec![]);
+    }
+
+    #[test]
+    fn gen_without_llm_is_flagged() {
+        let rt = Runtime::builder().build();
+        let p = Pipeline::builder("no_llm")
+            .create_text("p", "x", RefinementMode::Manual)
+            .gen("a", "p")
+            .build();
+        let issues = rt.validate(&p);
+        assert!(issues.iter().any(|i| i.message.contains("no LLM")));
+    }
+
+    #[test]
+    fn issue_display_names_the_operator() {
+        let rt = runtime();
+        let p = Pipeline::builder("bad").gen("a", "ghost").build();
+        let issue = &rt.validate(&p)[0];
+        let s = issue.to_string();
+        assert!(s.contains("GEN"));
+        assert!(s.contains("ghost"));
+    }
+}

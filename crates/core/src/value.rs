@@ -1,0 +1,324 @@
+//! Dynamic values shared by the execution-state triple (P, C, M).
+//!
+//! Prompt parameters, context entries, metadata signals, trace payloads, and
+//! agent payloads are all [`Value`]s. The type is deliberately JSON-shaped so
+//! structured logging and replay (paper §4.3, §6) serialize losslessly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically typed value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(untagged)]
+pub enum Value {
+    /// Absent / null.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered list.
+    List(Vec<Value>),
+    /// String-keyed map (ordered for deterministic serialization).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Borrow as `&str` if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: ints widen to floats.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats are NOT truncated; only `Int` matches).
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// List view.
+    #[must_use]
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Map view.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Truthiness used by CHECK conditions: `Null` and `false` are falsy;
+    /// zero numbers, empty strings/lists/maps are falsy; everything else is
+    /// truthy.
+    #[must_use]
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+        }
+    }
+
+    /// Look up a dotted path (`"usage.tokens"`) through nested maps.
+    #[must_use]
+    pub fn path(&self, dotted: &str) -> Option<&Value> {
+        let mut cur = self;
+        for seg in dotted.split('.') {
+            cur = cur.as_map()?.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Compare two values numerically or lexicographically where sensible.
+    /// Cross-type numeric comparison (Int vs Float) widens to float. Returns
+    /// `None` for incomparable types.
+    #[must_use]
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use Value::{Bool, Float, Int, Str};
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(_) | Int(_), Float(_) | Int(_)) => {
+                self.as_f64()?.partial_cmp(&other.as_f64()?)
+            }
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Render for interpolation into prompt text. Strings render bare (no
+    /// quotes); compound values render as JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Map(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{k:?}: {v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        // Saturate rather than wrap; metadata counters never approach i64::MAX.
+        Value::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Build a [`Value::Map`] from `(key, value)` pairs.
+///
+/// ```
+/// use spear_core::value::{map, Value};
+/// let m = map([("dose", Value::from("40 mg")), ("hours", Value::from(48))]);
+/// assert_eq!(m.path("dose").unwrap().as_str(), Some("40 mg"));
+/// ```
+pub fn map<K: Into<String>, const N: usize>(pairs: [(K, Value); N]) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(3).as_i64(), Some(3));
+        assert_eq!(Value::from(3).as_f64(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from(2.5).as_i64(), None);
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::from(false).is_truthy());
+        assert!(!Value::from(0).is_truthy());
+        assert!(!Value::from("").is_truthy());
+        assert!(!Value::List(vec![]).is_truthy());
+        assert!(Value::from(1).is_truthy());
+        assert!(Value::from("x").is_truthy());
+    }
+
+    #[test]
+    fn dotted_path_traverses_maps() {
+        let v = map([(
+            "usage",
+            map([("tokens", Value::from(42)), ("cached", Value::from(7))]),
+        )]);
+        assert_eq!(v.path("usage.tokens").unwrap().as_i64(), Some(42));
+        assert_eq!(v.path("usage.missing"), None);
+        assert_eq!(v.path("nope"), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        use std::cmp::Ordering;
+        assert_eq!(
+            Value::from(1).partial_cmp_value(&Value::from(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::from(2.0).partial_cmp_value(&Value::from(2)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::from("b").partial_cmp_value(&Value::from("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::from("x").partial_cmp_value(&Value::from(1)), None);
+    }
+
+    #[test]
+    fn render_strings_bare_but_display_quoted() {
+        assert_eq!(Value::from("hi").render(), "hi");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::from(3).render(), "3");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = map([
+            ("s", Value::from("text")),
+            ("n", Value::from(1)),
+            ("f", Value::from(0.5)),
+            ("l", Value::from(vec![1i64, 2, 3])),
+            ("nil", Value::Null),
+        ]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn u64_overflow_saturates() {
+        assert_eq!(Value::from(u64::MAX).as_i64(), Some(i64::MAX));
+    }
+}

@@ -1,0 +1,500 @@
+//! Prompt views (paper §4.2).
+//!
+//! "A view is a reusable named prompt that encapsulates structured prompt
+//! construction. Much like views in a database system, SPEAR views abstract
+//! recurring prompt patterns and enable their reuse across tasks, contexts,
+//! and runtime conditions." Views are *parameterized* (declared parameters
+//! with optional defaults), *composable* (templates may reference other
+//! views with `{{view:name}}`), *versioned* (re-registering bumps the
+//! version), and *taggable* (for runtime dispatch across note types).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use spear_kv::shard::fnv1a;
+use spear_kv::KvStore;
+
+use crate::error::{Result, SpearError};
+use crate::history::RefinementMode;
+use crate::prompt::{PromptEntry, PromptOrigin};
+use crate::value::Value;
+
+/// A declared view parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Parameter name (matched against `{{name}}` in the template).
+    pub name: String,
+    /// Whether instantiation must supply it.
+    pub required: bool,
+    /// Default used when not supplied (only meaningful if not required).
+    pub default: Option<Value>,
+}
+
+impl ParamSpec {
+    /// A required parameter.
+    #[must_use]
+    pub fn required(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            required: true,
+            default: None,
+        }
+    }
+
+    /// An optional parameter with a default.
+    #[must_use]
+    pub fn optional(name: impl Into<String>, default: impl Into<Value>) -> Self {
+        Self {
+            name: name.into(),
+            required: false,
+            default: Some(default.into()),
+        }
+    }
+}
+
+/// A named, versioned prompt view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// Template text; may contain `{{param}}` and `{{view:other}}`.
+    pub template: String,
+    /// Declared parameters.
+    pub params: Vec<ParamSpec>,
+    /// Tags for dispatch (e.g. `"discharge_summary"`).
+    pub tags: BTreeSet<String>,
+    /// Version, managed by the catalog (1 on first registration).
+    pub version: u64,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl ViewDef {
+    /// Create a view definition (version is assigned at registration).
+    #[must_use]
+    pub fn new(name: impl Into<String>, template: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            template: template.into(),
+            params: Vec::new(),
+            tags: BTreeSet::new(),
+            version: 0,
+            description: String::new(),
+        }
+    }
+
+    /// Builder-style: declare a parameter.
+    #[must_use]
+    pub fn with_param(mut self, spec: ParamSpec) -> Self {
+        self.params.push(spec);
+        self
+    }
+
+    /// Builder-style: add a tag.
+    #[must_use]
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tags.insert(tag.into());
+        self
+    }
+
+    /// Builder-style: set the description.
+    #[must_use]
+    pub fn with_description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+}
+
+/// Stable hash of instantiation arguments, used in cache identities.
+#[must_use]
+pub fn param_hash(args: &BTreeMap<String, Value>) -> u64 {
+    let mut repr = String::new();
+    for (k, v) in args {
+        repr.push_str(k);
+        repr.push('=');
+        repr.push_str(&v.render());
+        repr.push(';');
+    }
+    fnv1a(repr.as_bytes())
+}
+
+/// The catalog of registered views.
+///
+/// Cloning the catalog clones the handle (shared storage).
+#[derive(Clone, Debug)]
+pub struct ViewCatalog {
+    store: KvStore<ViewDef>,
+}
+
+impl Default for ViewCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ViewCatalog {
+    /// Empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            store: KvStore::new(),
+        }
+    }
+
+    /// Register (or re-register) a view. Returns the assigned version:
+    /// 1 for a new view, previous+1 when redefining.
+    pub fn register(&self, mut view: ViewDef) -> u64 {
+        let next = self.store.get(&view.name).map_or(1, |v| v.version + 1);
+        view.version = next;
+        self.store.put(view.name.clone(), view);
+        next
+    }
+
+    /// Fetch the latest definition of `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::ViewNotFound`] when absent.
+    pub fn get(&self, name: &str) -> Result<ViewDef> {
+        self.store
+            .get(name)
+            .ok_or_else(|| SpearError::ViewNotFound(name.to_string()))
+    }
+
+    /// Fetch a historical version of `name` (if still retained).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpearError::ViewNotFound`] when absent.
+    pub fn get_version(&self, name: &str, version: u64) -> Result<ViewDef> {
+        self.store
+            .history(name)
+            .into_iter()
+            .filter_map(|v| v.value)
+            .find(|v| v.version == version)
+            .ok_or_else(|| SpearError::ViewNotFound(format!("{name}@v{version}")))
+    }
+
+    /// Whether `name` is registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.store.contains(name)
+    }
+
+    /// All view names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.store.keys()
+    }
+
+    /// Names of views carrying `tag`, sorted — the dispatch primitive behind
+    /// "different types of input notes may invoke different views".
+    #[must_use]
+    pub fn names_with_tag(&self, tag: &str) -> Vec<String> {
+        self.names()
+            .into_iter()
+            .filter(|n| self.store.get(n).is_some_and(|v| v.tags.contains(tag)))
+            .collect()
+    }
+
+    /// Instantiate `name` with `args` into a [`PromptEntry`].
+    ///
+    /// Composition: `{{view:child}}` references in the template are expanded
+    /// recursively (children see the same argument map). Parameter
+    /// placeholders stay in the entry's text; supplied arguments and
+    /// defaults become entry params, so the entry renders against context at
+    /// GEN time like any other structured prompt.
+    ///
+    /// # Errors
+    ///
+    /// [`SpearError::ViewNotFound`], [`SpearError::MissingViewParam`], or
+    /// [`SpearError::ViewCycle`].
+    pub fn instantiate(
+        &self,
+        name: &str,
+        args: BTreeMap<String, Value>,
+    ) -> Result<PromptEntry> {
+        let view = self.get(name)?;
+        let mut path = Vec::new();
+        let text = self.expand(&view, &mut path)?;
+
+        // Check required params and collect effective values.
+        let mut params = BTreeMap::new();
+        for spec in self.all_param_specs(&view)? {
+            match args.get(&spec.name) {
+                Some(v) => {
+                    params.insert(spec.name.clone(), v.clone());
+                }
+                None => match (&spec.required, &spec.default) {
+                    (true, _) => {
+                        return Err(SpearError::MissingViewParam {
+                            view: name.to_string(),
+                            param: spec.name.clone(),
+                        })
+                    }
+                    (false, Some(d)) => {
+                        params.insert(spec.name.clone(), d.clone());
+                    }
+                    (false, None) => {}
+                },
+            }
+        }
+        // Extra args beyond declared specs are allowed and kept (views can be
+        // under-declared; template rendering will use them).
+        for (k, v) in &args {
+            params.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+
+        let hash = param_hash(&args);
+        let mut entry = PromptEntry::new(
+            text,
+            &format!("view:{name}"),
+            RefinementMode::Manual,
+        )
+        .with_origin(PromptOrigin::View {
+            name: name.to_string(),
+            version: view.version,
+            param_hash: hash,
+        });
+        entry.params = params;
+        entry.tags = view.tags.clone();
+        Ok(entry)
+    }
+
+    /// Recursively expand `{{view:child}}` references.
+    fn expand(&self, view: &ViewDef, path: &mut Vec<String>) -> Result<String> {
+        if path.contains(&view.name) {
+            let mut cycle = path.clone();
+            cycle.push(view.name.clone());
+            return Err(SpearError::ViewCycle(cycle));
+        }
+        path.push(view.name.clone());
+        let segments = crate::template::parse(&view.template)?;
+        let mut out = String::with_capacity(view.template.len());
+        for seg in segments {
+            match seg {
+                crate::template::Segment::Text(t) => out.push_str(&t),
+                crate::template::Segment::Placeholder { source, name } => {
+                    if source.as_deref() == Some("view") {
+                        let child = self.get(&name)?;
+                        out.push_str(&self.expand(&child, path)?);
+                    } else {
+                        // Re-emit non-view placeholders verbatim for GEN-time
+                        // rendering.
+                        match source {
+                            Some(src) => {
+                                out.push_str("{{");
+                                out.push_str(&src);
+                                out.push(':');
+                                out.push_str(&name);
+                                out.push_str("}}");
+                            }
+                            None => {
+                                out.push_str("{{");
+                                out.push_str(&name);
+                                out.push_str("}}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        path.pop();
+        Ok(out)
+    }
+
+    /// Parameter specs of a view plus all views it (transitively) composes.
+    fn all_param_specs(&self, view: &ViewDef) -> Result<Vec<ParamSpec>> {
+        let mut specs = Vec::new();
+        let mut stack = vec![view.clone()];
+        let mut seen = BTreeSet::new();
+        while let Some(v) = stack.pop() {
+            if !seen.insert(v.name.clone()) {
+                continue; // cycle handled by expand(); avoid looping here
+            }
+            specs.extend(v.params.iter().cloned());
+            for seg in crate::template::parse(&v.template)? {
+                if let crate::template::Segment::Placeholder {
+                    source: Some(src),
+                    name,
+                } = seg
+                {
+                    if src == "view" {
+                        if let Ok(child) = self.get(&name) {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect()
+    }
+
+    fn catalog() -> ViewCatalog {
+        let c = ViewCatalog::new();
+        c.register(
+            ViewDef::new(
+                "med_summary",
+                "Summarize the patient's medication history and highlight any use of {{drug}}.",
+            )
+            .with_param(ParamSpec::required("drug"))
+            .with_tag("clinical"),
+        );
+        c
+    }
+
+    #[test]
+    fn register_and_instantiate() {
+        let c = catalog();
+        let entry = c
+            .instantiate("med_summary", args(&[("drug", Value::from("Enoxaparin"))]))
+            .unwrap();
+        assert!(entry.text.contains("{{drug}}"), "placeholder kept for render");
+        assert_eq!(
+            entry.params.get("drug").unwrap().as_str(),
+            Some("Enoxaparin")
+        );
+        assert!(entry.derives_from_view("med_summary"));
+        assert!(entry.tags.contains("clinical"));
+
+        let rendered = entry.render(&crate::context::Context::new()).unwrap();
+        assert!(rendered.contains("Enoxaparin"));
+    }
+
+    #[test]
+    fn missing_required_param_errors() {
+        let c = catalog();
+        let err = c.instantiate("med_summary", BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, SpearError::MissingViewParam { .. }));
+    }
+
+    #[test]
+    fn optional_params_take_defaults() {
+        let c = ViewCatalog::new();
+        c.register(
+            ViewDef::new("limited", "Answer in at most {{word_limit}} words.")
+                .with_param(ParamSpec::optional("word_limit", 50)),
+        );
+        let entry = c.instantiate("limited", BTreeMap::new()).unwrap();
+        assert_eq!(entry.params.get("word_limit").unwrap().as_i64(), Some(50));
+    }
+
+    #[test]
+    fn reregistration_bumps_version() {
+        let c = catalog();
+        assert_eq!(c.get("med_summary").unwrap().version, 1);
+        let v2 = c.register(ViewDef::new("med_summary", "revised template {{drug}}"));
+        assert_eq!(v2, 2);
+        assert_eq!(c.get("med_summary").unwrap().version, 2);
+        // Old version remains retrievable.
+        let v1 = c.get_version("med_summary", 1).unwrap();
+        assert!(v1.template.contains("highlight"));
+    }
+
+    #[test]
+    fn composition_expands_nested_views() {
+        let c = ViewCatalog::new();
+        c.register(ViewDef::new("format", "Respond in bullet points."));
+        c.register(
+            ViewDef::new(
+                "med_justification",
+                "Why was {{drug}} administered?\n{{view:format}}",
+            )
+            .with_param(ParamSpec::required("drug")),
+        );
+        let entry = c
+            .instantiate(
+                "med_justification",
+                args(&[("drug", Value::from("Enoxaparin"))]),
+            )
+            .unwrap();
+        assert!(entry.text.contains("bullet points"));
+        assert!(!entry.text.contains("view:"));
+    }
+
+    #[test]
+    fn composition_cycles_are_detected() {
+        let c = ViewCatalog::new();
+        c.register(ViewDef::new("a", "A then {{view:b}}"));
+        c.register(ViewDef::new("b", "B then {{view:a}}"));
+        let err = c.instantiate("a", BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, SpearError::ViewCycle(_)));
+    }
+
+    #[test]
+    fn nested_required_params_are_enforced() {
+        let c = ViewCatalog::new();
+        c.register(
+            ViewDef::new("inner", "Focus on {{topic}}.").with_param(ParamSpec::required("topic")),
+        );
+        c.register(ViewDef::new("outer", "Task.\n{{view:inner}}"));
+        assert!(matches!(
+            c.instantiate("outer", BTreeMap::new()),
+            Err(SpearError::MissingViewParam { .. })
+        ));
+        assert!(c
+            .instantiate("outer", args(&[("topic", Value::from("dosage"))]))
+            .is_ok());
+    }
+
+    #[test]
+    fn tag_dispatch_lists_matching_views() {
+        let c = ViewCatalog::new();
+        c.register(ViewDef::new("discharge_summary", "t").with_tag("discharge"));
+        c.register(ViewDef::new("radiology_summary", "t").with_tag("radiology"));
+        c.register(ViewDef::new("nursing_note", "t").with_tag("nursing"));
+        assert_eq!(
+            c.names_with_tag("radiology"),
+            vec!["radiology_summary".to_string()]
+        );
+        assert!(c.names_with_tag("none").is_empty());
+    }
+
+    #[test]
+    fn param_hash_is_stable_and_order_independent() {
+        let a = args(&[("x", Value::from(1)), ("y", Value::from("z"))]);
+        let mut b = BTreeMap::new();
+        b.insert("y".to_string(), Value::from("z"));
+        b.insert("x".to_string(), Value::from(1));
+        assert_eq!(param_hash(&a), param_hash(&b));
+        let c = args(&[("x", Value::from(2)), ("y", Value::from("z"))]);
+        assert_ne!(param_hash(&a), param_hash(&c));
+    }
+
+    #[test]
+    fn unknown_view_errors() {
+        let c = ViewCatalog::new();
+        assert!(matches!(
+            c.instantiate("ghost", BTreeMap::new()),
+            Err(SpearError::ViewNotFound(_))
+        ));
+        assert!(!c.contains("ghost"));
+    }
+
+    #[test]
+    fn extra_args_are_preserved() {
+        let c = catalog();
+        let entry = c
+            .instantiate(
+                "med_summary",
+                args(&[
+                    ("drug", Value::from("Enoxaparin")),
+                    ("audience", Value::from("nurse")),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(entry.params.get("audience").unwrap().as_str(), Some("nurse"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Synthetic clinical notes for the Enoxaparin QA use case (paper §2).
+//!
+//! Real clinical notes are gated data; this generator produces structurally
+//! faithful substitutes — discharge summaries, radiology reports, nursing
+//! notes — with medication orders (drug, dose, timing, indication) and a
+//! ground-truth record per patient, so the §2 pipeline patterns (per-note-
+//! type views, confidence retries, missing-order retrieval, delegated
+//! validation) can be exercised end to end.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Kind of clinical note (each kind gets its own prompt view in §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NoteType {
+    /// Discharge summary: medications, hospital course, follow-up.
+    Discharge,
+    /// Radiology report: imaging findings and impressions.
+    Radiology,
+    /// Nursing note: observations and care delivery.
+    Nursing,
+}
+
+impl NoteType {
+    /// Tag string used for view dispatch.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            NoteType::Discharge => "discharge",
+            NoteType::Radiology => "radiology",
+            NoteType::Nursing => "nursing",
+        }
+    }
+}
+
+/// One synthetic clinical note.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClinicalNote {
+    /// Note id.
+    pub id: String,
+    /// Patient id.
+    pub patient_id: String,
+    /// Note type.
+    pub note_type: NoteType,
+    /// Note text.
+    pub text: String,
+    /// Hours before "now" the note was written (time-window filtering).
+    pub age_hours: u32,
+}
+
+/// Ground truth about a patient's Enoxaparin exposure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnoxaparinTruth {
+    /// Patient id.
+    pub patient_id: String,
+    /// Whether the patient received Enoxaparin at all.
+    pub received: bool,
+    /// Dose in mg, when received.
+    pub dose_mg: Option<u32>,
+    /// Whether administration happened within the last 48 hours.
+    pub within_48h: bool,
+    /// Recorded indication, when received.
+    pub indication: Option<String>,
+}
+
+/// A generated cohort: notes plus per-patient ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cohort {
+    /// All notes across patients, shuffled.
+    pub notes: Vec<ClinicalNote>,
+    /// Ground truth, one per patient.
+    pub truth: Vec<EnoxaparinTruth>,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClinicalConfig {
+    /// Number of patients.
+    pub patients: usize,
+    /// Fraction of patients on Enoxaparin.
+    pub enoxaparin_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClinicalConfig {
+    fn default() -> Self {
+        Self {
+            patients: 50,
+            enoxaparin_fraction: 0.6,
+            seed: 7,
+        }
+    }
+}
+
+const INDICATIONS: &[&str] = &[
+    "DVT prophylaxis",
+    "pulmonary embolism treatment",
+    "atrial fibrillation bridging",
+    "post-operative thromboprophylaxis",
+];
+const DOSES_MG: &[u32] = &[30, 40, 60, 80, 100];
+const OTHER_MEDS: &[&str] = &[
+    "metoprolol 25 mg twice daily",
+    "lisinopril 10 mg daily",
+    "atorvastatin 40 mg nightly",
+    "pantoprazole 40 mg daily",
+];
+
+/// Generate a cohort per `config`.
+#[must_use]
+pub fn generate(config: &ClinicalConfig) -> Cohort {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut notes = Vec::new();
+    let mut truth = Vec::new();
+    for p in 0..config.patients {
+        let patient_id = format!("pt-{p:04}");
+        let received = rng.gen_bool(config.enoxaparin_fraction.clamp(0.0, 1.0));
+        let dose = *DOSES_MG.choose(&mut rng).expect("non-empty");
+        let indication = INDICATIONS.choose(&mut rng).expect("non-empty");
+        let recent = rng.gen_bool(0.5);
+        let admin_age: u32 = if recent {
+            rng.gen_range(2..48)
+        } else {
+            rng.gen_range(49..240)
+        };
+        let other = OTHER_MEDS.choose(&mut rng).expect("non-empty");
+
+        let discharge = if received {
+            format!(
+                "DISCHARGE SUMMARY for {patient_id}. Hospital course uneventful. \
+                 Medications on discharge: enoxaparin {dose} mg subcutaneously daily \
+                 for {indication}; {other}. Follow-up with primary care in 2 weeks."
+            )
+        } else {
+            format!(
+                "DISCHARGE SUMMARY for {patient_id}. Hospital course uneventful. \
+                 Medications on discharge: {other}. No anticoagulation indicated. \
+                 Follow-up with primary care in 2 weeks."
+            )
+        };
+        let radiology = format!(
+            "RADIOLOGY REPORT for {patient_id}. CT angiogram of the chest: {}. \
+             Impression: {}.",
+            if received && indication.contains("embolism") {
+                "segmental filling defect in the right lower lobe"
+            } else {
+                "no filling defects identified"
+            },
+            if received && indication.contains("embolism") {
+                "acute pulmonary embolism"
+            } else {
+                "no acute cardiopulmonary process"
+            }
+        );
+        let nursing = if received {
+            format!(
+                "NURSING NOTE for {patient_id}. Patient resting comfortably. \
+                 Administered enoxaparin {dose} mg SC at 2100 per order; \
+                 injection site without bruising. Ambulated in hallway."
+            )
+        } else {
+            format!(
+                "NURSING NOTE for {patient_id}. Patient resting comfortably. \
+                 Vitals stable overnight. Ambulated in hallway twice."
+            )
+        };
+
+        notes.push(ClinicalNote {
+            id: format!("{patient_id}-d"),
+            patient_id: patient_id.clone(),
+            note_type: NoteType::Discharge,
+            text: discharge,
+            age_hours: admin_age.saturating_add(rng.gen_range(0..12)),
+        });
+        notes.push(ClinicalNote {
+            id: format!("{patient_id}-r"),
+            patient_id: patient_id.clone(),
+            note_type: NoteType::Radiology,
+            text: radiology,
+            age_hours: admin_age.saturating_add(rng.gen_range(12..36)),
+        });
+        notes.push(ClinicalNote {
+            id: format!("{patient_id}-n"),
+            patient_id: patient_id.clone(),
+            note_type: NoteType::Nursing,
+            text: nursing,
+            age_hours: admin_age,
+        });
+
+        truth.push(EnoxaparinTruth {
+            patient_id,
+            received,
+            dose_mg: received.then_some(dose),
+            within_48h: received && admin_age < 48,
+            indication: received.then(|| (*indication).to_string()),
+        });
+    }
+    notes.shuffle(&mut rng);
+    Cohort { notes, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_is_deterministic_and_sized() {
+        let cfg = ClinicalConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.notes.len(), 150, "3 notes per patient");
+        assert_eq!(a.truth.len(), 50);
+    }
+
+    #[test]
+    fn truth_matches_note_text() {
+        let cohort = generate(&ClinicalConfig::default());
+        for t in &cohort.truth {
+            let discharge = cohort
+                .notes
+                .iter()
+                .find(|n| n.patient_id == t.patient_id && n.note_type == NoteType::Discharge)
+                .expect("every patient has a discharge note");
+            assert_eq!(
+                discharge.text.contains("enoxaparin"),
+                t.received,
+                "patient {}",
+                t.patient_id
+            );
+            if let Some(dose) = t.dose_mg {
+                assert!(discharge.text.contains(&format!("enoxaparin {dose} mg")));
+            }
+        }
+    }
+
+    #[test]
+    fn within_48h_agrees_with_nursing_note_age() {
+        let cohort = generate(&ClinicalConfig::default());
+        for t in cohort.truth.iter().filter(|t| t.received) {
+            let nursing = cohort
+                .notes
+                .iter()
+                .find(|n| n.patient_id == t.patient_id && n.note_type == NoteType::Nursing)
+                .unwrap();
+            assert_eq!(t.within_48h, nursing.age_hours < 48);
+        }
+    }
+
+    #[test]
+    fn fraction_on_drug_is_respected() {
+        let cohort = generate(&ClinicalConfig {
+            patients: 400,
+            enoxaparin_fraction: 0.6,
+            seed: 1,
+        });
+        let on = cohort.truth.iter().filter(|t| t.received).count();
+        let frac = on as f64 / 400.0;
+        assert!((frac - 0.6).abs() < 0.07, "got {frac}");
+    }
+
+    #[test]
+    fn note_types_have_distinct_shapes() {
+        let cohort = generate(&ClinicalConfig::default());
+        assert!(cohort
+            .notes
+            .iter()
+            .filter(|n| n.note_type == NoteType::Radiology)
+            .all(|n| n.text.contains("Impression:")));
+        assert!(cohort
+            .notes
+            .iter()
+            .filter(|n| n.note_type == NoteType::Discharge)
+            .all(|n| n.text.contains("Follow-up")));
+    }
+}

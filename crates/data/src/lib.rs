@@ -1,0 +1,24 @@
+//! # spear-data — synthetic datasets and evaluation metrics
+//!
+//! Substitutes for the paper's gated data (DESIGN.md §1):
+//!
+//! - [`tweets`] — a seeded Sentiment140-style corpus generator with
+//!   controllable class balance (→ filter selectivity for Table 4),
+//!   school-topic fraction (→ the refined task of Table 3), and difficulty,
+//! - [`clinical`] — synthetic discharge/radiology/nursing notes with
+//!   Enoxaparin ground truth for the §2 use case,
+//! - [`vocab`] — the sentiment lexicon and topic vocabularies shared with
+//!   the LLM simulator's behavioural task model,
+//! - [`metrics`] — confusion matrices, precision/recall/F1, accuracy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clinical;
+pub mod metrics;
+pub mod tweets;
+pub mod vocab;
+
+pub use clinical::{ClinicalConfig, ClinicalNote, Cohort, EnoxaparinTruth, NoteType};
+pub use metrics::{confusion_from, Confusion};
+pub use tweets::{generate as generate_tweets, Sentiment, Topic, Tweet, TweetConfig};

@@ -1,0 +1,163 @@
+//! Binary-classification evaluation metrics (Table 3 reports F1; Figure 1
+//! and Table 4 report accuracy).
+
+use serde::{Deserialize, Serialize};
+
+/// A 2×2 confusion matrix for a binary task with one designated positive
+/// class (for the paper's tasks, "negative sentiment" — or "negative AND
+/// school-related" — is the positive class of the filter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Record one `(predicted, actual)` observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision = TP / (TP + FP); 0 when undefined.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall = TP / (TP + FN); 0 when undefined.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 = harmonic mean of precision and recall; 0 when undefined.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy = (TP + TN) / total; 0 when empty.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Merge another confusion matrix into this one.
+    pub fn absorb(&mut self, other: Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Build a confusion matrix from parallel prediction/truth slices.
+///
+/// # Panics
+///
+/// Panics when the slices' lengths differ (caller bug).
+#[must_use]
+pub fn confusion_from(predicted: &[bool], actual: &[bool]) -> Confusion {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction/truth length mismatch"
+    );
+    let mut c = Confusion::default();
+    for (&p, &a) in predicted.iter().zip(actual) {
+        c.record(p, a);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let c = confusion_from(&[true, false, true], &[true, false, true]);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn textbook_values() {
+        // TP=6, FP=2, FN=3, TN=9.
+        let mut c = Confusion {
+            tp: 6,
+            fp: 2,
+            tn: 9,
+            fn_: 3,
+        };
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 0.70588235).abs() < 1e-6);
+        assert!((c.accuracy() - 0.75).abs() < 1e-12);
+        let before = c.total();
+        c.absorb(c);
+        assert_eq!(c.total(), before * 2);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let empty = Confusion::default();
+        assert_eq!(empty.f1(), 0.0);
+        assert_eq!(empty.accuracy(), 0.0);
+
+        // Never predicts positive.
+        let c = confusion_from(&[false, false], &[true, false]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = confusion_from(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn record_covers_all_cells() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.accuracy(), 0.5);
+    }
+}

@@ -1,0 +1,306 @@
+//! Synthetic Sentiment140-style tweet corpus (DESIGN.md substitution for
+//! the Kaggle dataset the paper samples).
+//!
+//! The generator produces class-balanced (or arbitrarily skewed) labelled
+//! tweets over several topics, with social-media noise (hashtags, mentions,
+//! URLs, elongations) and a controllable fraction of *hard* items whose
+//! polarity signal is weakened by ambiguous wording. Everything is seeded:
+//! the same config yields the same corpus, so every benchmark run is
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::vocab;
+
+/// Ground-truth sentiment label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sentiment {
+    /// Positive tweet.
+    Positive,
+    /// Negative tweet.
+    Negative,
+}
+
+impl Sentiment {
+    /// Lowercase label string used by classifier outputs.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sentiment::Positive => "positive",
+            Sentiment::Negative => "negative",
+        }
+    }
+}
+
+/// Tweet topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topic {
+    /// School / studying.
+    School,
+    /// Work / office.
+    Work,
+    /// Weather.
+    Weather,
+    /// Sports.
+    Sports,
+    /// Food.
+    Food,
+}
+
+impl Topic {
+    fn nouns(self) -> &'static [&'static str] {
+        match self {
+            Topic::School => vocab::SCHOOL_WORDS,
+            Topic::Work => vocab::WORK_WORDS,
+            Topic::Weather => vocab::WEATHER_WORDS,
+            Topic::Sports => vocab::SPORTS_WORDS,
+            Topic::Food => vocab::FOOD_WORDS,
+        }
+    }
+
+    const NON_SCHOOL: [Topic; 4] = [Topic::Work, Topic::Weather, Topic::Sports, Topic::Food];
+}
+
+/// One labelled synthetic tweet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Stable id within the corpus.
+    pub id: u64,
+    /// Tweet text.
+    pub text: String,
+    /// Ground-truth sentiment.
+    pub label: Sentiment,
+    /// Topic the tweet was generated about.
+    pub topic: Topic,
+    /// Whether the item was generated as *hard* (ambiguous wording).
+    pub hard: bool,
+}
+
+/// Corpus configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TweetConfig {
+    /// Number of tweets.
+    pub count: usize,
+    /// Fraction with negative ground truth (0.5 = class-balanced, the
+    /// paper's Table 3 setting; Table 4 sweeps this as filter selectivity).
+    pub negative_fraction: f64,
+    /// Fraction about school topics (drives the refined-task selectivity).
+    pub school_fraction: f64,
+    /// Fraction of hard (ambiguous) items.
+    pub hard_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TweetConfig {
+    fn default() -> Self {
+        Self {
+            count: 1000,
+            negative_fraction: 0.5,
+            school_fraction: 0.3,
+            hard_fraction: 0.12,
+            seed: 140,
+        }
+    }
+}
+
+const POSITIVE_TEMPLATES: &[&str] = &[
+    "just had the most {adj} {noun} ever",
+    "feeling so {adj} about {noun} today",
+    "{noun} was absolutely {adj}, can't stop smiling",
+    "honestly {adj} day thanks to {noun}",
+    "that {noun} made my whole week, so {adj}",
+];
+
+const NEGATIVE_TEMPLATES: &[&str] = &[
+    "this {noun} is {adj}, i want to go home",
+    "so {adj} about {noun} right now",
+    "{noun} again... absolutely {adj}",
+    "can't believe how {adj} that {noun} was",
+    "another {adj} day of {noun}, done with this",
+];
+
+const HASHTAGS: &[&str] = &["#monday", "#life", "#fml", "#blessed", "#nofilter", "#2009"];
+const MENTIONS: &[&str] = &["@mike_88", "@sarah", "@jdawg", "@bestie", "@mom"];
+
+/// Generate a corpus per `config`.
+#[must_use]
+pub fn generate(config: &TweetConfig) -> Vec<Tweet> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let negatives = (config.count as f64 * config.negative_fraction).round() as usize;
+    let mut tweets = Vec::with_capacity(config.count);
+    for id in 0..config.count {
+        let label = if id < negatives {
+            Sentiment::Negative
+        } else {
+            Sentiment::Positive
+        };
+        let topic = if rng.gen_bool(config.school_fraction.clamp(0.0, 1.0)) {
+            Topic::School
+        } else {
+            *Topic::NON_SCHOOL.choose(&mut rng).expect("non-empty")
+        };
+        let hard = rng.gen_bool(config.hard_fraction.clamp(0.0, 1.0));
+        let text = render(label, topic, hard, &mut rng);
+        tweets.push(Tweet {
+            id: id as u64,
+            text,
+            label,
+            topic,
+            hard,
+        });
+    }
+    tweets.shuffle(&mut rng);
+    tweets
+}
+
+fn render(label: Sentiment, topic: Topic, hard: bool, rng: &mut StdRng) -> String {
+    let (templates, adjectives) = match label {
+        Sentiment::Positive => (POSITIVE_TEMPLATES, vocab::POSITIVE_WORDS),
+        Sentiment::Negative => (NEGATIVE_TEMPLATES, vocab::NEGATIVE_WORDS),
+    };
+    let template = templates.choose(rng).expect("non-empty");
+    let noun = topic.nouns().choose(rng).expect("non-empty");
+    // Hard items use an ambiguous adjective, keeping only a faint polarity
+    // trace via an optional weak second clause.
+    let adj = if hard {
+        vocab::AMBIGUOUS_WORDS.choose(rng).expect("non-empty")
+    } else {
+        adjectives.choose(rng).expect("non-empty")
+    };
+    let mut text = template.replace("{adj}", adj).replace("{noun}", noun);
+    if hard && rng.gen_bool(0.5) {
+        // Faint signal so hard items are recoverable ~half the time.
+        let weak = adjectives.choose(rng).expect("non-empty");
+        text.push_str(&format!(" kind of {weak} i guess"));
+    }
+    // Social-media noise.
+    if rng.gen_bool(0.4) {
+        text.push(' ');
+        text.push_str(HASHTAGS.choose(rng).expect("non-empty"));
+    }
+    if rng.gen_bool(0.25) {
+        text = format!("{} {}", MENTIONS.choose(rng).expect("non-empty"), text);
+    }
+    if rng.gen_bool(0.15) {
+        text.push_str(" http://t.co/");
+        for _ in 0..6 {
+            text.push(char::from(b'a' + rng.gen_range(0..26u8)));
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = TweetConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&TweetConfig::default());
+        let b = generate(&TweetConfig {
+            seed: 141,
+            ..TweetConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn class_balance_matches_config() {
+        for frac in [0.1, 0.3, 0.5, 0.8, 1.0] {
+            let tweets = generate(&TweetConfig {
+                count: 1000,
+                negative_fraction: frac,
+                ..TweetConfig::default()
+            });
+            let neg = tweets
+                .iter()
+                .filter(|t| t.label == Sentiment::Negative)
+                .count();
+            assert_eq!(neg, (1000.0 * frac) as usize, "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn school_fraction_is_respected_approximately() {
+        let tweets = generate(&TweetConfig {
+            count: 2000,
+            school_fraction: 0.3,
+            ..TweetConfig::default()
+        });
+        let school = tweets.iter().filter(|t| t.topic == Topic::School).count();
+        let frac = school as f64 / 2000.0;
+        assert!((frac - 0.3).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn easy_tweets_carry_recoverable_polarity() {
+        let tweets = generate(&TweetConfig {
+            count: 500,
+            hard_fraction: 0.0,
+            ..TweetConfig::default()
+        });
+        let recovered = tweets
+            .iter()
+            .filter(|t| {
+                let score = crate::vocab::sentiment_score(&t.text);
+                (score > 0) == (t.label == Sentiment::Positive) && score != 0
+            })
+            .count();
+        assert_eq!(recovered, 500, "lexicon must recover easy ground truth");
+    }
+
+    #[test]
+    fn hard_tweets_weaken_the_signal() {
+        let tweets = generate(&TweetConfig {
+            count: 600,
+            hard_fraction: 1.0,
+            ..TweetConfig::default()
+        });
+        let zero_signal = tweets
+            .iter()
+            .filter(|t| crate::vocab::sentiment_score(&t.text) == 0)
+            .count();
+        assert!(
+            zero_signal > 150,
+            "many hard items should have no lexicon signal, got {zero_signal}"
+        );
+    }
+
+    #[test]
+    fn school_topic_is_detectable() {
+        let tweets = generate(&TweetConfig {
+            count: 400,
+            school_fraction: 1.0,
+            ..TweetConfig::default()
+        });
+        let detected = tweets
+            .iter()
+            .filter(|t| crate::vocab::is_school_related(&t.text))
+            .count();
+        assert_eq!(detected, 400);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let tweets = generate(&TweetConfig {
+            count: 3,
+            ..TweetConfig::default()
+        });
+        let json = serde_json::to_string(&tweets).unwrap();
+        let back: Vec<Tweet> = serde_json::from_str(&json).unwrap();
+        assert_eq!(tweets, back);
+    }
+}

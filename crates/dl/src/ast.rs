@@ -1,0 +1,200 @@
+//! SPEAR-DL abstract syntax.
+//!
+//! The AST reuses `spear-core`'s data types where the mapping is 1:1
+//! (conditions, values, refinement actions/modes, merge policies), so
+//! compilation is mostly structural assembly.
+
+use std::collections::BTreeMap;
+
+use spear_core::condition::Cond;
+use spear_core::history::{RefAction, RefinementMode};
+use spear_core::ops::{MergePolicy, PayloadSpec};
+use spear_core::value::Value;
+
+/// A parsed program: view declarations plus pipelines.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Declared views, in source order.
+    pub views: Vec<ViewDecl>,
+    /// Declared pipelines, in source order.
+    pub pipelines: Vec<PipelineDecl>,
+}
+
+/// `VIEW name(params) TAGS [..] DESC ".." = "template";`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDecl {
+    /// View name.
+    pub name: String,
+    /// Parameters: `(name, default)` — `None` default means required.
+    pub params: Vec<(String, Option<Value>)>,
+    /// Tags.
+    pub tags: Vec<String>,
+    /// Description.
+    pub description: Option<String>,
+    /// Template text.
+    pub template: String,
+}
+
+/// `PIPELINE name { stmts }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineDecl {
+    /// Pipeline name.
+    pub name: String,
+    /// Body.
+    pub stmts: Vec<Stmt>,
+}
+
+/// The prompt source of a GEN statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UsingClause {
+    /// `USING "prompt_key"`
+    Key(String),
+    /// `USING VIEW name(args)`
+    View {
+        /// View name.
+        name: String,
+        /// Instantiation arguments.
+        args: BTreeMap<String, Value>,
+    },
+    /// `USING INLINE "text"` — an opaque ad-hoc prompt.
+    Inline(String),
+}
+
+/// The body of a REF statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefBody {
+    /// `FROM VIEW name(args)`
+    FromView {
+        /// View name.
+        view: String,
+        /// Instantiation arguments.
+        args: BTreeMap<String, Value>,
+    },
+    /// `TEXT "raw text"`
+    Text(String),
+    /// `WITH refiner(args) [MODE mode]`
+    With {
+        /// Registered refiner name.
+        refiner: String,
+        /// Refiner arguments.
+        args: Value,
+        /// Refinement mode (defaults to Manual).
+        mode: RefinementMode,
+    },
+}
+
+/// One pipeline statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `RET "source" [WHERE {..}] [WITH PROMPT "key"] INTO "ctx" [LIMIT n];`
+    Ret {
+        /// Retriever source name.
+        source: String,
+        /// Structured filters, when given.
+        filters: Option<BTreeMap<String, Value>>,
+        /// Prompt key for prompt-based retrieval.
+        prompt: Option<String>,
+        /// Context destination.
+        into: String,
+        /// Document limit.
+        limit: usize,
+    },
+    /// `GEN "label" USING ...;`
+    Gen {
+        /// Context label.
+        label: String,
+        /// Prompt source.
+        using: UsingClause,
+    },
+    /// `REF ACTION "target" <body>;`
+    Ref {
+        /// Action (CREATE / APPEND / PREPEND / UPDATE).
+        action: RefAction,
+        /// Target prompt key.
+        target: String,
+        /// What to apply.
+        body: RefBody,
+    },
+    /// `CHECK cond { .. } [ELSE { .. }]`
+    Check {
+        /// The condition.
+        cond: Cond,
+        /// Then-branch.
+        then: Vec<Stmt>,
+        /// Else-branch.
+        els: Vec<Stmt>,
+    },
+    /// `MERGE "left" "right" INTO "dst" [POLICY ..];`
+    Merge {
+        /// Left prompt key.
+        left: String,
+        /// Right prompt key.
+        right: String,
+        /// Destination prompt key.
+        into: String,
+        /// Policy (defaults to `PreferLeft`).
+        policy: MergePolicy,
+    },
+    /// `DELEGATE "agent" PAYLOAD .. INTO "ctx";`
+    Delegate {
+        /// Agent name.
+        agent: String,
+        /// Payload.
+        payload: PayloadSpec,
+        /// Context destination.
+        into: String,
+    },
+    /// `EXPAND "target" "addition";` (derived operator)
+    Expand {
+        /// Target prompt key.
+        target: String,
+        /// Text to append.
+        addition: String,
+    },
+    /// `RETRY "label" USING "key" IF cond WITH refiner(args) [MODE m] [MAX n];`
+    Retry {
+        /// Generation label prefix.
+        label: String,
+        /// Prompt key.
+        prompt_key: String,
+        /// Retry condition.
+        cond: Cond,
+        /// Refiner applied before each retry.
+        refiner: String,
+        /// Refiner args.
+        args: Value,
+        /// Mode of the retry refinements.
+        mode: RefinementMode,
+        /// Maximum retries.
+        max: u32,
+    },
+    /// `DIFF "left" "right" INTO "ctx";` (derived operator)
+    Diff {
+        /// Left prompt key.
+        left: String,
+        /// Right prompt key.
+        right: String,
+        /// Context destination.
+        into: String,
+    },
+    /// `MAP ["k1", "k2"] WITH refiner(args) [MODE m];` (derived operator:
+    /// apply one refiner to a list of prompt fragments)
+    Map {
+        /// Target prompt keys.
+        keys: Vec<String>,
+        /// Refiner name.
+        refiner: String,
+        /// Refiner args.
+        args: Value,
+        /// Mode.
+        mode: RefinementMode,
+    },
+    /// `SWITCH { CASE cond { .. } ... [DEFAULT { .. }] }` (derived
+    /// operator: first matching case wins)
+    Switch {
+        /// `(condition, body)` cases in order.
+        cases: Vec<(Cond, Vec<Stmt>)>,
+        /// Default body (may be empty).
+        default: Vec<Stmt>,
+    },
+}

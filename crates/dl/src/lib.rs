@@ -1,0 +1,41 @@
+//! # spear-dl — the SPEAR declarative language
+//!
+//! The developer-facing layer of the SPEAR architecture (paper §6): "SPEAR
+//! provides a declarative language (SPEAR-DL) to define prompt views and
+//! refinement logic. These views are parameterized, versioned, and
+//! composable." Programs declare VIEWs and PIPELINEs; pipelines use the
+//! core operators (RET, GEN, REF, CHECK, MERGE, DELEGATE) and the derived
+//! ones (EXPAND, RETRY, DIFF), with the paper's condition notation
+//! (`M["confidence"] < 0.7`, `"orders" NOT IN C`).
+//!
+//! ```
+//! use spear_dl::compile;
+//!
+//! let compiled = compile(r#"
+//!     VIEW qa(drug) = "Highlight any use of {{drug}}.\nNotes: {{ctx:notes}}";
+//!
+//!     PIPELINE demo {
+//!       REF CREATE "qa_prompt" FROM VIEW qa(drug = "Enoxaparin");
+//!       GEN "answer_0" USING "qa_prompt";
+//!       CHECK M["confidence"] < 0.7 {
+//!         REF UPDATE "qa_prompt" WITH auto_refine() MODE AUTO;
+//!         GEN "answer_1" USING "qa_prompt";
+//!       }
+//!     }
+//! "#).unwrap();
+//! assert_eq!(compiled.pipelines[0].name, "demo");
+//! assert_eq!(compiled.views[0].name, "qa");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use compile::{compile, compile_program, Compiled};
+pub use error::{DlError, Phase, Result};
+pub use parser::parse;

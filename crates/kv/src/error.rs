@@ -1,0 +1,111 @@
+//! Error types for the key-value substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout `spear-kv`.
+pub type Result<T> = std::result::Result<T, KvError>;
+
+/// Errors produced by the key-value store and its persistence log.
+#[derive(Debug)]
+pub enum KvError {
+    /// The requested key does not exist (or is deleted at the read point).
+    KeyNotFound(String),
+    /// The requested version of a key does not exist.
+    VersionNotFound {
+        /// Key whose version chain was consulted.
+        key: String,
+        /// Version that was requested.
+        version: u64,
+    },
+    /// A compare-and-swap failed because the current version did not match.
+    VersionConflict {
+        /// Key the CAS targeted.
+        key: String,
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually found.
+        found: u64,
+    },
+    /// An I/O error from the persistence log.
+    Io(std::io::Error),
+    /// A (de)serialization error from the persistence log.
+    Serde(String),
+    /// The persistence log contained a structurally invalid record.
+    CorruptLog {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::KeyNotFound(k) => write!(f, "key not found: {k:?}"),
+            KvError::VersionNotFound { key, version } => {
+                write!(f, "version {version} of key {key:?} not found")
+            }
+            KvError::VersionConflict {
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "version conflict on key {key:?}: expected {expected}, found {found}"
+            ),
+            KvError::Io(e) => write!(f, "kv log i/o error: {e}"),
+            KvError::Serde(e) => write!(f, "kv log serialization error: {e}"),
+            KvError::CorruptLog { line, reason } => {
+                write!(f, "corrupt kv log at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KvError {
+    fn from(e: std::io::Error) -> Self {
+        KvError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for KvError {
+    fn from(e: serde_json::Error) -> Self {
+        KvError::Serde(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KvError::KeyNotFound("p/qa".into());
+        assert!(e.to_string().contains("p/qa"));
+
+        let e = KvError::VersionConflict {
+            key: "k".into(),
+            expected: 3,
+            found: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('5'));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = KvError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,51 @@
+//! # spear-kv — versioned key-value substrate for SPEAR stores
+//!
+//! The SPEAR paper (§6) notes that the prompt store **P**, context **C**, and
+//! metadata **M** "may be in-memory or backed by high-performance key-value
+//! systems, enabling low-latency and distributed deployments". This crate is
+//! that substrate: a sharded, concurrent, **versioned** key-value store with
+//!
+//! - per-key version chains (every write produces a new version; old versions
+//!   remain readable until pruned),
+//! - consistent point-in-time [`Snapshot`]s driven by a global sequence
+//!   number,
+//! - ordered prefix scans (each shard keeps a `BTreeMap`; scans merge across
+//!   shards),
+//! - operation statistics ([`StoreStats`]), and
+//! - optional durability through an append-only JSONL [`log`] with replay.
+//!
+//! Keys are `String`s; values are generic (`V: Clone`). The store is the
+//! backing layer for `spear-core`'s `PromptStore` and `Context`, where values
+//! are structured prompt entries, and for the structured prompt-cache index in
+//! `spear-optimizer`.
+//!
+//! ## Example
+//!
+//! ```
+//! use spear_kv::KvStore;
+//!
+//! let store: KvStore<String> = KvStore::new();
+//! store.put("prompt/qa", "v1 text".to_string());
+//! store.put("prompt/qa", "v2 text".to_string());
+//!
+//! assert_eq!(store.get("prompt/qa").as_deref(), Some("v2 text"));
+//! // Both versions remain addressable:
+//! assert_eq!(store.get_version("prompt/qa", 1).as_deref(), Some("v1 text"));
+//! assert_eq!(store.get_version("prompt/qa", 2).as_deref(), Some("v2 text"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod log;
+pub mod shard;
+pub mod snapshot;
+pub mod stats;
+pub mod store;
+
+pub use error::{KvError, Result};
+pub use log::{DurableStore, JsonlLog, LogOp, LogRecord, Persister};
+pub use snapshot::Snapshot;
+pub use stats::StoreStats;
+pub use store::{KvStore, KvStoreBuilder, VersionedValue};

@@ -1,0 +1,109 @@
+//! Operation counters for the store.
+//!
+//! Counters are plain relaxed atomics: they are diagnostics, not control
+//! state, so no ordering stronger than `Relaxed` is needed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters maintained by a [`crate::KvStore`].
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    reads: AtomicU64,
+    read_hits: AtomicU64,
+    writes: AtomicU64,
+    deletes: AtomicU64,
+    cas_failures: AtomicU64,
+}
+
+/// A point-in-time copy of [`StoreStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Total `get*` calls.
+    pub reads: u64,
+    /// `get*` calls that found a live value.
+    pub read_hits: u64,
+    /// Total successful `put*` calls.
+    pub writes: u64,
+    /// Total successful deletes (tombstone writes).
+    pub deletes: u64,
+    /// Compare-and-swap attempts that failed on a version mismatch.
+    pub cas_failures: u64,
+}
+
+impl StoreStats {
+    pub(crate) fn record_read(&self, hit: bool) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.read_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cas_failure(&self) {
+        self.cas_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            read_hits: self.read_hits.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Fraction of reads that found a live value, in `[0, 1]`.
+    /// Returns `None` when no reads have happened yet.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.reads == 0 {
+            None
+        } else {
+            Some(self.read_hits as f64 / self.reads as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StoreStats::default();
+        s.record_read(true);
+        s.record_read(false);
+        s.record_write();
+        s.record_delete();
+        s.record_cas_failure();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.read_hits, 1);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.deletes, 1);
+        assert_eq!(snap.cas_failures, 1);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_reads() {
+        assert_eq!(StatsSnapshot::default().hit_rate(), None);
+        let snap = StatsSnapshot {
+            reads: 4,
+            read_hits: 1,
+            ..Default::default()
+        };
+        assert!((snap.hit_rate().unwrap() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests: the sharded versioned store must behave exactly
+//! like a simple model (a `BTreeMap` plus per-key version counters) under
+//! arbitrary interleavings of puts, deletes, and reads, and snapshots must
+//! be immune to subsequent mutations.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use spear_kv::KvStore;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Put(u8, i64),
+    Delete(u8),
+    Get(u8),
+}
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        (any::<u8>(), any::<i64>()).prop_map(|(k, v)| Cmd::Put(k % 16, v)),
+        any::<u8>().prop_map(|k| Cmd::Delete(k % 16)),
+        any::<u8>().prop_map(|k| Cmd::Get(k % 16)),
+    ]
+}
+
+fn key(k: u8) -> String {
+    format!("key-{k}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The store agrees with a model map on every read, and per-key version
+    /// numbers count every write (including tombstones).
+    #[test]
+    fn store_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..200)) {
+        let store: KvStore<i64> = KvStore::<i64>::builder().max_versions(1024).build();
+        let mut model: BTreeMap<String, i64> = BTreeMap::new();
+        let mut write_counts: BTreeMap<String, u64> = BTreeMap::new();
+
+        for cmd in cmds {
+            match cmd {
+                Cmd::Put(k, v) => {
+                    let k = key(k);
+                    let version = store.put(k.clone(), v);
+                    *write_counts.entry(k.clone()).or_default() += 1;
+                    prop_assert_eq!(version, write_counts[&k]);
+                    model.insert(k, v);
+                }
+                Cmd::Delete(k) => {
+                    let k = key(k);
+                    let was_live = model.remove(&k).is_some();
+                    prop_assert_eq!(store.delete(&k), was_live);
+                    if was_live {
+                        *write_counts.entry(k).or_default() += 1;
+                    }
+                }
+                Cmd::Get(k) => {
+                    let k = key(k);
+                    prop_assert_eq!(store.get(&k), model.get(&k).copied());
+                }
+            }
+        }
+
+        // Final state agrees everywhere.
+        let live: Vec<String> = model.keys().cloned().collect();
+        prop_assert_eq!(store.keys(), live);
+        prop_assert_eq!(store.len(), model.len());
+    }
+
+    /// Snapshots pin state: any sequence of later mutations leaves every
+    /// snapshot read unchanged.
+    #[test]
+    fn snapshots_are_immutable(
+        before in proptest::collection::vec(cmd_strategy(), 0..60),
+        after in proptest::collection::vec(cmd_strategy(), 0..60),
+    ) {
+        let store: KvStore<i64> = KvStore::<i64>::builder().max_versions(4096).build();
+        let mut model: BTreeMap<String, i64> = BTreeMap::new();
+        for cmd in before {
+            match cmd {
+                Cmd::Put(k, v) => { store.put(key(k), v); model.insert(key(k), v); }
+                Cmd::Delete(k) => { store.delete(&key(k)); model.remove(&key(k)); }
+                Cmd::Get(_) => {}
+            }
+        }
+        let snap = store.snapshot();
+        for cmd in after {
+            match cmd {
+                Cmd::Put(k, v) => { store.put(key(k), v); }
+                Cmd::Delete(k) => { store.delete(&key(k)); }
+                Cmd::Get(_) => {}
+            }
+        }
+        for k in 0..16u8 {
+            let k = key(k);
+            prop_assert_eq!(snap.get(&k), model.get(&k).copied(), "key {}", k);
+        }
+    }
+
+    /// Prefix scans return exactly the live keys with that prefix, sorted.
+    #[test]
+    fn prefix_scan_matches_model(
+        entries in proptest::collection::btree_map("[ab]/[a-d]{1,3}", any::<i64>(), 0..40),
+        deleted in proptest::collection::vec("[ab]/[a-d]{1,3}", 0..10),
+    ) {
+        let store: KvStore<i64> = KvStore::new();
+        let mut model = entries.clone();
+        for (k, v) in &entries {
+            store.put(k.clone(), *v);
+        }
+        for k in &deleted {
+            store.delete(k);
+            model.remove(k);
+        }
+        for prefix in ["a/", "b/", ""] {
+            let got = store.prefix_scan(prefix);
+            let want: Vec<(String, i64)> = model
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            prop_assert_eq!(got, want, "prefix {}", prefix);
+        }
+    }
+}

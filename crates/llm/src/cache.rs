@@ -1,0 +1,355 @@
+//! Block-based radix prefix cache, modelled on vLLM's automatic prefix
+//! caching (paper refs \[9\], \[16\]).
+//!
+//! Token streams are grouped into fixed-size blocks; each cached block is a
+//! node in a radix tree keyed by `(parent node, block content hash)`. A
+//! lookup walks the tree from the root and returns how many *tokens* of the
+//! request's prefix are already resident — those tokens skip (almost all of)
+//! the prefill cost. Insertion adds the request's full blocks; when the
+//! cache exceeds its block capacity, least-recently-used **leaf** blocks are
+//! evicted, which mirrors vLLM: a block can only be freed once no longer
+//! block extends it.
+
+use std::collections::HashMap;
+
+use spear_kv::shard::fnv1a;
+
+use crate::tokenizer::Token;
+
+/// Default tokens per block (vLLM's default).
+pub const DEFAULT_BLOCK_SIZE: usize = 16;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups performed.
+    pub lookups: u64,
+    /// Total tokens across all lookups.
+    pub lookup_tokens: u64,
+    /// Tokens served from cache across all lookups.
+    pub hit_tokens: u64,
+    /// Blocks inserted.
+    pub inserted_blocks: u64,
+    /// Blocks evicted.
+    pub evicted_blocks: u64,
+}
+
+impl CacheStats {
+    /// Overall token hit rate in `[0, 1]`; `None` before any lookup tokens.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.lookup_tokens == 0 {
+            None
+        } else {
+            Some(self.hit_tokens as f64 / self.lookup_tokens as f64)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    parent: u64,
+    block_hash: u64,
+    children: u32,
+    last_used: u64,
+}
+
+/// The prefix cache. Not internally synchronized — the engine wraps it in a
+/// mutex (one cache per simulated GPU).
+#[derive(Debug)]
+pub struct PrefixCache {
+    block_size: usize,
+    capacity_blocks: usize,
+    /// `(parent id, block hash) -> node id`
+    index: HashMap<(u64, u64), u64>,
+    nodes: HashMap<u64, Node>,
+    next_id: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// Root sentinel (not stored in `nodes`).
+const ROOT: u64 = 0;
+
+impl PrefixCache {
+    /// Create a cache holding at most `capacity_blocks` blocks of
+    /// `block_size` tokens.
+    #[must_use]
+    pub fn new(block_size: usize, capacity_blocks: usize) -> Self {
+        Self {
+            block_size: block_size.max(1),
+            capacity_blocks: capacity_blocks.max(1),
+            index: HashMap::new(),
+            nodes: HashMap::new(),
+            next_id: 1,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache with vLLM-like defaults (16-token blocks, 64Ki blocks ≈ 1M
+    /// tokens — far more than any benchmark working set, so eviction only
+    /// matters when configured smaller).
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(DEFAULT_BLOCK_SIZE, 64 * 1024)
+    }
+
+    fn hash_block(block: &[Token]) -> u64 {
+        let mut bytes = Vec::with_capacity(block.len() * 8);
+        for t in block {
+            bytes.extend_from_slice(&t.0.to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+
+    /// How many tokens of `tokens`' prefix are cached. Touches the matched
+    /// path (LRU refresh).
+    pub fn lookup(&mut self, tokens: &[Token]) -> usize {
+        self.tick += 1;
+        self.stats.lookups += 1;
+        self.stats.lookup_tokens += tokens.len() as u64;
+        let mut parent = ROOT;
+        let mut matched_blocks = 0usize;
+        for block in tokens.chunks_exact(self.block_size) {
+            let key = (parent, Self::hash_block(block));
+            match self.index.get(&key) {
+                Some(&id) => {
+                    if let Some(node) = self.nodes.get_mut(&id) {
+                        node.last_used = self.tick;
+                    }
+                    parent = id;
+                    matched_blocks += 1;
+                }
+                None => break,
+            }
+        }
+        let hit = matched_blocks * self.block_size;
+        self.stats.hit_tokens += hit as u64;
+        hit
+    }
+
+    /// Register `tokens`' full blocks in the cache (the trailing partial
+    /// block is never cached, as in vLLM).
+    pub fn insert(&mut self, tokens: &[Token]) {
+        self.tick += 1;
+        let mut parent = ROOT;
+        for block in tokens.chunks_exact(self.block_size) {
+            let key = (parent, Self::hash_block(block));
+            let id = match self.index.get(&key) {
+                Some(&id) => {
+                    if let Some(node) = self.nodes.get_mut(&id) {
+                        node.last_used = self.tick;
+                    }
+                    id
+                }
+                None => {
+                    self.evict_to_fit();
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.index.insert(key, id);
+                    self.nodes.insert(
+                        id,
+                        Node {
+                            parent,
+                            block_hash: key.1,
+                            children: 0,
+                            last_used: self.tick,
+                        },
+                    );
+                    if parent != ROOT {
+                        if let Some(p) = self.nodes.get_mut(&parent) {
+                            p.children += 1;
+                        }
+                    }
+                    self.stats.inserted_blocks += 1;
+                    id
+                }
+            };
+            parent = id;
+        }
+    }
+
+    /// Evict LRU leaves until there is room for one more block. O(n) per
+    /// eviction — acceptable because eviction is rare at benchmark working
+    /// set sizes and the cache is bounded.
+    fn evict_to_fit(&mut self) {
+        while self.nodes.len() >= self.capacity_blocks {
+            let victim = self
+                .nodes
+                .iter()
+                .filter(|(_, n)| n.children == 0)
+                .min_by_key(|(_, n)| n.last_used)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else {
+                return; // no leaf (cannot happen in a tree), bail out
+            };
+            let node = self.nodes.remove(&id).expect("victim exists");
+            self.index.remove(&(node.parent, node.block_hash));
+            if node.parent != ROOT {
+                if let Some(p) = self.nodes.get_mut(&node.parent) {
+                    p.children = p.children.saturating_sub(1);
+                }
+            }
+            self.stats.evicted_blocks += 1;
+        }
+    }
+
+    /// Current number of resident blocks.
+    #[must_use]
+    pub fn len_blocks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Block size in tokens.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop all blocks (statistics are retained).
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.nodes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn toks(n: usize, salt: u64) -> Vec<Token> {
+        (0..n).map(|i| Token(i as u64 * 7919 + salt)).collect()
+    }
+
+    #[test]
+    fn cold_lookup_misses_then_hits_after_insert() {
+        let mut c = PrefixCache::new(4, 1024);
+        let t = toks(16, 0);
+        assert_eq!(c.lookup(&t), 0);
+        c.insert(&t);
+        assert_eq!(c.lookup(&t), 16);
+        assert_eq!(c.len_blocks(), 4);
+    }
+
+    #[test]
+    fn partial_trailing_block_is_not_cached() {
+        let mut c = PrefixCache::new(4, 1024);
+        let t = toks(10, 0); // 2 full blocks + 2 tokens
+        c.insert(&t);
+        assert_eq!(c.lookup(&t), 8);
+        assert_eq!(c.len_blocks(), 2);
+    }
+
+    #[test]
+    fn shared_prefix_divergent_suffix() {
+        let mut c = PrefixCache::new(4, 1024);
+        let mut a = toks(12, 0);
+        let mut b = a.clone();
+        a.extend(toks(8, 100));
+        b.extend(toks(8, 200));
+        c.insert(&a);
+        // b shares the first 12 tokens = 3 full blocks.
+        assert_eq!(c.lookup(&b), 12);
+        c.insert(&b);
+        assert_eq!(c.lookup(&b), 20);
+        // a is still fully resident.
+        assert_eq!(c.lookup(&a), 20);
+    }
+
+    #[test]
+    fn block_boundary_alignment_matters() {
+        // Prefix sharing is block-granular: a one-token shift breaks reuse.
+        let mut c = PrefixCache::new(4, 1024);
+        let a = toks(16, 0);
+        c.insert(&a);
+        let mut shifted = vec![Token(999)];
+        shifted.extend_from_slice(&a[..15]);
+        assert_eq!(c.lookup(&shifted), 0);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_leaf_first() {
+        // Capacity 4 blocks; insert two independent 2-block streams, then a
+        // third: the least recently used stream's blocks go first.
+        let mut c = PrefixCache::new(4, 4);
+        let a = toks(8, 1);
+        let b = toks(8, 2);
+        c.insert(&a);
+        c.insert(&b);
+        assert_eq!(c.lookup(&a), 8, "refresh a; b becomes LRU");
+        let d = toks(8, 3);
+        c.insert(&d);
+        assert_eq!(c.lookup(&b), 0, "b was evicted");
+        assert_eq!(c.lookup(&a), 8, "a survived");
+        assert!(c.stats().evicted_blocks >= 2);
+        assert!(c.len_blocks() <= 4);
+    }
+
+    #[test]
+    fn stats_accumulate_and_hit_rate() {
+        let mut c = PrefixCache::new(4, 1024);
+        let t = toks(8, 0);
+        c.lookup(&t);
+        c.insert(&t);
+        c.lookup(&t);
+        let s = c.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.lookup_tokens, 16);
+        assert_eq!(s.hit_tokens, 8);
+        assert!((s.hit_rate().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_drops_blocks() {
+        let mut c = PrefixCache::new(4, 1024);
+        c.insert(&toks(8, 0));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(&toks(8, 0)), 0);
+    }
+
+    #[test]
+    fn real_tokenizer_prompts_share_instruction_prefix() {
+        let tok = Tokenizer::new();
+        let mut c = PrefixCache::with_defaults();
+        let instruction = "Classify the sentiment of the following tweet as \
+             positive or negative. Respond with exactly one word. Keep your \
+             reasoning implicit and do not exceed the word limit of one. "
+            .repeat(4);
+        let a = tok.encode(&format!("{instruction}Tweet: what a beautiful morning"));
+        let b = tok.encode(&format!("{instruction}Tweet: worst commute ever"));
+        c.insert(&a);
+        let hit = c.lookup(&b);
+        let instr_tokens = tok.count(&instruction);
+        assert!(
+            hit >= instr_tokens - DEFAULT_BLOCK_SIZE,
+            "hit {hit} should cover nearly the whole {instr_tokens}-token instruction"
+        );
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut c = PrefixCache::new(4, 1024);
+        let t = toks(16, 0);
+        c.insert(&t);
+        let blocks = c.len_blocks();
+        let inserted = c.stats().inserted_blocks;
+        c.insert(&t);
+        assert_eq!(c.len_blocks(), blocks);
+        assert_eq!(c.stats().inserted_blocks, inserted);
+    }
+}

@@ -1,0 +1,102 @@
+//! Virtual time.
+//!
+//! The simulator charges latency to a [`SimClock`] instead of sleeping:
+//! benchmark "Time (s)" columns are then deterministic functions of token
+//! counts and cache behaviour, reproducible on any machine — which is the
+//! point of reproducing the paper's *shape* rather than its wall clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically advancing virtual clock (microsecond resolution).
+#[derive(Debug, Default)]
+pub struct SimClock {
+    micros: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.micros.fetch_add(
+            u64::try_from(d.as_micros()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Total virtual time elapsed.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_micros(self.micros.load(Ordering::Relaxed))
+    }
+
+    /// Reset to zero (between benchmark configurations).
+    pub fn reset(&self) {
+        self.micros.store(0, Ordering::Relaxed);
+    }
+
+    /// Replace a just-charged duration with a corrected (smaller) one —
+    /// used by batched execution to amortize overhead after the fact.
+    pub(crate) fn advance_signed_rollback(
+        &self,
+        charged: Duration,
+        corrected: Duration,
+    ) {
+        let delta = charged.saturating_sub(corrected);
+        let d = u64::try_from(delta.as_micros()).unwrap_or(u64::MAX);
+        // Saturating: the clock never goes negative even if misused.
+        let mut current = self.micros.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(d);
+            match self.micros.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_resets() {
+        let c = SimClock::new();
+        assert_eq!(c.elapsed(), Duration::ZERO);
+        c.advance(Duration::from_millis(3));
+        c.advance(Duration::from_micros(500));
+        assert_eq!(c.elapsed(), Duration::from_micros(3_500));
+        c.reset();
+        assert_eq!(c.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = std::sync::Arc::new(SimClock::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(Duration::from_micros(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.elapsed(), Duration::from_micros(4000));
+    }
+}

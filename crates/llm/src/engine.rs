@@ -1,0 +1,450 @@
+//! The simulated inference engine: a [`spear_core::LlmClient`]
+//! implementation combining the tokenizer, the prefix cache, the latency
+//! model, and the behavioural task model.
+//!
+//! ## Structure gates caching
+//!
+//! By default the engine registers and reuses prefix-cache entries only for
+//! requests whose [`PromptIdentity`] is `Structured` — i.e. prompts that
+//! came from SPEAR's prompt store or views. Opaque ad-hoc strings bypass
+//! the cache. This operationalizes the paper's core claim: a serving layer
+//! can only exploit reuse it can *see*, and structured prompt management is
+//! what makes reuse visible. (Set
+//! [`EngineConfig::cache_opaque_prompts`] to study the counterfactual.)
+
+use parking_lot::Mutex;
+
+use spear_core::error::Result;
+use spear_core::llm::{FinishReason, GenRequest, GenResponse, LlmClient, PromptIdentity};
+use spear_core::metadata::TokenUsage;
+
+use crate::cache::{CacheStats, PrefixCache, DEFAULT_BLOCK_SIZE};
+use crate::clock::SimClock;
+use crate::profile::ModelProfile;
+use crate::task::{self, TaskParams};
+use crate::tokenizer::Tokenizer;
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Master switch for the prefix cache.
+    pub cache_enabled: bool,
+    /// Also cache opaque (ad-hoc) prompts — OFF by default; turning it on
+    /// simulates a serving stack that hashes raw strings without prompt
+    /// identity (used by the cache ablation).
+    pub cache_opaque_prompts: bool,
+    /// Tokens per cache block.
+    pub block_size: usize,
+    /// Cache capacity in blocks.
+    pub capacity_blocks: usize,
+    /// Run seed for the task model's correctness draws.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            cache_enabled: true,
+            cache_opaque_prompts: false,
+            block_size: DEFAULT_BLOCK_SIZE,
+            capacity_blocks: 64 * 1024,
+            seed: 42,
+        }
+    }
+}
+
+/// The simulated LLM.
+pub struct SimLlm {
+    profile: ModelProfile,
+    tokenizer: Tokenizer,
+    cache: Mutex<PrefixCache>,
+    clock: SimClock,
+    config: EngineConfig,
+}
+
+impl SimLlm {
+    /// Engine with default config.
+    #[must_use]
+    pub fn new(profile: ModelProfile) -> Self {
+        Self::with_config(profile, EngineConfig::default())
+    }
+
+    /// Engine with explicit config.
+    #[must_use]
+    pub fn with_config(profile: ModelProfile, config: EngineConfig) -> Self {
+        Self {
+            profile,
+            tokenizer: Tokenizer::new(),
+            cache: Mutex::new(PrefixCache::new(config.block_size, config.capacity_blocks)),
+            clock: SimClock::new(),
+            config,
+        }
+    }
+
+    /// The model profile.
+    #[must_use]
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The virtual clock (total simulated busy time of this engine).
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Prefix-cache statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Drop all cached blocks (between benchmark configurations).
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Pre-register a prompt's blocks, simulating a prior pipeline run that
+    /// left the view's rendered prefix resident (Table 3's setting: the
+    /// base view V had already executed).
+    pub fn warm(&self, text: &str) {
+        if self.config.cache_enabled {
+            let tokens = self.tokenizer.encode(text);
+            self.cache.lock().insert(&tokens);
+        }
+    }
+
+    fn cacheable(&self, identity: &PromptIdentity) -> bool {
+        self.config.cache_enabled
+            && (matches!(identity, PromptIdentity::Structured { .. })
+                || self.config.cache_opaque_prompts)
+    }
+}
+
+impl SimLlm {
+    /// Fraction of the per-request overhead each batched request still pays
+    /// (scheduling/sampling are amortized under continuous batching, but
+    /// not free).
+    pub const BATCH_MARGINAL_OVERHEAD: f64 = 0.1;
+
+    /// Run several requests as one continuously batched submission.
+    ///
+    /// Models vLLM-style continuous batching: the full request overhead is
+    /// paid once per batch; every subsequent request pays only
+    /// [`Self::BATCH_MARGINAL_OVERHEAD`] of it. Token costs are unchanged,
+    /// and requests are admitted in order, so later requests hit prefix
+    /// blocks that earlier ones inserted — which is why "batched tasks with
+    /// shared scaffolds" (paper §5) benefit twice: amortized overhead *and*
+    /// intra-batch prefix reuse.
+    ///
+    /// Each response's `latency` is that request's marginal contribution;
+    /// the virtual clock advances by the batch total.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing request.
+    pub fn generate_batch(
+        &self,
+        requests: &[GenRequest],
+    ) -> spear_core::error::Result<Vec<GenResponse>> {
+        let mut out = Vec::with_capacity(requests.len());
+        for (i, request) in requests.iter().enumerate() {
+            let mut response = self.generate(request)?;
+            if i > 0 {
+                let discount = self.profile.request_overhead_us
+                    * (1.0 - Self::BATCH_MARGINAL_OVERHEAD);
+                let discounted = response
+                    .latency
+                    .saturating_sub(std::time::Duration::from_micros(discount as u64));
+                // generate() already advanced the clock by the full
+                // latency; take the amortized part back.
+                self.clock.advance_signed_rollback(response.latency, discounted);
+                response.latency = discounted;
+            }
+            out.push(response);
+        }
+        Ok(out)
+    }
+}
+
+impl LlmClient for SimLlm {
+    fn generate(&self, request: &GenRequest) -> Result<GenResponse> {
+        let tokens = self.tokenizer.encode(&request.text);
+        let prompt_tokens = tokens.len() as u64;
+
+        let cacheable = self.cacheable(&request.identity);
+        let cached_tokens = if cacheable {
+            let mut cache = self.cache.lock();
+            let hit = cache.lookup(&tokens) as u64;
+            cache.insert(&tokens);
+            hit
+        } else {
+            0
+        };
+
+        let structured = matches!(request.identity, PromptIdentity::Structured { .. });
+        let kind = task::detect_task(request.options.task.as_deref(), &request.text);
+        let mut outcome = task::run(
+            kind,
+            &request.text,
+            &TaskParams {
+                profile: &self.profile,
+                structured_identity: structured,
+                seed: self.config.seed,
+            },
+        );
+
+        // Enforce max_tokens on the output.
+        let mut completion_tokens = self.tokenizer.count(&outcome.text) as u64;
+        let mut finish = FinishReason::Stop;
+        let max = u64::from(request.options.max_tokens);
+        if completion_tokens > max {
+            // Truncate at a word boundary approximately proportional to the
+            // token budget.
+            let words: Vec<&str> = outcome.text.split_whitespace().collect();
+            let keep = (words.len() as u64 * max / completion_tokens.max(1)) as usize;
+            outcome.text = words[..keep.min(words.len())].join(" ");
+            completion_tokens = self.tokenizer.count(&outcome.text) as u64;
+            finish = FinishReason::Length;
+        }
+
+        let latency_us = self.profile.latency_us(
+            prompt_tokens - cached_tokens,
+            cached_tokens,
+            completion_tokens,
+        );
+        let latency = std::time::Duration::from_micros(latency_us as u64);
+        self.clock.advance(latency);
+
+        Ok(GenResponse {
+            text: outcome.text,
+            confidence: outcome.confidence,
+            usage: TokenUsage {
+                prompt_tokens,
+                cached_tokens,
+                completion_tokens,
+            },
+            latency,
+            model: self.profile.name.clone(),
+            finish,
+        })
+    }
+
+    fn model_name(&self) -> &str {
+        &self.profile.name
+    }
+}
+
+impl std::fmt::Debug for SimLlm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimLlm")
+            .field("model", &self.profile.name)
+            .field("cache_enabled", &self.config.cache_enabled)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_core::llm::GenOptions;
+
+    fn engine() -> SimLlm {
+        SimLlm::new(ModelProfile::qwen25_7b_instruct())
+    }
+
+    fn long_instruction() -> String {
+        "Classify the sentiment of the following tweet as positive or negative, \
+         considering tone, sarcasm, emphasis, and context. Respond with exactly \
+         one word and respect a word limit of one. "
+            .repeat(8)
+    }
+
+    #[test]
+    fn structured_requests_hit_cache_on_repeat() {
+        let e = engine();
+        let text = format!("{}Tweet: awful homework tonight", long_instruction());
+        let req = GenRequest::structured(text, "view:v@1#0/v1");
+        let first = e.generate(&req).unwrap();
+        let second = e.generate(&req).unwrap();
+        assert_eq!(first.usage.cached_tokens, 0);
+        assert!(second.usage.cached_tokens > 0);
+        assert!(second.latency < first.latency);
+        assert_eq!(first.text, second.text, "behaviour is cache-independent");
+        assert_eq!(first.confidence, second.confidence);
+    }
+
+    #[test]
+    fn opaque_requests_bypass_cache_by_default() {
+        let e = engine();
+        let text = format!("{}Tweet: awful homework tonight", long_instruction());
+        let req = GenRequest::opaque(text);
+        e.generate(&req).unwrap();
+        let second = e.generate(&req).unwrap();
+        assert_eq!(second.usage.cached_tokens, 0);
+        assert_eq!(e.cache_stats().lookups, 0);
+    }
+
+    #[test]
+    fn cache_opaque_config_flips_the_gate() {
+        let e = SimLlm::with_config(
+            ModelProfile::qwen25_7b_instruct(),
+            EngineConfig {
+                cache_opaque_prompts: true,
+                ..EngineConfig::default()
+            },
+        );
+        let req = GenRequest::opaque(format!("{}Tweet: x", long_instruction()));
+        e.generate(&req).unwrap();
+        let second = e.generate(&req).unwrap();
+        assert!(second.usage.cached_tokens > 0);
+    }
+
+    #[test]
+    fn warm_preloads_the_view_prefix() {
+        let e = engine();
+        let instruction = long_instruction();
+        e.warm(&instruction);
+        let req = GenRequest::structured(
+            format!("{instruction}Tweet: ruined my day"),
+            "view:v@1#0/v1",
+        );
+        let first = e.generate(&req).unwrap();
+        let hit_rate = first.usage.cache_hit_rate().unwrap();
+        assert!(hit_rate > 0.85, "first call already warm: {hit_rate}");
+    }
+
+    #[test]
+    fn shared_view_prefix_hits_across_different_tweets() {
+        let e = engine();
+        let instruction = long_instruction();
+        e.warm(&instruction);
+        let mut rates = Vec::new();
+        for tweet in ["great sunshine", "horrible exam", "boring meeting ugh"] {
+            let req = GenRequest::structured(
+                format!("{instruction}Tweet: {tweet}"),
+                "view:v@1#0/v1",
+            );
+            rates.push(e.generate(&req).unwrap().usage.cache_hit_rate().unwrap());
+        }
+        assert!(rates.iter().all(|r| *r > 0.8), "{rates:?}");
+    }
+
+    #[test]
+    fn latency_model_matches_profile() {
+        let e = engine();
+        let req = GenRequest::opaque("Classify the sentiment.\nTweet: i hate rain");
+        let resp = e.generate(&req).unwrap();
+        let expected = e.profile().latency_us(
+            resp.usage.prompt_tokens,
+            0,
+            resp.usage.completion_tokens,
+        );
+        assert_eq!(resp.latency.as_micros() as u64, expected as u64);
+        assert_eq!(e.clock().elapsed(), resp.latency);
+    }
+
+    #[test]
+    fn max_tokens_truncates_with_length_finish() {
+        let e = engine();
+        let req = GenRequest {
+            text: "Summarize. \nTweet: one two three four five six seven eight nine ten"
+                .to_string(),
+            identity: PromptIdentity::Opaque,
+            options: GenOptions {
+                max_tokens: 3,
+                ..GenOptions::default()
+            },
+        };
+        let resp = e.generate(&req).unwrap();
+        assert!(resp.usage.completion_tokens <= 3);
+        assert_eq!(resp.finish, FinishReason::Length);
+    }
+
+    #[test]
+    fn clear_cache_resets_reuse() {
+        let e = engine();
+        let req = GenRequest::structured(
+            format!("{}Tweet: x", long_instruction()),
+            "view:v@1#0/v1",
+        );
+        e.generate(&req).unwrap();
+        e.clear_cache();
+        let resp = e.generate(&req).unwrap();
+        assert_eq!(resp.usage.cached_tokens, 0);
+    }
+
+    #[test]
+    fn batching_amortizes_overhead_and_shares_the_cache() {
+        let instruction = long_instruction();
+        let requests: Vec<GenRequest> = (0..8)
+            .map(|i| {
+                GenRequest::structured(
+                    format!("{instruction}Tweet: batched item number {i}"),
+                    "view:batch@1#0/v1",
+                )
+            })
+            .collect();
+
+        let unbatched = SimLlm::new(ModelProfile::qwen25_7b_instruct());
+        let mut unbatched_total = std::time::Duration::ZERO;
+        for r in &requests {
+            unbatched_total += unbatched.generate(r).unwrap().latency;
+        }
+
+        let batched = SimLlm::new(ModelProfile::qwen25_7b_instruct());
+        let responses = batched.generate_batch(&requests).unwrap();
+        let batched_total: std::time::Duration =
+            responses.iter().map(|r| r.latency).sum();
+
+        // 7 amortized overheads at 90% discount.
+        let expected_saving = 7.0
+            * batched.profile().request_overhead_us
+            * (1.0 - SimLlm::BATCH_MARGINAL_OVERHEAD)
+            / 1e6;
+        let saving = unbatched_total.as_secs_f64() - batched_total.as_secs_f64();
+        assert!(
+            (saving - expected_saving).abs() < 1e-3,
+            "saving {saving} vs expected {expected_saving}"
+        );
+        // The clock agrees with the summed marginal latencies.
+        assert_eq!(batched.clock().elapsed(), batched_total);
+        // Intra-batch prefix reuse: every request after the first hits the
+        // shared instruction prefix.
+        for r in &responses[1..] {
+            assert!(r.usage.cached_tokens > 0);
+        }
+        // Behaviour is identical to unbatched execution.
+        assert_eq!(
+            responses[3].text,
+            unbatched.generate(&requests[3]).unwrap().text
+        );
+    }
+
+    #[test]
+    fn singleton_and_empty_batches_are_trivial() {
+        let e = engine();
+        assert!(e.generate_batch(&[]).unwrap().is_empty());
+        let req = GenRequest::structured("Classify.\nTweet: x", "view:v@1#0/v1");
+        let single = e.generate_batch(std::slice::from_ref(&req)).unwrap();
+        assert_eq!(single.len(), 1);
+        let fresh = engine();
+        assert_eq!(
+            single[0].latency,
+            fresh.generate(&req).unwrap().latency,
+            "a singleton batch pays full overhead"
+        );
+    }
+
+    #[test]
+    fn different_models_have_different_latency_profiles() {
+        let text = format!("{}Tweet: long enough to measure", long_instruction());
+        let qwen = SimLlm::new(ModelProfile::qwen25_7b_instruct());
+        let gpt = SimLlm::new(ModelProfile::gpt_4o_mini());
+        let rq = qwen.generate(&GenRequest::opaque(text.clone())).unwrap();
+        let rg = gpt.generate(&GenRequest::opaque(text)).unwrap();
+        assert_ne!(rq.latency, rg.latency);
+        assert_eq!(rq.model, "qwen2.5-7b-instruct-sim");
+        assert_eq!(rg.model, "gpt-4o-mini-sim");
+    }
+}

@@ -1,0 +1,690 @@
+//! The behavioural task model.
+//!
+//! This is the quality half of the DESIGN.md substitution: instead of real
+//! model weights, each request is routed to a deterministic task behaviour
+//! whose correctness probability is `base_accuracy(task) + prompt-feature
+//! bonuses − fusion penalty`, with the Bernoulli draw seeded by
+//! `(input item, model, prompt features)` so identical configurations give
+//! identical results. The residual error floor comes from genuinely
+//! ambiguous items (generator-controlled), which no prompt fixes — matching
+//! how prompt refinements move accuracy in the paper without reaching 1.0.
+
+use spear_data::vocab;
+use spear_kv::shard::fnv1a;
+
+use crate::profile::{ModelProfile, PromptFeatures, TaskKind};
+
+/// Result of running the task model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskOutcome {
+    /// Generated text.
+    pub text: String,
+    /// Model confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Route a request to a task. An explicit `options.task` hint wins;
+/// otherwise the prompt's wording decides.
+#[must_use]
+pub fn detect_task(hint: Option<&str>, prompt: &str) -> TaskKind {
+    if let Some(h) = hint {
+        match h {
+            "summarize" => return TaskKind::Summarize,
+            "classify_sentiment" => return TaskKind::ClassifySentiment,
+            "classify_school_negative" => return TaskKind::ClassifySchoolNegative,
+            "fused_map_filter" => return TaskKind::FusedMapFilter,
+            "fused_filter_map" => return TaskKind::FusedFilterMap,
+            "rewrite_prompt" => return TaskKind::RewritePrompt,
+            "write_prompt" => return TaskKind::WritePrompt,
+            "qa" => return TaskKind::Qa,
+            _ => {}
+        }
+    }
+    let lower = prompt.to_lowercase();
+    if lower.contains("--- prompt ---") {
+        return TaskKind::RewritePrompt;
+    }
+    if lower.contains("write a prompt") || lower.contains("generate a prompt") {
+        return TaskKind::WritePrompt;
+    }
+    let summarizes = lower.contains("summarize") || lower.contains("clean up");
+    let classifies = lower.contains("sentiment") || lower.contains("classify");
+    let school = lower.contains("school");
+    // Clinical QA outranks the generic summarize/classify routing: a prompt
+    // about medication history is extractive QA even when it says
+    // "summarize".
+    if !classifies && (lower.contains("medication") || lower.contains("enoxaparin")) {
+        return TaskKind::Qa;
+    }
+    match (summarizes, classifies) {
+        (true, true) => {
+            if school {
+                TaskKind::ClassifySchoolNegative
+            } else {
+                // Fusion order: which directive appears first.
+                let s_at = lower.find("summarize").or_else(|| lower.find("clean up"));
+                let c_at = lower.find("sentiment").or_else(|| lower.find("classify"));
+                match (s_at, c_at) {
+                    (Some(s), Some(c)) if s <= c => TaskKind::FusedMapFilter,
+                    _ => TaskKind::FusedFilterMap,
+                }
+            }
+        }
+        (true, false) => TaskKind::Summarize,
+        (false, true) => {
+            if school {
+                TaskKind::ClassifySchoolNegative
+            } else {
+                TaskKind::ClassifySentiment
+            }
+        }
+        (false, false) => {
+            if lower.contains("medication") || lower.contains("enoxaparin") {
+                TaskKind::Qa
+            } else {
+                TaskKind::Generic
+            }
+        }
+    }
+}
+
+/// Extract the item under analysis: text after the last `Input:` / `Tweet:`
+/// / `Text:` marker, else the last non-empty line.
+#[must_use]
+pub fn extract_input(prompt: &str) -> &str {
+    for marker in ["Input:", "Tweet:", "Text:"] {
+        if let Some(pos) = prompt.rfind(marker) {
+            return prompt[pos + marker.len()..].trim();
+        }
+    }
+    prompt.lines().rev().find(|l| !l.trim().is_empty()).unwrap_or("").trim()
+}
+
+/// Parse a word limit from the prompt ("at most N words", "word limit of
+/// N", "no more than N words"); `None` when unconstrained.
+#[must_use]
+pub fn parse_word_limit(prompt: &str) -> Option<usize> {
+    let lower = prompt.to_lowercase();
+    for marker in ["at most ", "word limit of ", "no more than "] {
+        if let Some(pos) = lower.find(marker) {
+            let rest = &lower[pos + marker.len()..];
+            let num: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            if let Ok(n) = num.parse::<usize>() {
+                if n > 0 {
+                    return Some(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Uniform draw in `[0, 1)` from a hash.
+fn hash01(x: u64) -> f64 {
+    (fnv1a(&x.to_le_bytes()) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Strip social-media noise and enforce a word limit — the Map behaviour.
+fn clean(text: &str, word_limit: usize) -> String {
+    text.split_whitespace()
+        .filter(|w| {
+            !w.starts_with('@') && !w.starts_with('#') && !w.starts_with("http")
+        })
+        .take(word_limit)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Execution parameters the engine passes in.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskParams<'a> {
+    /// Model profile in force.
+    pub profile: &'a ModelProfile,
+    /// Whether the request carried a structured prompt identity.
+    pub structured_identity: bool,
+    /// Engine seed (varies runs while keeping them reproducible).
+    pub seed: u64,
+}
+
+/// Run the task model over `prompt`.
+#[must_use]
+pub fn run(kind: TaskKind, prompt: &str, params: &TaskParams<'_>) -> TaskOutcome {
+    match kind {
+        TaskKind::Summarize => summarize(prompt),
+        TaskKind::ClassifySentiment => classify(prompt, params, kind, false),
+        TaskKind::ClassifySchoolNegative => classify(prompt, params, kind, true),
+        TaskKind::FusedMapFilter | TaskKind::FusedFilterMap => fused(prompt, params, kind),
+        TaskKind::RewritePrompt => rewrite_prompt(prompt),
+        TaskKind::WritePrompt => write_prompt(prompt),
+        TaskKind::Qa => qa(prompt),
+        TaskKind::Generic => generic(prompt),
+    }
+}
+
+fn correctness_probability(
+    kind: TaskKind,
+    prompt: &str,
+    params: &TaskParams<'_>,
+) -> (f64, PromptFeatures) {
+    let features = PromptFeatures::detect(prompt);
+    let w = &params.profile.quality;
+    let mut p = params.profile.base_accuracy(kind)
+        + w.bonus(&features, params.structured_identity);
+    match kind {
+        TaskKind::FusedMapFilter => p -= w.fused_map_filter_penalty,
+        TaskKind::FusedFilterMap => p -= w.fused_filter_map_penalty,
+        _ => {}
+    }
+    (p.clamp(0.02, 0.995), features)
+}
+
+/// Deterministic Bernoulli seeded by item × model × features × run seed.
+fn draw(item: &str, model: &str, features: PromptFeatures, seed: u64, salt: u64) -> f64 {
+    hash01(
+        fnv1a(item.as_bytes())
+            ^ fnv1a(model.as_bytes()).rotate_left(17)
+            ^ features.fingerprint().rotate_left(31)
+            ^ seed.rotate_left(43)
+            ^ salt,
+    )
+}
+
+/// Sentiment decision over the item: returns `(is_negative, lexicon
+/// strength)`. A zero-signal item is decided by an item-hash coin — the
+/// irreducible error source.
+fn lexicon_negative(item: &str) -> (bool, i32) {
+    let score = vocab::sentiment_score(item);
+    if score == 0 {
+        (fnv1a(item.as_bytes()) & 1 == 0, 0)
+    } else {
+        (score < 0, score.abs())
+    }
+}
+
+fn confidence_for(p: f64, strength: i32, jitter_seed: u64) -> f64 {
+    let jitter = (hash01(jitter_seed) - 0.5) * 0.08;
+    (p - 0.18 + 0.06 * f64::from(strength.min(3)) + jitter).clamp(0.05, 0.99)
+}
+
+fn classify(prompt: &str, params: &TaskParams<'_>, kind: TaskKind, school: bool) -> TaskOutcome {
+    let item = extract_input(prompt);
+    let (p, features) = correctness_probability(kind, prompt, params);
+    let (neg, strength) = lexicon_negative(item);
+    let r = draw(item, &params.profile.name, features, params.seed, 0xC1A5);
+    let decided_negative = if r < p { neg } else { !neg };
+    let lower = prompt.to_lowercase();
+    let text = if school {
+        // The refined task: negative AND school-related. Topic detection is
+        // reliable (school words are unambiguous); polarity carries the
+        // error.
+        let matches = decided_negative && vocab::is_school_related(item);
+        let label = if matches { "yes" } else { "no" };
+        // The Table 3 pipeline also summarizes (the Map half of view V):
+        // when the prompt carries a summarize directive, emit the summary
+        // after the label so decode cost reflects the real output.
+        if lower.contains("summarize") || lower.contains("clean up") {
+            let limit = parse_word_limit(prompt).unwrap_or(25);
+            format!(
+                "{label} :: {} — decided after weighing the overall tone, the \
+                 dominant subject, and the school-topic wording of the tweet \
+                 against the stated selection criteria",
+                clean(item, limit)
+            )
+        } else {
+            label.to_string()
+        }
+    } else {
+        let label = if decided_negative { "negative" } else { "positive" };
+        // Filters asked for a justification decode a sentence, not a word.
+        if lower.contains("justification") {
+            format!("{label} — clearly {label} wording about the main subject")
+        } else {
+            label.to_string()
+        }
+    };
+    TaskOutcome {
+        confidence: confidence_for(p, strength, fnv1a(item.as_bytes()) ^ 0xBEEF),
+        text,
+    }
+}
+
+fn summarize(prompt: &str) -> TaskOutcome {
+    let item = extract_input(prompt);
+    let limit = parse_word_limit(prompt).unwrap_or(25);
+    let cleaned = clean(item, limit);
+    TaskOutcome {
+        confidence: 0.9,
+        text: cleaned,
+    }
+}
+
+fn fused(prompt: &str, params: &TaskParams<'_>, kind: TaskKind) -> TaskOutcome {
+    let item = extract_input(prompt);
+    let limit = parse_word_limit(prompt).unwrap_or(25);
+    let (p, features) = correctness_probability(kind, prompt, params);
+    let (neg, strength) = lexicon_negative(item);
+    let r = draw(item, &params.profile.name, features, params.seed, 0xF05E);
+    let decided_negative = if r < p { neg } else { !neg };
+    let label = if decided_negative { "negative" } else { "positive" };
+    let tail = if prompt.to_lowercase().contains("justification") {
+        " — checked"
+    } else {
+        ""
+    };
+    TaskOutcome {
+        confidence: confidence_for(p, strength, fnv1a(item.as_bytes()) ^ 0xFACE),
+        text: format!("{label} :: {}{tail}", clean(item, limit)),
+    }
+}
+
+/// Parse a fused response back into `(is_negative, summary)`.
+#[must_use]
+pub fn parse_fused(text: &str) -> Option<(bool, &str)> {
+    let (label, summary) = text.split_once(" :: ")?;
+    match label {
+        "negative" => Some((true, summary)),
+        "positive" => Some((false, summary)),
+        _ => None,
+    }
+}
+
+/// Assisted/auto refinement: rewrite the prompt following `--- PROMPT ---`.
+///
+/// The rewrite preserves a prefix of the original verbatim and *rewrites*
+/// (not drops) the remainder — mirroring how LLM rewrites keep the overall
+/// scaffold and length but re-word the tail. The preserved fraction depends
+/// on how invasive the instruction is: objective-level rewrites (the Auto
+/// mode of Table 3, which merges the original instruction with a task
+/// objective) restructure more of the text than targeted hints (Assisted).
+/// Those fractions (0.82 / 0.92) drive the paper's cache-hit ladder.
+fn rewrite_prompt(prompt: &str) -> TaskOutcome {
+    let original = prompt
+        .split("--- PROMPT ---")
+        .nth(1)
+        .unwrap_or(prompt)
+        .trim();
+    let instruction = prompt
+        .split("apply this instruction:")
+        .nth(1)
+        .and_then(|s| s.split('\n').next())
+        .unwrap_or("improve clarity")
+        .trim();
+    let objective_mode = instruction.to_lowercase().contains("objective");
+    let keep_fraction = if objective_mode { 82 } else { 92 };
+
+    // Cut at a word boundary near the preservation fraction.
+    let cut_target = original.len() * keep_fraction / 100;
+    let cut = original[..cut_target.min(original.len())]
+        .rfind(char::is_whitespace)
+        .unwrap_or(original.len());
+    let head = original[..cut].trim_end();
+    let tail_words = original[cut..].split_whitespace().count();
+
+    // Re-worded tail of comparable length (filler keeps the token count —
+    // and therefore prefill cost — comparable to the original).
+    let filler_unit = "ensure the selection criteria and output format above are applied";
+    let mut rewritten_tail = String::new();
+    let unit_words = filler_unit.split_whitespace().count();
+    let mut written = 0;
+    while written + unit_words <= tail_words {
+        rewritten_tail.push_str(filler_unit);
+        rewritten_tail.push(' ');
+        written += unit_words;
+    }
+
+    let closing = if objective_mode {
+        format!("Objective: {instruction}. Respond within the stated word limit.")
+    } else {
+        format!(
+            "Apply careful reasoning to {instruction}. Respond within the \
+             stated word limit."
+        )
+    };
+    TaskOutcome {
+        text: format!("{head} {rewritten_tail}{closing}"),
+        confidence: 0.88,
+    }
+}
+
+const GENERATED_GUIDELINES: &[&str] = &[
+    "Read the entire tweet before deciding and weigh every clause, including \
+     trailing qualifiers, emoticons, and elongated words that often carry the \
+     author's real attitude.",
+    "Treat sarcasm and irony carefully: praise of an obviously bad situation \
+     should be read as criticism of that situation rather than genuine approval.",
+    "Ignore usernames, hashtags, and links when judging the content, but keep \
+     any sentiment they imply about the subject under discussion.",
+    "When several subjects appear, decide based on the subject the author \
+     spends the most words on, not the one mentioned first.",
+    "If the tweet quotes someone else, classify the author's attitude toward \
+     the quote rather than the quote itself.",
+    "Prefer the literal wording over world knowledge: the author's stated \
+     experience decides the label even when it seems unusual.",
+    "Keep the cleaned rendering faithful: drop decorations and repair obvious \
+     typos without adding, softening, or strengthening any claim.",
+    "Return the answer in the requested format with no preamble, no \
+     explanation beyond what the format asks for, and no trailing commentary.",
+];
+
+/// Agentic rewrite: write a task prompt from scratch given an objective.
+/// Models how LLMs produce verbose, guideline-heavy prompts when asked to
+/// write one: the output restates the objective and expands it into a full
+/// instruction block with a per-item placeholder.
+fn write_prompt(prompt: &str) -> TaskOutcome {
+    let objective = prompt
+        .split("Objective:")
+        .nth(1)
+        .and_then(|s| s.split('\n').next())
+        .unwrap_or("complete the task")
+        .trim();
+    let mut text = format!(
+        "Objective: {objective}.\n\
+         You are given one tweet per request. Decide whether it satisfies the \
+         objective, summarize the content you relied on, and classify the \
+         sentiment where relevant.\nGuidelines:\n"
+    );
+    for (i, g) in GENERATED_GUIDELINES.iter().take(6).enumerate() {
+        text.push_str(&format!("{}. {g}\n", i + 1));
+    }
+    text.push_str(
+        "Answer with the label followed by the cleaned content, using a word \
+         limit of 60.\nTweet: {{{{ctx:tweet}}}}",
+    );
+    TaskOutcome {
+        text,
+        confidence: 0.85,
+    }
+}
+
+/// Clinical QA: extract the sentence mentioning the drug; confidence rises
+/// with hint/specificity features, enabling the §2 retry pattern.
+fn qa(prompt: &str) -> TaskOutcome {
+    let features = PromptFeatures::detect(prompt);
+    let lower = prompt.to_lowercase();
+    let sentence = prompt
+        .split(['.', '\n'])
+        .find(|s| s.to_lowercase().contains("enoxaparin") && s.to_lowercase().contains("mg"));
+    let mut confidence: f64 = 0.55;
+    if features.has_hint {
+        confidence += 0.2;
+    }
+    if features.has_specificity || lower.contains("dosage") || lower.contains("timing") {
+        confidence += 0.15;
+    }
+    match sentence {
+        Some(s) => {
+            let s = s.trim().trim_start_matches("Notes:").trim();
+            TaskOutcome {
+                text: format!("Enoxaparin use documented: {}.", s.trim_end_matches('.')),
+                confidence: confidence.min(0.97),
+            }
+        }
+        None => TaskOutcome {
+            text: "No Enoxaparin use documented in the provided context.".to_string(),
+            confidence: (confidence - 0.1).max(0.05),
+        },
+    }
+}
+
+fn generic(prompt: &str) -> TaskOutcome {
+    // Fused multi-section requests (the optimizer's GEN fusion appends
+    // "Produce one section per requested output, in this order: a, b ...").
+    if let Some(rest) = prompt.split("in this order:").nth(1) {
+        if prompt.contains("one section per requested output") {
+            let labels: Vec<&str> = rest
+                .split('.')
+                .next()
+                .unwrap_or("")
+                .split(',')
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .collect();
+            if !labels.is_empty() {
+                let words = prompt.split_whitespace().count();
+                let sections: Vec<String> = labels
+                    .iter()
+                    .map(|l| {
+                        format!(
+                            "{l}: the {l} supported by the record of this                              {words}-word request, stated in plain prose"
+                        )
+                    })
+                    .collect();
+                return TaskOutcome {
+                    text: sections.join("\n===\n"),
+                    confidence: 0.82,
+                };
+            }
+        }
+    }
+    let words = prompt.split_whitespace().count();
+    TaskOutcome {
+        text: format!(
+            "The requested output, stated in plain prose from the provided              {words}-word material with the relevant details restated for              the reader."
+        ),
+        confidence: 0.7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qwen_params(seed: u64) -> (ModelProfile, u64) {
+        (ModelProfile::qwen25_7b_instruct(), seed)
+    }
+
+    fn run_with(kind: TaskKind, prompt: &str, structured: bool, seed: u64) -> TaskOutcome {
+        let (profile, seed) = qwen_params(seed);
+        run(
+            kind,
+            prompt,
+            &TaskParams {
+                profile: &profile,
+                structured_identity: structured,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn detection_routes_by_hint_and_wording() {
+        assert_eq!(detect_task(Some("summarize"), ""), TaskKind::Summarize);
+        assert_eq!(
+            detect_task(None, "Classify the sentiment of the tweet."),
+            TaskKind::ClassifySentiment
+        );
+        assert_eq!(
+            detect_task(None, "Summarize the tweet, then classify its sentiment."),
+            TaskKind::FusedMapFilter
+        );
+        assert_eq!(
+            detect_task(None, "Classify the sentiment, then summarize the tweet."),
+            TaskKind::FusedFilterMap
+        );
+        assert_eq!(
+            detect_task(None, "Classify whether the tweet is school related and negative."),
+            TaskKind::ClassifySchoolNegative
+        );
+        assert_eq!(
+            detect_task(None, "Rewrite this.\n--- PROMPT ---\nold"),
+            TaskKind::RewritePrompt
+        );
+        assert_eq!(
+            detect_task(None, "Please write a prompt for ..."),
+            TaskKind::WritePrompt
+        );
+        assert_eq!(
+            detect_task(None, "Highlight the medication history."),
+            TaskKind::Qa
+        );
+        assert_eq!(detect_task(None, "hello"), TaskKind::Generic);
+    }
+
+    #[test]
+    fn input_extraction_prefers_markers() {
+        assert_eq!(extract_input("Classify.\nTweet: rain again"), "rain again");
+        assert_eq!(
+            extract_input("a\nInput: first\nInput: second"),
+            "second",
+            "last marker wins"
+        );
+        assert_eq!(extract_input("only line"), "only line");
+    }
+
+    #[test]
+    fn word_limit_parsing() {
+        assert_eq!(parse_word_limit("use at most 30 words"), Some(30));
+        assert_eq!(parse_word_limit("a word limit of 12 applies"), Some(12));
+        assert_eq!(parse_word_limit("no more than 5 words"), Some(5));
+        assert_eq!(parse_word_limit("unconstrained"), None);
+    }
+
+    #[test]
+    fn classify_is_deterministic_and_polarity_driven() {
+        let prompt = "Classify the sentiment. Respond with one word.\nTweet: i hate this awful rain";
+        let a = run_with(TaskKind::ClassifySentiment, prompt, false, 1);
+        let b = run_with(TaskKind::ClassifySentiment, prompt, false, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.text, "negative");
+    }
+
+    #[test]
+    fn better_prompts_raise_accuracy_over_a_corpus() {
+        // Over many items, a prompt with objective+structure flips fewer
+        // decisions than the plain one.
+        let base = "Classify the sentiment. Respond with one word.";
+        let rich = "Objective: identify negative tweets. Classify the sentiment. \
+                    Be specific. Respond with one word.";
+        let mut plain_correct = 0;
+        let mut rich_correct = 0;
+        let n = 600;
+        for i in 0..n {
+            let negative = i % 2 == 0;
+            let word = if negative { "awful" } else { "great" };
+            let tweet = format!("what a {word} day number {i}");
+            for (prompt_text, counter) in
+                [(base, &mut plain_correct), (rich, &mut rich_correct)]
+            {
+                let p = format!("{prompt_text}\nTweet: {tweet}");
+                let out = run_with(TaskKind::ClassifySentiment, &p, prompt_text == rich, 7);
+                if (out.text == "negative") == negative {
+                    *counter += 1;
+                }
+            }
+        }
+        assert!(
+            rich_correct > plain_correct,
+            "rich {rich_correct} vs plain {plain_correct}"
+        );
+    }
+
+    #[test]
+    fn fusion_penalty_lowers_accuracy() {
+        let mut seq_correct = 0;
+        let mut fused_correct = 0;
+        let n = 800;
+        for i in 0..n {
+            let negative = i % 2 == 0;
+            let word = if negative { "terrible" } else { "wonderful" };
+            let tweet = format!("such a {word} commute today {i}");
+            let seq_prompt = format!("Classify the sentiment.\nTweet: {tweet}");
+            let fused_prompt =
+                format!("Summarize the tweet, then classify its sentiment.\nTweet: {tweet}");
+            let s = run_with(TaskKind::ClassifySentiment, &seq_prompt, true, 3);
+            let f = run_with(TaskKind::FusedMapFilter, &fused_prompt, true, 3);
+            if (s.text == "negative") == negative {
+                seq_correct += 1;
+            }
+            if parse_fused(&f.text).map(|(n, _)| n) == Some(negative) {
+                fused_correct += 1;
+            }
+        }
+        let drop = (seq_correct - fused_correct) as f64 / n as f64;
+        assert!(
+            (0.02..=0.09).contains(&drop),
+            "fusion accuracy drop {drop} (seq {seq_correct}, fused {fused_correct})"
+        );
+    }
+
+    #[test]
+    fn school_task_requires_both_conditions() {
+        let neg_school = "Classify: school-related and negative?\nTweet: i hate this exam so much";
+        let neg_other = "Classify: school-related and negative?\nTweet: i hate this rain so much";
+        let a = run_with(TaskKind::ClassifySchoolNegative, neg_school, true, 1);
+        let b = run_with(TaskKind::ClassifySchoolNegative, neg_other, true, 1);
+        assert_eq!(a.text, "yes");
+        assert_eq!(b.text, "no");
+    }
+
+    #[test]
+    fn summarize_cleans_noise_and_respects_limit() {
+        let out = run_with(
+            TaskKind::Summarize,
+            "Summarize. Use at most 4 words.\nTweet: @bob terrible day at work #fml http://t.co/x",
+            false,
+            1,
+        );
+        assert_eq!(out.text, "terrible day at work");
+    }
+
+    #[test]
+    fn rewrite_preserves_most_of_the_prefix() {
+        let original = "Classify the sentiment of the tweet as positive or negative. \
+                        Consider the overall tone, sarcasm, and emphatic punctuation. \
+                        Respond with exactly one word and a word limit of one. \
+                        Tweet: {{ctx:tweet}}";
+        let meta = format!(
+            "Rewrite the following prompt. Keep its task and constraints; \
+             apply this instruction: focus on school-related content\n--- PROMPT ---\n{original}"
+        );
+        let out = run_with(TaskKind::RewritePrompt, &meta, false, 1);
+        let common = original
+            .chars()
+            .zip(out.text.chars())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let frac = common as f64 / original.chars().count() as f64;
+        assert!(
+            (0.75..0.95).contains(&frac),
+            "prefix preservation {frac}"
+        );
+        assert!(out.text.contains("school-related"));
+    }
+
+    #[test]
+    fn write_prompt_embeds_objective_and_placeholder() {
+        let out = run_with(
+            TaskKind::WritePrompt,
+            "Please write a prompt.\nObjective: find negative school tweets",
+            false,
+            1,
+        );
+        assert!(out.text.contains("Objective: find negative school tweets"));
+        assert!(out.text.contains("{{ctx:tweet}}"));
+    }
+
+    #[test]
+    fn qa_extracts_drug_sentence_and_hints_raise_confidence() {
+        let notes = "Medications: enoxaparin 40 mg SC daily for DVT prophylaxis. \
+                     Also on lisinopril.";
+        let plain = format!("Highlight any use of Enoxaparin.\nNotes: {notes}");
+        let hinted = format!(
+            "Highlight any use of Enoxaparin. Think step by step about dosage \
+             and timing.\nNotes: {notes}"
+        );
+        let a = run_with(TaskKind::Qa, &plain, false, 1);
+        let b = run_with(TaskKind::Qa, &hinted, false, 1);
+        assert!(a.text.contains("40 mg"));
+        assert!(b.confidence > a.confidence);
+
+        let missing = run_with(TaskKind::Qa, "Highlight Enoxaparin.\nNotes: on aspirin", false, 1);
+        assert!(missing.text.contains("No Enoxaparin"));
+    }
+
+    #[test]
+    fn parse_fused_roundtrip() {
+        assert_eq!(parse_fused("negative :: short text"), Some((true, "short text")));
+        assert_eq!(parse_fused("positive :: x"), Some((false, "x")));
+        assert_eq!(parse_fused("garbage"), None);
+    }
+}

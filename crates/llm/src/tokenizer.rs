@@ -1,0 +1,150 @@
+//! Deterministic approximate-BPE tokenizer.
+//!
+//! The simulator does not need a trained vocabulary — it needs token
+//! *counts* and token *identity* that behave like a subword tokenizer:
+//! identical text always yields identical token sequences (so prefix caching
+//! works), long words split into several tokens, punctuation separates, and
+//! counts land near the ~0.75 tokens/word … 1.3 tokens/word range of real
+//! BPE on English text.
+//!
+//! Tokens are stable 64-bit ids (FNV-1a of the piece), so they survive
+//! process restarts — a property the prefix cache's block hashing relies on.
+
+use spear_kv::shard::fnv1a;
+
+/// A token id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// Maximum characters per subword piece; longer words are chunked.
+const MAX_PIECE_CHARS: usize = 6;
+
+/// Deterministic subword tokenizer.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer;
+
+impl Tokenizer {
+    /// Create a tokenizer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Encode text into token ids.
+    #[must_use]
+    pub fn encode(&self, text: &str) -> Vec<Token> {
+        let mut tokens = Vec::with_capacity(text.len() / 4 + 1);
+        for piece in Self::pieces(text) {
+            tokens.push(Token(fnv1a(piece.as_bytes())));
+        }
+        tokens
+    }
+
+    /// Number of tokens in `text` (no allocation of ids).
+    #[must_use]
+    pub fn count(&self, text: &str) -> usize {
+        Self::pieces(text).count()
+    }
+
+    /// Split text into subword pieces: alphanumeric runs (chunked to at most
+    /// [`MAX_PIECE_CHARS`] chars) and single punctuation marks; whitespace
+    /// separates but does not emit tokens.
+    fn pieces(text: &str) -> impl Iterator<Item = String> + '_ {
+        let mut out = Vec::new();
+        let mut word = String::new();
+        let flush = |word: &mut String, out: &mut Vec<String>| {
+            if word.is_empty() {
+                return;
+            }
+            let chars: Vec<char> = word.chars().collect();
+            for chunk in chars.chunks(MAX_PIECE_CHARS) {
+                out.push(chunk.iter().collect());
+            }
+            word.clear();
+        };
+        for ch in text.chars() {
+            if ch.is_alphanumeric() || ch == '\'' {
+                word.push(ch);
+            } else {
+                flush(&mut word, &mut out);
+                if !ch.is_whitespace() {
+                    out.push(ch.to_string());
+                }
+            }
+        }
+        flush(&mut word, &mut out);
+        out.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let t = Tokenizer::new();
+        let a = t.encode("Summarize the patient's medication history.");
+        let b = t.encode("Summarize the patient's medication history.");
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn count_matches_encode_len() {
+        let t = Tokenizer::new();
+        for text in [
+            "",
+            "one",
+            "hello, world!",
+            "antidisestablishmentarianism",
+            "émoji 🦀 and CJK 漢字",
+        ] {
+            assert_eq!(t.count(text), t.encode(text).len(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn long_words_split_into_subwords() {
+        let t = Tokenizer::new();
+        // 28 chars -> ceil(28/6) = 5 pieces.
+        assert_eq!(t.count("antidisestablishmentarianism"), 5);
+        assert_eq!(t.count("cat"), 1);
+    }
+
+    #[test]
+    fn punctuation_is_tokenized_separately() {
+        let t = Tokenizer::new();
+        assert_eq!(t.count("end."), 2);
+        assert_eq!(t.count("a,b;c"), 5);
+        assert_eq!(t.count("   "), 0);
+    }
+
+    #[test]
+    fn shared_prefix_yields_shared_token_prefix() {
+        let t = Tokenizer::new();
+        let base = "Classify the sentiment of the tweet. Respond with one word.";
+        let a = t.encode(&format!("{base} Tweet: great day"));
+        let b = t.encode(&format!("{base} Tweet: awful day"));
+        let common = a.iter().zip(&b).take_while(|(x, y)| x == y).count();
+        let base_len = t.count(base);
+        assert!(common >= base_len, "the instruction prefix must be shared");
+    }
+
+    #[test]
+    fn token_rate_is_plausible_for_english() {
+        let t = Tokenizer::new();
+        let text = "The quick brown fox jumps over the lazy dog near the river bank \
+                    while the evening sun sets slowly behind distant mountains";
+        let words = text.split_whitespace().count();
+        let tokens = t.count(text);
+        let rate = tokens as f64 / words as f64;
+        assert!((0.9..=1.8).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn apostrophes_stay_within_words() {
+        let t = Tokenizer::new();
+        assert_eq!(t.count("don't"), 1);
+    }
+}

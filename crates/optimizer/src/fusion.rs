@@ -1,0 +1,280 @@
+//! Selectivity-aware operator fusion (paper §5 "Operator Fusion", §7).
+//!
+//! Two decisions live here:
+//!
+//! 1. **Semantic-plan fusion** — whether to run a Map/Filter pipeline as
+//!    one fused GEN per item or one GEN per stage. The cost rule reproduces
+//!    the paper's findings: fusing `Map→Filter` always removes a call per
+//!    item (every item passes both stages), while fusing `Filter→Map`
+//!    destroys the predicate-pushdown saving, so it only pays off at high
+//!    selectivity. "Fusion strategies should be selectivity aware."
+//!
+//! 2. **Adjacent-GEN classification** — SPEAR "distinguishes between
+//!    semantically coupled and independent use cases": GENs that share a
+//!    prompt/view may fuse; independent per-item GENs should not.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use spear_core::ops::{Op, PromptRef};
+
+use crate::cost::CostModel;
+use crate::plan::{PhysicalPlan, SemanticPlan};
+
+/// Token-level estimates for one stage of a plan (averages over items).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageEstimate {
+    /// Prompt tokens per call.
+    pub prompt_tokens: f64,
+    /// Fraction of prompt tokens expected to be cached, `[0, 1]`.
+    pub cached_fraction: f64,
+    /// Decoded tokens per call.
+    pub decode_tokens: f64,
+}
+
+impl StageEstimate {
+    fn call_cost(&self, model: &CostModel) -> Duration {
+        let cached = self.prompt_tokens * self.cached_fraction;
+        model.estimate_call(self.prompt_tokens - cached, cached, self.decode_tokens)
+    }
+}
+
+/// Inputs to the fusion decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEstimates {
+    /// Number of input items.
+    pub n_items: f64,
+    /// Estimated filter selectivity (fraction kept), `[0, 1]`.
+    pub selectivity: f64,
+    /// Per-stage estimate for sequential calls.
+    pub per_stage: StageEstimate,
+    /// Estimate for the fused call (longer prompt, combined decode).
+    pub fused: StageEstimate,
+}
+
+/// The fusion decision with its cost evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionDecision {
+    /// Whether to fuse.
+    pub fuse: bool,
+    /// Estimated total time for the sequential plan.
+    pub sequential: Duration,
+    /// Estimated total time for the fused plan.
+    pub fused: Duration,
+    /// Estimated gain of fusing: `(sequential − fused) / sequential`.
+    pub gain: f64,
+    /// Human-readable rationale.
+    pub reason: String,
+}
+
+/// Estimated cost of the sequential physical form: each stage runs over
+/// the items surviving the previous filters.
+#[must_use]
+pub fn sequential_cost(
+    plan: &SemanticPlan,
+    est: &PlanEstimates,
+    model: &CostModel,
+) -> Duration {
+    let physical = PhysicalPlan::sequential(plan);
+    let call = est.per_stage.call_cost(model).as_secs_f64();
+    let mut surviving = est.n_items;
+    let mut total = 0.0;
+    for stage in &physical.stages {
+        total += surviving * call;
+        if stage.filters() {
+            surviving *= est.selectivity.clamp(0.0, 1.0);
+        }
+    }
+    Duration::from_secs_f64(total)
+}
+
+/// Estimated cost of the fused physical form: one combined call per item.
+#[must_use]
+pub fn fused_cost(est: &PlanEstimates, model: &CostModel) -> Duration {
+    Duration::from_secs_f64(est.n_items * est.fused.call_cost(model).as_secs_f64())
+}
+
+/// Decide whether to fuse `plan` under `est`.
+#[must_use]
+pub fn decide(plan: &SemanticPlan, est: &PlanEstimates, model: &CostModel) -> FusionDecision {
+    let sequential = sequential_cost(plan, est, model);
+    let fused = fused_cost(est, model);
+    let gain = if sequential.is_zero() {
+        0.0
+    } else {
+        (sequential.as_secs_f64() - fused.as_secs_f64()) / sequential.as_secs_f64()
+    };
+    let fuse = fused < sequential;
+    let reason = if fuse {
+        format!(
+            "fusing {} saves {:.1}% (every surviving item pays one combined call \
+             instead of several)",
+            plan.shape(),
+            gain * 100.0
+        )
+    } else {
+        format!(
+            "keeping {} sequential: early filtering at selectivity {:.0}% skips \
+             downstream calls that fusion would pay for",
+            plan.shape(),
+            est.selectivity * 100.0
+        )
+    };
+    FusionDecision {
+        fuse,
+        sequential,
+        fused,
+        gain,
+        reason,
+    }
+}
+
+/// Relationship between two adjacent GEN operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GenRelation {
+    /// The GENs read the same prompt entry or view — candidates for fusion
+    /// into a single multi-section prompt.
+    SharedContext,
+    /// Independent GENs (different prompts/items) — fusing "may degrade
+    /// accuracy and hinder retries or evaluation" (§5).
+    Independent,
+}
+
+/// Classify two adjacent operators (non-GEN pairs are `Independent`).
+#[must_use]
+pub fn classify_adjacent(a: &Op, b: &Op) -> GenRelation {
+    let prompt_of = |op: &Op| -> Option<String> {
+        match op {
+            Op::Gen { prompt, .. } => match prompt {
+                PromptRef::Key(k) => Some(format!("key:{k}")),
+                PromptRef::View { name, .. } => Some(format!("view:{name}")),
+                PromptRef::Inline(_) => None,
+            },
+            _ => None,
+        }
+    };
+    match (prompt_of(a), prompt_of(b)) {
+        (Some(x), Some(y)) if x == y => GenRelation::SharedContext,
+        _ => GenRelation::Independent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_core::llm::GenOptions;
+
+    /// Estimates resembling the paper's tweet workload: ~60-token stage
+    /// prompts, ~110-token fused prompts, short decodes.
+    fn estimates(selectivity: f64) -> PlanEstimates {
+        PlanEstimates {
+            n_items: 1000.0,
+            selectivity,
+            per_stage: StageEstimate {
+                prompt_tokens: 60.0,
+                cached_fraction: 0.0,
+                decode_tokens: 20.0,
+            },
+            fused: StageEstimate {
+                prompt_tokens: 95.0,
+                cached_fraction: 0.0,
+                decode_tokens: 26.0,
+            },
+        }
+    }
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn map_filter_fusion_wins_at_every_selectivity() {
+        let plan = SemanticPlan::map_then_filter("clean", "negative?");
+        for s in [0.1, 0.3, 0.5, 0.8, 1.0] {
+            let d = decide(&plan, &estimates(s), &model());
+            assert!(d.fuse, "selectivity {s}");
+            assert!(
+                (0.1..=0.35).contains(&d.gain),
+                "gain {} at selectivity {s} should be ~20%",
+                d.gain
+            );
+        }
+    }
+
+    #[test]
+    fn filter_map_fusion_depends_on_selectivity() {
+        let plan = SemanticPlan::filter_then_map("negative?", "clean");
+        let low = decide(&plan, &estimates(0.1), &model());
+        assert!(!low.fuse, "predicate pushdown wins at 10% selectivity");
+        assert!(low.gain < 0.0);
+
+        let high = decide(&plan, &estimates(1.0), &model());
+        assert!(high.fuse, "at 100% selectivity pushdown saves nothing");
+        assert!(high.gain > 0.1);
+    }
+
+    #[test]
+    fn filter_map_crossover_exists_between_30_and_80_percent() {
+        let plan = SemanticPlan::filter_then_map("negative?", "clean");
+        let at_30 = decide(&plan, &estimates(0.3), &model());
+        let at_80 = decide(&plan, &estimates(0.8), &model());
+        assert!(at_30.gain < at_80.gain);
+        assert!(!at_30.fuse);
+        assert!(at_80.fuse);
+    }
+
+    #[test]
+    fn sequential_cost_models_pushdown() {
+        let fm = SemanticPlan::filter_then_map("f", "m");
+        let mf = SemanticPlan::map_then_filter("m", "f");
+        let est = estimates(0.1);
+        let seq_fm = sequential_cost(&fm, &est, &model());
+        let seq_mf = sequential_cost(&mf, &est, &model());
+        assert!(
+            seq_fm < seq_mf,
+            "filter-first sequential is cheaper at low selectivity"
+        );
+    }
+
+    #[test]
+    fn decision_reason_is_informative() {
+        let plan = SemanticPlan::filter_then_map("f", "m");
+        let d = decide(&plan, &estimates(0.1), &model());
+        assert!(d.reason.contains("selectivity"));
+    }
+
+    #[test]
+    fn adjacent_gen_classification() {
+        let gen = |key: &str| Op::Gen {
+            label: "x".into(),
+            prompt: PromptRef::key(key),
+            options: GenOptions::default(),
+        };
+        assert_eq!(
+            classify_adjacent(&gen("summary"), &gen("summary")),
+            GenRelation::SharedContext
+        );
+        assert_eq!(
+            classify_adjacent(&gen("summary"), &gen("other")),
+            GenRelation::Independent
+        );
+        let inline = Op::Gen {
+            label: "x".into(),
+            prompt: PromptRef::Inline("ad hoc".into()),
+            options: GenOptions::default(),
+        };
+        assert_eq!(
+            classify_adjacent(&inline, &inline),
+            GenRelation::Independent,
+            "opaque prompts cannot be proven shared"
+        );
+        let ret = Op::Ret {
+            source: "s".into(),
+            query: spear_core::retriever::RetrievalQuery::All,
+            prompt: None,
+            into: "c".into(),
+            limit: 1,
+        };
+        assert_eq!(classify_adjacent(&ret, &gen("x")), GenRelation::Independent);
+    }
+}

@@ -1,0 +1,233 @@
+//! Semantic plans: Map/Filter pipelines over item collections.
+//!
+//! The paper's fusion experiments (§7, Table 4, Figure 1) run per-item
+//! semantic operators — *Map* (clean up / summarize) and *Filter*
+//! (sentiment predicate) — in sequential or fused physical forms. This
+//! module is the logical/physical plan layer: a [`SemanticPlan`] describes
+//! the stages; [`PhysicalPlan`]s are either one GEN per stage per item, or
+//! one fused GEN per item; the executor in [`crate::exec`] runs plans
+//! against any `LlmClient` and reports time, calls, and outcomes.
+
+use serde::{Deserialize, Serialize};
+
+/// One logical semantic stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SemanticOp {
+    /// Transform each item (e.g. "clean up the tweet").
+    Map {
+        /// Natural-language instruction for the transformation.
+        instruction: String,
+    },
+    /// Keep items satisfying a predicate (e.g. "negative sentiment").
+    Filter {
+        /// Natural-language instruction for the predicate.
+        instruction: String,
+    },
+}
+
+impl SemanticOp {
+    /// Stage label for plan rendering.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SemanticOp::Map { .. } => "Map",
+            SemanticOp::Filter { .. } => "Filter",
+        }
+    }
+
+    /// The instruction text.
+    #[must_use]
+    pub fn instruction(&self) -> &str {
+        match self {
+            SemanticOp::Map { instruction } | SemanticOp::Filter { instruction } => instruction,
+        }
+    }
+}
+
+/// A logical pipeline over items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SemanticPlan {
+    /// Stages in execution order.
+    pub stages: Vec<SemanticOp>,
+    /// Optional structured identity (view-derived plans are cacheable; see
+    /// the engine's structure-gates-caching rule).
+    pub identity: Option<String>,
+}
+
+impl SemanticPlan {
+    /// The paper's Map→Filter configuration (clean up, then classify).
+    #[must_use]
+    pub fn map_then_filter(map_instruction: &str, filter_instruction: &str) -> Self {
+        Self {
+            stages: vec![
+                SemanticOp::Map {
+                    instruction: map_instruction.to_string(),
+                },
+                SemanticOp::Filter {
+                    instruction: filter_instruction.to_string(),
+                },
+            ],
+            identity: None,
+        }
+    }
+
+    /// The paper's Filter→Map configuration (classify, then clean up).
+    #[must_use]
+    pub fn filter_then_map(filter_instruction: &str, map_instruction: &str) -> Self {
+        Self {
+            stages: vec![
+                SemanticOp::Filter {
+                    instruction: filter_instruction.to_string(),
+                },
+                SemanticOp::Map {
+                    instruction: map_instruction.to_string(),
+                },
+            ],
+            identity: None,
+        }
+    }
+
+    /// Attach a structured identity (e.g. `view:tweet_pipeline@1`).
+    #[must_use]
+    pub fn with_identity(mut self, id: impl Into<String>) -> Self {
+        self.identity = Some(id.into());
+        self
+    }
+
+    /// Render the plan in paper notation, e.g. `Map→Filter`.
+    #[must_use]
+    pub fn shape(&self) -> String {
+        self.stages
+            .iter()
+            .map(SemanticOp::label)
+            .collect::<Vec<_>>()
+            .join("→")
+    }
+}
+
+/// One physical stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhysicalStage {
+    /// One GEN per surviving item for a single semantic op.
+    Gen {
+        /// The semantic op executed.
+        op: SemanticOp,
+    },
+    /// One GEN per surviving item executing several semantic ops at once.
+    FusedGen {
+        /// The fused ops, in semantic order.
+        ops: Vec<SemanticOp>,
+    },
+}
+
+impl PhysicalStage {
+    /// Number of semantic ops this stage covers.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        match self {
+            PhysicalStage::Gen { .. } => 1,
+            PhysicalStage::FusedGen { ops } => ops.len(),
+        }
+    }
+
+    /// Whether the stage ends with a filter (its output gates later stages).
+    #[must_use]
+    pub fn filters(&self) -> bool {
+        match self {
+            PhysicalStage::Gen { op } => matches!(op, SemanticOp::Filter { .. }),
+            PhysicalStage::FusedGen { ops } => {
+                ops.iter().any(|o| matches!(o, SemanticOp::Filter { .. }))
+            }
+        }
+    }
+}
+
+/// A physical plan: stages plus the plan identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalPlan {
+    /// Physical stages in order.
+    pub stages: Vec<PhysicalStage>,
+    /// Structured identity inherited from the logical plan.
+    pub identity: Option<String>,
+}
+
+impl PhysicalPlan {
+    /// Sequential physical form: one GEN stage per semantic op.
+    #[must_use]
+    pub fn sequential(plan: &SemanticPlan) -> Self {
+        Self {
+            stages: plan
+                .stages
+                .iter()
+                .cloned()
+                .map(|op| PhysicalStage::Gen { op })
+                .collect(),
+            identity: plan.identity.clone(),
+        }
+    }
+
+    /// Fully fused physical form: all semantic ops in one GEN.
+    #[must_use]
+    pub fn fused(plan: &SemanticPlan) -> Self {
+        Self {
+            stages: vec![PhysicalStage::FusedGen {
+                ops: plan.stages.clone(),
+            }],
+            identity: plan.identity.clone(),
+        }
+    }
+
+    /// Render, e.g. `[Map] [Filter]` vs `[Map+Filter]`.
+    #[must_use]
+    pub fn shape(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                PhysicalStage::Gen { op } => format!("[{}]", op.label()),
+                PhysicalStage::FusedGen { ops } => format!(
+                    "[{}]",
+                    ops.iter().map(SemanticOp::label).collect::<Vec<_>>().join("+")
+                ),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_shapes_render_in_paper_notation() {
+        let mf = SemanticPlan::map_then_filter("clean up", "negative?");
+        assert_eq!(mf.shape(), "Map→Filter");
+        let fm = SemanticPlan::filter_then_map("negative?", "clean up");
+        assert_eq!(fm.shape(), "Filter→Map");
+    }
+
+    #[test]
+    fn physical_forms() {
+        let plan = SemanticPlan::map_then_filter("m", "f").with_identity("view:v@1");
+        let seq = PhysicalPlan::sequential(&plan);
+        assert_eq!(seq.stages.len(), 2);
+        assert_eq!(seq.shape(), "[Map] [Filter]");
+        assert!(!seq.stages[0].filters());
+        assert!(seq.stages[1].filters());
+
+        let fused = PhysicalPlan::fused(&plan);
+        assert_eq!(fused.stages.len(), 1);
+        assert_eq!(fused.shape(), "[Map+Filter]");
+        assert_eq!(fused.stages[0].width(), 2);
+        assert!(fused.stages[0].filters());
+        assert_eq!(fused.identity.as_deref(), Some("view:v@1"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = SemanticPlan::filter_then_map("f", "m");
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: SemanticPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,184 @@
+//! Inverted index with BM25 ranking.
+//!
+//! A small, correct BM25 implementation over in-memory documents — the
+//! ranking substrate behind prompt-based RET. Postings are
+//! `term → (doc, tf)` lists; document length normalization uses the
+//! standard `k1 = 1.2`, `b = 0.75` parameters.
+
+use std::collections::HashMap;
+
+use crate::text::words;
+
+/// BM25 `k1` (term-frequency saturation).
+pub const K1: f64 = 1.2;
+/// BM25 `b` (length normalization).
+pub const B: f64 = 0.75;
+
+/// Internal document handle.
+pub type DocId = usize;
+
+#[derive(Debug, Default)]
+struct Posting {
+    docs: Vec<(DocId, u32)>,
+}
+
+/// An inverted index over documents added with [`InvertedIndex::add`].
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Posting>,
+    doc_lengths: Vec<u32>,
+    total_len: u64,
+}
+
+impl InvertedIndex {
+    /// Empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index `text`, returning its [`DocId`] (dense, insertion-ordered).
+    pub fn add(&mut self, text: &str) -> DocId {
+        let id = self.doc_lengths.len();
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        let mut len = 0u32;
+        for w in words(text) {
+            *tf.entry(w).or_default() += 1;
+            len += 1;
+        }
+        for (term, count) in tf {
+            self.postings.entry(term).or_default().docs.push((id, count));
+        }
+        self.doc_lengths.push(len);
+        self.total_len += u64::from(len);
+        id
+    }
+
+    /// Number of indexed documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.doc_lengths.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.doc_lengths.is_empty()
+    }
+
+    fn avgdl(&self) -> f64 {
+        if self.doc_lengths.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_lengths.len() as f64
+        }
+    }
+
+    /// BM25-score `query_terms` (already analysed) against all documents;
+    /// returns `(doc, score)` with score > 0, best first, ties broken by
+    /// doc id for determinism.
+    #[must_use]
+    pub fn search(&self, query_terms: &[String], limit: usize) -> Vec<(DocId, f64)> {
+        let n = self.doc_lengths.len() as f64;
+        if n == 0.0 {
+            return Vec::new();
+        }
+        let avgdl = self.avgdl().max(1.0);
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for term in query_terms {
+            let Some(posting) = self.postings.get(term) else {
+                continue;
+            };
+            let df = posting.docs.len() as f64;
+            // BM25+-style floor keeps idf positive for very common terms.
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for &(doc, tf) in &posting.docs {
+                let tf = f64::from(tf);
+                let dl = f64::from(self.doc_lengths[doc]);
+                let norm = tf * (K1 + 1.0) / (tf + K1 * (1.0 - B + B * dl / avgdl));
+                *scores.entry(doc).or_default() += idf * norm;
+            }
+        }
+        let mut ranked: Vec<(DocId, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        ranked.truncate(limit);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::keywords;
+
+    fn sample() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add("enoxaparin 40 mg daily for dvt prophylaxis");
+        idx.add("no anticoagulation indicated, discharged on lisinopril");
+        idx.add("enoxaparin held before procedure, enoxaparin resumed after");
+        idx.add("ct angiogram negative for pulmonary embolism");
+        idx
+    }
+
+    #[test]
+    fn exact_term_matches_rank_by_tf() {
+        let idx = sample();
+        let hits = idx.search(&keywords("enoxaparin"), 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 2, "doc with tf=2 ranks first");
+        assert_eq!(hits[1].0, 0);
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn multi_term_queries_accumulate() {
+        let idx = sample();
+        let hits = idx.search(&keywords("enoxaparin dvt prophylaxis"), 10);
+        assert_eq!(hits[0].0, 0, "doc matching all three terms wins");
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let mut idx = InvertedIndex::new();
+        for i in 0..20 {
+            idx.add(&format!("common filler note number {i}"));
+        }
+        idx.add("common rareterm appears here");
+        let hits = idx.search(&keywords("common rareterm"), 3);
+        assert_eq!(hits[0].0, 20);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let idx = sample();
+        assert!(idx.search(&keywords("warfarin"), 10).is_empty());
+        assert!(InvertedIndex::new().search(&keywords("x"), 5).is_empty());
+    }
+
+    #[test]
+    fn limit_is_respected_and_order_deterministic() {
+        let mut idx = InvertedIndex::new();
+        for _ in 0..5 {
+            idx.add("identical tied document text");
+        }
+        let hits = idx.search(&keywords("identical document"), 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(
+            hits.iter().map(|h| h.0).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "ties break by doc id"
+        );
+    }
+
+    #[test]
+    fn scores_are_positive_for_all_hits() {
+        let idx = sample();
+        for (_, s) in idx.search(&keywords("enoxaparin procedure daily"), 10) {
+            assert!(s > 0.0);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Text analysis for indexing and querying: word tokenization and
+//! stopword-aware keyword extraction for prompt-based retrieval.
+
+/// English stopwords plus retrieval-prompt boilerplate ("retrieve",
+/// "find", …) that carries no content signal.
+const STOPWORDS: &[&str] = &[
+    "a", "about", "all", "an", "and", "any", "are", "as", "at", "be",
+    "but", "by", "fetch", "find", "for", "from", "get", "has", "have", "i",
+    "in", "into", "is", "it", "its", "last", "list", "look", "lookup",
+    "me", "my", "no", "not", "of", "on", "or", "our", "over", "past",
+    "please", "related", "relevant", "retrieve", "show", "that", "the",
+    "their", "them", "then", "there", "these", "they", "this", "to",
+    "under", "up", "us", "was", "we", "were", "what", "when", "where",
+    "which", "while", "who", "whose", "will", "with", "within", "you",
+    "your",
+];
+
+/// Lowercased alphanumeric word stream.
+pub fn words(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(str::to_lowercase)
+}
+
+/// Whether `word` (already lowercased) is a stopword.
+#[must_use]
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Content keywords of a retrieval prompt: lowercased, de-duplicated (order
+/// preserving), stopwords removed, length ≥ 2.
+#[must_use]
+pub fn keywords(prompt: &str) -> Vec<String> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for w in words(prompt) {
+        if w.len() >= 2 && !is_stopword(&w) && seen.insert(w.clone()) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_table_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(STOPWORDS, sorted.as_slice(), "keep STOPWORDS sorted");
+    }
+
+    #[test]
+    fn words_lowercase_and_split() {
+        let w: Vec<String> = words("Enoxaparin 40mg, SC/daily!").collect();
+        assert_eq!(w, vec!["enoxaparin", "40mg", "sc", "daily"]);
+    }
+
+    #[test]
+    fn keywords_strip_boilerplate() {
+        let k = keywords("Retrieve all medication orders related to Enoxaparin from the last 72 hours");
+        assert_eq!(k, vec!["medication", "orders", "enoxaparin", "72", "hours"]);
+    }
+
+    #[test]
+    fn keywords_deduplicate_preserving_order() {
+        assert_eq!(keywords("dose dose timing dose"), vec!["dose", "timing"]);
+    }
+
+    #[test]
+    fn stopword_checks() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("retrieve"));
+        assert!(!is_stopword("enoxaparin"));
+    }
+}

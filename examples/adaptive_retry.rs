@@ -1,0 +1,129 @@
+//! Prompt management deep-dive: the three refinement modes, prompt
+//! histories, rollback, DIFF, shadow execution, and meta-analysis of which
+//! refiners actually help (paper §4.1–§4.4, §6).
+//!
+//! Run with: `cargo run --example adaptive_retry`
+
+use std::sync::Arc;
+
+use spear::core::prelude::*;
+use spear::core::shadow::ShadowDiff;
+use spear::core::{meta, replay};
+use spear::llm::{ModelProfile, SimLlm};
+
+fn main() -> Result<()> {
+    let runtime = Runtime::builder()
+        .llm(Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct())))
+        .build();
+    let mut state = ExecState::new();
+    state
+        .context
+        .set("notes", "enoxaparin 40 mg SC daily for DVT prophylaxis");
+
+    // One pipeline exercising all three refinement modes on one prompt.
+    let pipeline = Pipeline::builder("three_modes")
+        .create_text(
+            "qa_prompt",
+            "Summarize the medication history and highlight any use of \
+             Enoxaparin.\nNotes: {{ctx:notes}}",
+            RefinementMode::Manual,
+        )
+        .gen("answer_0", "qa_prompt")
+        // Manual: the developer appends domain knowledge (paper §4.1).
+        .refine(
+            "qa_prompt",
+            RefAction::Append,
+            "append",
+            Value::from("Include lab values like D-dimer and the provider rationale."),
+            RefinementMode::Manual,
+        )
+        // Assisted: high-level intent, LLM produces the rewrite.
+        .refine(
+            "qa_prompt",
+            RefAction::Update,
+            "llm_rewrite",
+            Value::from("highlight PE-related justification"),
+            RefinementMode::Assisted,
+        )
+        .gen("answer_1", "qa_prompt")
+        // Automatic: signal-driven hint injection on low confidence.
+        .check(Cond::low_confidence(0.95), |b| {
+            b.refine(
+                "qa_prompt",
+                RefAction::Update,
+                "auto_refine",
+                Value::Null,
+                RefinementMode::Auto,
+            )
+            .gen("answer_2", "qa_prompt")
+        })
+        .build();
+    runtime.execute(&pipeline, &mut state)?;
+
+    let entry = state.prompts.get("qa_prompt")?;
+    println!("prompt evolved through {} versions:", entry.version);
+    for rec in &entry.ref_log {
+        println!("  {}", rec.summary());
+    }
+
+    // Replay and verify the history (paper §6 "refinement replay").
+    replay::verify(&entry)?;
+    let v2 = replay::replay_to(&entry, 2)?;
+    println!("\nreplayed v2 text starts: {:?}…", &v2.text[..60.min(v2.text.len())]);
+
+    // DIFF between versions (derived operator, Table 2).
+    let d = state.prompts.diff_versions("qa_prompt", 1, entry.version)?;
+    println!(
+        "diff v1 → v{}: +{} lines, -{} lines, similarity {:.2}",
+        entry.version, d.added, d.removed, d.similarity
+    );
+
+    // Rollback: the history is append-only, so rolling back *adds* a step.
+    state.prompts.rollback("qa_prompt", 2, 99)?;
+    let rolled = state.prompts.get("qa_prompt")?;
+    println!(
+        "after rollback to v2: now v{} with {} history records",
+        rolled.version,
+        rolled.ref_log.len()
+    );
+
+    // Shadow execution (paper §6): trial a different refinement strategy
+    // against a cloned state; the primary is untouched.
+    let variant = Pipeline::builder("shadow_variant")
+        .refine(
+            "qa_prompt",
+            RefAction::Update,
+            "inject_example",
+            map([
+                ("input", Value::from("enoxaparin 60 mg nightly")),
+                ("output", Value::from("Enoxaparin use documented: 60 mg nightly")),
+            ]),
+            RefinementMode::Manual,
+        )
+        .gen("shadow_answer", "qa_prompt")
+        .build();
+    let shadow = runtime.shadow_execute(&variant, &state)?;
+    let diff = ShadowDiff::between(&state, &shadow.state);
+    println!(
+        "\nshadow run: {} changed prompts, {} new context keys, \
+         confidence delta {:?}",
+        diff.changed_prompts.len(),
+        diff.changed_context_keys.len(),
+        diff.confidence_delta
+    );
+    assert!(!state.context.contains("shadow_answer"), "primary untouched");
+
+    // Meta-analysis (paper §4.4): which refiners raise confidence?
+    let stats = meta::analyze_refiners(&state.prompts);
+    println!("\nrefiner effectiveness mined from ref_logs:");
+    for s in &stats {
+        println!(
+            "  {:12} applications={} avg_gain={:?}",
+            s.f_name, s.applications, s.avg_gain
+        );
+    }
+    if let Some(best) = meta::recommend(&stats) {
+        println!("recommended refiner: {}", best.f_name);
+    }
+    Ok(())
+}

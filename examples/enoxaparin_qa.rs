@@ -1,0 +1,173 @@
+//! The paper's §2 use case end-to-end: an Enoxaparin QA pipeline over
+//! clinical notes with per-note-type view dispatch, confidence-based
+//! retry, missing-order retrieval, and a delegated evidence check.
+//!
+//! Run with: `cargo run --example enoxaparin_qa`
+
+use std::sync::Arc;
+
+use spear::core::agent::EvidenceValidator;
+use spear::core::prelude::*;
+use spear::data::{clinical, ClinicalConfig};
+use spear::llm::{ModelProfile, SimLlm};
+use spear::retrieval::doc_store_from_notes;
+
+fn main() -> Result<()> {
+    // Synthetic clinical cohort (DESIGN.md substitution for gated notes).
+    let cohort = clinical::generate(&ClinicalConfig {
+        patients: 20,
+        ..ClinicalConfig::default()
+    });
+    let patient = cohort
+        .truth
+        .iter()
+        .find(|t| t.received && t.within_48h)
+        .expect("cohort contains a recent Enoxaparin patient");
+    println!(
+        "patient {} — ground truth: dose {:?} mg, within 48h: {}",
+        patient.patient_id, patient.dose_mg, patient.within_48h
+    );
+
+    // Per-note-type views (paper §4.2: "different types of input notes may
+    // invoke different views").
+    let views = ViewCatalog::new();
+    views.register(
+        ViewDef::new(
+            "discharge_summary",
+            "Summarize the patient's medication history and highlight any \
+             use of {{drug}}, emphasizing medications, hospital course, and \
+             follow-up.\nNotes: {{ctx:notes_text}}",
+        )
+        .with_param(ParamSpec::required("drug"))
+        .with_tag("discharge"),
+    );
+    views.register(
+        ViewDef::new(
+            "nursing_note",
+            "Review the nursing observations and highlight any administration \
+             of {{drug}}, including timing and care delivered.\nNotes: \
+             {{ctx:notes_text}}",
+        )
+        .with_param(ParamSpec::required("drug"))
+        .with_tag("nursing"),
+    );
+
+    // Retrieval substrate: BM25 document store over the cohort's notes.
+    let doc_store = Arc::new(doc_store_from_notes(&cohort.notes));
+
+    let runtime = Runtime::builder()
+        .llm(Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct())))
+        .retriever("clinical_notes", doc_store.clone())
+        .retriever("order_lookup", doc_store)
+        .agent(
+            "validation_agent",
+            Arc::new(EvidenceValidator {
+                evidence_key: "notes_text".into(),
+            }),
+        )
+        .views(views)
+        .build();
+
+    // Structured retrieval: this patient's notes from the last 72 hours
+    // (paper §2's `RET["order_lookup", patient_id, time_window]`).
+    let mut filters = std::collections::BTreeMap::new();
+    filters.insert("patient_id".to_string(), Value::from(patient.patient_id.clone()));
+    filters.insert("max_age_hours".to_string(), Value::from(200));
+
+    let pipeline = Pipeline::builder("enoxaparin_qa")
+        // Retrieve this patient's notes.
+        .ret_structured("clinical_notes", filters.clone(), "notes", 10)
+        // Construct the QA prompt from the discharge view.
+        .create_from_view(
+            "qa_prompt",
+            "discharge_summary",
+            [("drug".to_string(), Value::from("Enoxaparin"))]
+                .into_iter()
+                .collect(),
+        )
+        // Initial answer + confidence retry with the auto refiner.
+        .retry_gen(
+            "answer",
+            "qa_prompt",
+            Cond::low_confidence(0.8),
+            "auto_refine",
+            Value::Null,
+            RefinementMode::Auto,
+            2,
+        )
+        // Missing-order retrieval (Table 1: `CHECK["orders" not in C]`).
+        .check(Cond::NotInContext("orders".into()), |b| {
+            b.op(Op::Ret {
+                source: "order_lookup".into(),
+                query: RetrievalQuery::Structured(filters.clone()),
+                prompt: None,
+                into: "orders".into(),
+                limit: 5,
+            })
+        })
+        // Delegated evidence check (Table 1: DELEGATE → C["evidence_score"]).
+        .delegate(
+            "validation_agent",
+            PayloadSpec::CtxKey("answer_0".into()),
+            "evidence_score",
+        )
+        .build();
+
+    let mut state = ExecState::new();
+    // Flatten retrieved notes into the text the views interpolate.
+    // (A REF with ctx_writes could do this inside the pipeline; doing it in
+    // the host shows the two layers interoperating.)
+    let runtime_report = {
+        // First run RET alone so we can flatten, then run the rest.
+        let ret_only = Pipeline::builder("fetch")
+            .ret_structured("clinical_notes", filters.clone(), "notes", 10)
+            .build();
+        runtime.execute(&ret_only, &mut state)?;
+        let notes_text = state
+            .context
+            .get("notes")
+            .and_then(|v| {
+                v.as_list().map(|docs| {
+                    docs.iter()
+                        .filter_map(|d| d.path("text").and_then(Value::as_str).map(str::to_string))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                })
+            })
+            .unwrap_or_default();
+        state.context.set("notes_text", notes_text);
+        runtime.execute(&pipeline, &mut state)?
+    };
+
+    println!(
+        "\npipeline ran {} ops, {} generations, {} checks taken",
+        runtime_report.ops_executed, runtime_report.gens, runtime_report.checks_taken
+    );
+    println!(
+        "answer_0: {}",
+        state.context.get("answer_0").unwrap_or_default().render()
+    );
+    println!(
+        "evidence_score: {:.2}",
+        state
+            .context
+            .get("evidence_score")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+    );
+    println!(
+        "orders retrieved: {}",
+        state
+            .context
+            .get("orders")
+            .and_then(|v| v.as_list().map(<[Value]>::len))
+            .unwrap_or(0)
+    );
+
+    // Introspection: the prompt's provenance and the meta prompt SPEAR
+    // would feed back to an LLM for meta-optimization (paper §4.4).
+    let entry = state.prompts.get("qa_prompt")?;
+    println!("\n--- meta prompt (paper §4.4) ---");
+    println!("{}", spear::core::meta::meta_prompt_for("qa_prompt", &entry));
+    Ok(())
+}

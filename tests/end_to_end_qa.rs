@@ -1,0 +1,239 @@
+//! Cross-crate integration: the §2 Enoxaparin QA pipeline wired end to end
+//! over the real substrates — synthetic cohort (`spear-data`), BM25
+//! retrieval (`spear-retrieval`), simulated inference with prefix caching
+//! (`spear-llm`), and the core runtime with views, retries, delegation,
+//! tracing, and shadow execution.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spear::core::agent::EvidenceValidator;
+use spear::core::prelude::*;
+use spear::core::trace::TraceKind;
+use spear::data::{clinical, ClinicalConfig};
+use spear::llm::{ModelProfile, SimLlm};
+use spear::retrieval::doc_store_from_notes;
+
+fn build_runtime(cohort: &spear::data::Cohort) -> Runtime {
+    let views = ViewCatalog::new();
+    views.register(
+        ViewDef::new(
+            "discharge_summary",
+            "Summarize the patient's medication history and highlight any use \
+             of {{drug}}.\nNotes: {{ctx:notes_text}}",
+        )
+        .with_param(ParamSpec::required("drug"))
+        .with_tag("discharge"),
+    );
+    let docs = Arc::new(doc_store_from_notes(&cohort.notes));
+    Runtime::builder()
+        .llm(Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct())))
+        .retriever("clinical_notes", docs)
+        .agent(
+            "validation_agent",
+            Arc::new(EvidenceValidator {
+                evidence_key: "notes_text".into(),
+            }),
+        )
+        .views(views)
+        .build()
+}
+
+fn patient_filters(patient_id: &str) -> BTreeMap<String, Value> {
+    let mut filters = BTreeMap::new();
+    filters.insert("patient_id".to_string(), Value::from(patient_id));
+    filters
+}
+
+#[test]
+fn clinical_pipeline_answers_with_grounded_evidence() {
+    let cohort = clinical::generate(&ClinicalConfig::default());
+    let runtime = build_runtime(&cohort);
+    let on_drug = cohort.truth.iter().find(|t| t.received).unwrap();
+
+    let mut state = ExecState::new();
+    // Stage 1: retrieve and flatten this patient's notes.
+    let fetch = Pipeline::builder("fetch")
+        .ret_structured("clinical_notes", patient_filters(&on_drug.patient_id), "notes", 10)
+        .build();
+    runtime.execute(&fetch, &mut state).unwrap();
+    let notes = state.context.get("notes").unwrap();
+    let notes_text: String = notes
+        .as_list()
+        .unwrap()
+        .iter()
+        .filter_map(|d| d.path("text").and_then(Value::as_str).map(str::to_string))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_eq!(notes.as_list().unwrap().len(), 3, "all three note types");
+    state.context.set("notes_text", notes_text);
+
+    // Stage 2: QA with retry + delegated validation.
+    let qa = Pipeline::builder("qa")
+        .create_from_view(
+            "qa_prompt",
+            "discharge_summary",
+            [("drug".to_string(), Value::from("Enoxaparin"))]
+                .into_iter()
+                .collect(),
+        )
+        .retry_gen(
+            "answer",
+            "qa_prompt",
+            Cond::low_confidence(0.8),
+            "auto_refine",
+            Value::Null,
+            RefinementMode::Auto,
+            2,
+        )
+        .delegate(
+            "validation_agent",
+            PayloadSpec::CtxKey("answer_0".into()),
+            "evidence_score",
+        )
+        .build();
+    let report = runtime.execute(&qa, &mut state).unwrap();
+
+    // The answer quotes the dose the generator planted.
+    let answer = state.context.get("answer_0").unwrap();
+    let dose = on_drug.dose_mg.unwrap();
+    assert!(
+        answer.as_str().unwrap().contains(&format!("{dose} mg")),
+        "answer {:?} should quote the {dose} mg dose",
+        answer
+    );
+    // Delegated evidence check scores high (the answer is extractive).
+    let score = state.context.get("evidence_score").unwrap().as_f64().unwrap();
+    assert!(score > 0.8, "evidence score {score}");
+    assert!(report.gens >= 1);
+
+    // Trace covers every operator class used.
+    assert!(state.trace.count(TraceKind::Gen) >= 1);
+    assert_eq!(state.trace.count(TraceKind::Delegate), 1);
+    assert_eq!(state.trace.count(TraceKind::Error), 0);
+}
+
+#[test]
+fn patient_without_drug_gets_negative_answer() {
+    let cohort = clinical::generate(&ClinicalConfig::default());
+    let runtime = build_runtime(&cohort);
+    let off_drug = cohort.truth.iter().find(|t| !t.received).unwrap();
+
+    let mut state = ExecState::new();
+    let fetch = Pipeline::builder("fetch")
+        .ret_structured(
+            "clinical_notes",
+            patient_filters(&off_drug.patient_id),
+            "notes",
+            10,
+        )
+        .build();
+    runtime.execute(&fetch, &mut state).unwrap();
+    let notes_text: String = state
+        .context
+        .get("notes")
+        .unwrap()
+        .as_list()
+        .unwrap()
+        .iter()
+        .filter_map(|d| d.path("text").and_then(Value::as_str).map(str::to_string))
+        .collect::<Vec<_>>()
+        .join("\n");
+    state.context.set("notes_text", notes_text);
+
+    let qa = Pipeline::builder("qa")
+        .create_from_view(
+            "qa_prompt",
+            "discharge_summary",
+            [("drug".to_string(), Value::from("Enoxaparin"))]
+                .into_iter()
+                .collect(),
+        )
+        .gen("answer_0", "qa_prompt")
+        .build();
+    runtime.execute(&qa, &mut state).unwrap();
+    let answer = state.context.get("answer_0").unwrap();
+    assert!(
+        answer.as_str().unwrap().contains("No Enoxaparin"),
+        "got {answer}"
+    );
+}
+
+#[test]
+fn shadow_execution_keeps_the_primary_clean_across_crates() {
+    let cohort = clinical::generate(&ClinicalConfig::default());
+    let runtime = build_runtime(&cohort);
+    let mut primary = ExecState::new();
+    primary.context.set("notes_text", "enoxaparin 80 mg order");
+    primary.prompts.define(
+        "qa_prompt",
+        "Highlight any use of Enoxaparin.\nNotes: {{ctx:notes_text}}",
+        "f_base",
+        RefinementMode::Manual,
+    );
+    runtime
+        .execute(
+            &Pipeline::builder("base").gen("answer_0", "qa_prompt").build(),
+            &mut primary,
+        )
+        .unwrap();
+
+    let variant = Pipeline::builder("variant")
+        .expand("qa_prompt", "Think step by step about the dosage.")
+        .gen("answer_variant", "qa_prompt")
+        .build();
+    let shadow = runtime.shadow_execute(&variant, &primary).unwrap();
+    let diff = spear::core::shadow::ShadowDiff::between(&primary, &shadow.state);
+
+    assert!(diff.changed_prompts.contains_key("qa_prompt"));
+    assert!(!primary.context.contains("answer_variant"));
+    assert_eq!(primary.prompts.get("qa_prompt").unwrap().version, 1);
+    assert_eq!(shadow.state.prompts.get("qa_prompt").unwrap().version, 2);
+    // The hinted variant raises confidence (QA task rewards hints).
+    assert!(diff.confidence_delta.unwrap() > 0.0);
+}
+
+#[test]
+fn prompt_based_retrieval_is_refinable_at_runtime() {
+    let cohort = clinical::generate(&ClinicalConfig::default());
+    let runtime = build_runtime(&cohort);
+    let mut state = ExecState::new();
+
+    // A retrieval prompt lives in P and is refined mid-pipeline: first
+    // fetch radiology impressions, then refine toward nursing timing.
+    let pipeline = Pipeline::builder("refinable_ret")
+        .create_text(
+            "ret_prompt",
+            "radiology impression pulmonary embolism",
+            RefinementMode::Manual,
+        )
+        .ret_with_prompt("clinical_notes", "ret_prompt", "radiology_hits", 5)
+        .refine(
+            "ret_prompt",
+            RefAction::Update,
+            "replace",
+            map([
+                ("find", Value::from("radiology impression pulmonary embolism")),
+                ("with", Value::from("nursing administered enoxaparin 2100")),
+            ]),
+            RefinementMode::Manual,
+        )
+        .ret_with_prompt("clinical_notes", "ret_prompt", "nursing_hits", 5)
+        .build();
+    runtime.execute(&pipeline, &mut state).unwrap();
+
+    let radiology = state.context.get("radiology_hits").unwrap();
+    let nursing = state.context.get("nursing_hits").unwrap();
+    assert!(!radiology.as_list().unwrap().is_empty());
+    assert!(!nursing.as_list().unwrap().is_empty());
+    let top_nursing = nursing.as_list().unwrap()[0]
+        .path("text")
+        .and_then(Value::as_str)
+        .unwrap();
+    assert!(
+        top_nursing.contains("NURSING"),
+        "refined retrieval prompt should surface nursing notes, got {top_nursing:?}"
+    );
+    // Retrieval-prompt evolution is in the ref_log like any other prompt.
+    assert_eq!(state.prompts.get("ret_prompt").unwrap().version, 2);
+}
