@@ -1,0 +1,273 @@
+//! Concurrent batch-execution throughput benchmark (`bench_batch`).
+//!
+//! Runs the Sentiment140-style filter workload — one pipeline instance per
+//! tweet, all sharing the long view-V instruction prefix — through
+//! [`BatchRunner`] at several worker counts and reports, per count:
+//!
+//! - **busy time**: total simulated engine time, summed over worker lanes.
+//!   A workload property; identical at every worker count.
+//! - **makespan**: the busiest lane's simulated time — the wall-clock a
+//!   deployment with one engine replica per worker would observe. This is
+//!   the number the speedup column is computed from, because it is a
+//!   deterministic function of (workload, seed, worker count) and therefore
+//!   reproducible on any machine, including single-core CI.
+//! - **host wall**: the actual elapsed time on the machine running the
+//!   benchmark. Informational only; it depends on the host's core count.
+//! - **trace digest**: FNV-1a over every per-pipeline trace, in submission
+//!   order. Equal digests across worker counts witness the determinism
+//!   invariant on the full ≥500-pipeline workload.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use spear_core::batch::BatchRunner;
+use spear_core::error::Result;
+use spear_core::llm::LlmClient;
+use spear_core::pipeline::Pipeline;
+use spear_core::runtime::{ExecState, Runtime};
+use spear_core::value::Value;
+use spear_core::view::{ParamSpec, ViewCatalog, ViewDef};
+use spear_data::tweets::{self, TweetConfig};
+use spear_kv::shard::fnv1a;
+use spear_llm::{EngineConfig, ModelProfile, SimLlm};
+
+use crate::workload;
+
+/// Configuration for the batch throughput benchmark.
+#[derive(Debug, Clone)]
+pub struct BatchBenchConfig {
+    /// Number of independent pipeline instances (acceptance floor: 500).
+    pub n_pipelines: usize,
+    /// Corpus + engine seed.
+    pub seed: u64,
+    /// Model profile.
+    pub profile: ModelProfile,
+    /// Worker counts to sweep.
+    pub worker_counts: Vec<usize>,
+}
+
+impl Default for BatchBenchConfig {
+    fn default() -> Self {
+        Self {
+            n_pipelines: 512,
+            seed: 140,
+            profile: ModelProfile::qwen25_7b_instruct(),
+            worker_counts: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+/// One row of the sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BatchRow {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Pipeline instances executed.
+    pub pipelines: usize,
+    /// Aggregate simulated engine busy time, seconds (worker-invariant).
+    pub busy_s: f64,
+    /// Simulated makespan (busiest lane), seconds.
+    pub makespan_s: f64,
+    /// Speedup over the 1-worker makespan.
+    pub speedup: f64,
+    /// Pipelines per simulated second.
+    pub throughput_pps: f64,
+    /// Prompt-token cache hit rate, percent.
+    pub cache_hit_pct: f64,
+    /// Host-side elapsed seconds (machine-dependent, informational).
+    pub host_wall_s: f64,
+    /// FNV-1a digest of all per-pipeline traces in submission order.
+    pub trace_digest: String,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BatchBenchReport {
+    /// Workload description.
+    pub workload: String,
+    /// Pipeline instances per configuration.
+    pub pipelines: usize,
+    /// Seed used for corpus and engine.
+    pub seed: u64,
+    /// Whether every worker count produced identical per-pipeline traces.
+    pub deterministic: bool,
+    /// One row per worker count.
+    pub rows: Vec<BatchRow>,
+}
+
+/// The benchmark's view: the long shared instruction prefix of
+/// [`workload::view_v_text`] plus a per-instance tweet slot, so every
+/// pipeline prefill hits the warm prefix.
+fn bench_view() -> ViewDef {
+    ViewDef::new(
+        "batch_tweet_filter",
+        format!(
+            "{}\nFocus topic: {{{{topic}}}}.\nTweet: {{{{ctx:tweet}}}}",
+            workload::view_v_text()
+        ),
+    )
+    .with_param(ParamSpec::optional("topic", "any topic"))
+}
+
+fn bench_pipeline() -> Arc<Pipeline> {
+    Arc::new(
+        Pipeline::builder("batch_sentiment_filter")
+            .create_from_view(
+                "filter_prompt",
+                "batch_tweet_filter",
+                [("topic".to_string(), Value::from("school"))]
+                    .into_iter()
+                    .collect(),
+            )
+            .gen("verdict", "filter_prompt")
+            .build(),
+    )
+}
+
+fn states(config: &BatchBenchConfig) -> Vec<ExecState> {
+    tweets::generate(&TweetConfig {
+        count: config.n_pipelines,
+        negative_fraction: 0.4,
+        school_fraction: 0.4,
+        hard_fraction: 0.1,
+        seed: config.seed,
+    })
+    .iter()
+    .map(|tweet| {
+        let mut state = ExecState::new();
+        state.context.set("tweet", tweet.text.clone());
+        state
+    })
+    .collect()
+}
+
+/// Run the sweep.
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure of any configuration.
+pub fn run(config: &BatchBenchConfig) -> Result<BatchBenchReport> {
+    let pipeline = bench_pipeline();
+    let mut rows = Vec::with_capacity(config.worker_counts.len());
+    let mut baseline_makespan = None;
+    let mut baseline_digest: Option<u64> = None;
+    let mut deterministic = true;
+
+    for &workers in &config.worker_counts {
+        // Fresh engine per configuration: the sweep compares cold starts,
+        // not runs that inherit the previous configuration's cache.
+        let llm = Arc::new(SimLlm::with_config(
+            config.profile.clone(),
+            EngineConfig {
+                seed: config.seed,
+                ..EngineConfig::default()
+            },
+        ));
+        let views = ViewCatalog::new();
+        views.register(bench_view());
+        let entry = views
+            .instantiate(
+                "batch_tweet_filter",
+                [("topic".to_string(), Value::from("school"))]
+                    .into_iter()
+                    .collect(),
+            )?;
+        let rt = Runtime::builder()
+            .llm(llm.clone() as Arc<dyn LlmClient>)
+            .views(views)
+            .build();
+
+        // Pre-warm the shared instruction prefix, as the paper's serving
+        // setting assumes (view V is resident from its initial run).
+        let mut warm_ctx = spear_core::context::Context::new();
+        warm_ctx.set("tweet", "");
+        llm.warm(&entry.render(&warm_ctx)?);
+
+        let started = Instant::now();
+        let outcomes = BatchRunner::new(workers).run_states(&rt, &pipeline, states(config));
+        let host_wall_s = started.elapsed().as_secs_f64();
+
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for outcome in outcomes {
+            let outcome = outcome?;
+            let jsonl = outcome
+                .state
+                .trace
+                .to_jsonl()
+                .map_err(|e| spear_core::error::SpearError::TraceParse {
+                    line: 0,
+                    reason: e.to_string(),
+                })?;
+            digest ^= fnv1a(jsonl.as_bytes());
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+
+        let busy_s = llm.clock().elapsed().as_secs_f64();
+        let makespan_s = llm.clock().max_lane_elapsed().as_secs_f64();
+        let base = *baseline_makespan.get_or_insert(makespan_s);
+        match baseline_digest {
+            None => baseline_digest = Some(digest),
+            Some(d) => deterministic &= d == digest,
+        }
+        let stats = llm.cache_stats();
+        rows.push(BatchRow {
+            workers,
+            pipelines: config.n_pipelines,
+            busy_s,
+            makespan_s,
+            speedup: if makespan_s > 0.0 { base / makespan_s } else { 1.0 },
+            throughput_pps: if makespan_s > 0.0 {
+                config.n_pipelines as f64 / makespan_s
+            } else {
+                0.0
+            },
+            cache_hit_pct: stats.hit_rate().unwrap_or(0.0) * 100.0,
+            host_wall_s,
+            trace_digest: format!("{digest:016x}"),
+        });
+    }
+
+    Ok(BatchBenchReport {
+        workload: format!(
+            "sentiment140-style filter, shared view prefix, {} pipelines",
+            config.n_pipelines
+        ),
+        pipelines: config.n_pipelines,
+        seed: config.seed,
+        deterministic,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BatchBenchConfig {
+        BatchBenchConfig {
+            n_pipelines: 24,
+            worker_counts: vec![1, 4],
+            ..BatchBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_speeds_up() {
+        let report = run(&small()).expect("bench runs");
+        assert!(report.deterministic, "traces must match across counts");
+        assert_eq!(report.rows.len(), 2);
+        let (one, four) = (&report.rows[0], &report.rows[1]);
+        assert_eq!(one.trace_digest, four.trace_digest);
+        assert!((one.busy_s - four.busy_s).abs() < 1e-9, "busy time is invariant");
+        assert!(four.speedup > 2.0, "4 workers beat 2x, got {}", four.speedup);
+        assert!(one.cache_hit_pct > 0.0, "warm prefix must hit");
+    }
+
+    #[test]
+    fn rerunning_reproduces_digests_exactly() {
+        let a = run(&small()).expect("first run");
+        let b = run(&small()).expect("second run");
+        assert_eq!(a.rows[0].trace_digest, b.rows[0].trace_digest);
+        assert_eq!(a.rows[0].makespan_s, b.rows[0].makespan_s);
+    }
+}

@@ -13,6 +13,7 @@
 //! | `ablation_planner` | cost-based refinement planning vs naive |
 //! | `ablation_views` | view-guided refinement vs from-scratch prompts |
 //! | `ablation_predictive` | predictive vs reactive refinement |
+//! | `bench_batch` | concurrent batch-executor throughput sweep (`BENCH_batch.json`) |
 //!
 //! All runs are deterministic (seeded corpus, seeded task model, virtual
 //! clock); re-running a binary reproduces the numbers bit-for-bit.
@@ -21,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod batch_bench;
 pub mod fusion_exp;
 pub mod report;
 pub mod table3;

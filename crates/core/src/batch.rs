@@ -1,0 +1,279 @@
+//! Concurrent batch execution of independent pipeline instances.
+//!
+//! The paper's runtime (§6) executes one pipeline at a time; a
+//! production-scale deployment runs *many* instances concurrently against
+//! shared backends. [`BatchRunner`] is that executor: it fans N jobs — each
+//! a pipeline plus its own [`ExecState`] — across a fixed pool of std
+//! threads, every worker sharing the same [`Runtime`], and collects the
+//! per-job outcomes in submission order.
+//!
+//! ## Determinism under any thread count
+//!
+//! The runner is built so that for a fixed workload and seed, every job's
+//! [`ExecReport`] and [`crate::trace::Trace`] is **byte-identical whether
+//! the pool has 1, 2, or 8 workers**:
+//!
+//! - jobs never share mutable state: each owns its `ExecState`;
+//! - each job runs inside an execution scope ([`crate::scope`]) carrying a
+//!   unique owner id, which owner-aware backends (e.g. the spear-llm
+//!   prefix cache) use to keep per-pipeline visible state independent of
+//!   cross-pipeline interleaving;
+//! - jobs are assigned to workers by **static round-robin striping**
+//!   (worker `w` of `W` runs jobs `w, w+W, w+2W, …`), not by a racy work
+//!   queue, so the lane a job charges virtual time to is a pure function
+//!   of `(job index, worker count)`.
+//!
+//! Worker threads are scoped (`std::thread::scope`), so the runner borrows
+//! the runtime without requiring `'static` lifetimes or reference counting
+//! at the call site.
+
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::Result;
+use crate::pipeline::Pipeline;
+use crate::runtime::{ExecReport, ExecState, Runtime};
+use crate::scope;
+
+/// One unit of batch work: a pipeline and the state it executes against.
+#[derive(Debug)]
+pub struct BatchJob {
+    /// The pipeline to execute (shared across jobs via `Arc`).
+    pub pipeline: Arc<Pipeline>,
+    /// The job's private execution state (consumed, returned in the
+    /// outcome).
+    pub state: ExecState,
+}
+
+impl BatchJob {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(pipeline: Arc<Pipeline>, state: ExecState) -> Self {
+        Self { pipeline, state }
+    }
+}
+
+/// What one job produced: the report and the (mutated) state, including
+/// its trace.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The execution report.
+    pub report: ExecReport,
+    /// The job's state after execution (trace, context, prompts).
+    pub state: ExecState,
+}
+
+/// Executes batches of independent pipeline instances on a worker pool.
+#[derive(Debug)]
+pub struct BatchRunner {
+    workers: usize,
+    next_owner: AtomicU64,
+}
+
+impl BatchRunner {
+    /// A runner with `workers` threads (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            next_owner: AtomicU64::new(1),
+        }
+    }
+
+    /// Worker-pool size.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `jobs` against `runtime`; outcomes come back in submission
+    /// order, each `Err` slot holding the corresponding job's failure.
+    ///
+    /// Owner ids are allocated per job and are unique across successive
+    /// `run` calls on the same runner, so two batches never alias each
+    /// other's owner-private backend state.
+    pub fn run(
+        &self,
+        runtime: &Runtime,
+        jobs: Vec<BatchJob>,
+    ) -> Vec<Result<BatchOutcome>> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let owner_base = self.next_owner.fetch_add(n as u64, Ordering::Relaxed);
+        let workers = self.workers.min(n);
+
+        // Hand each worker its statically striped slice of jobs. Jobs are
+        // moved out of the input vector into per-worker lists up front so
+        // no locking is needed during execution.
+        let mut per_worker: Vec<Vec<(usize, BatchJob)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (index, job) in jobs.into_iter().enumerate() {
+            per_worker[index % workers].push((index, job));
+        }
+
+        let mut slots: Vec<Option<Result<BatchOutcome>>> =
+            (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .enumerate()
+                .map(|(lane, assigned)| {
+                    s.spawn(move || {
+                        let mut produced = Vec::with_capacity(assigned.len());
+                        for (index, job) in assigned {
+                            let owner = owner_base + index as u64;
+                            let _scope = scope::enter(owner, lane);
+                            let mut state = job.state;
+                            let result = runtime
+                                .execute(&job.pipeline, &mut state)
+                                .map(|report| BatchOutcome { report, state });
+                            produced.push((index, result));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let produced = handle.join().expect("batch worker panicked");
+                for (index, result) in produced {
+                    slots[index] = Some(result);
+                }
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job index is assigned exactly once"))
+            .collect()
+    }
+
+    /// Common case: run the *same* pipeline over many per-job states.
+    pub fn run_states(
+        &self,
+        runtime: &Runtime,
+        pipeline: &Arc<Pipeline>,
+        states: Vec<ExecState>,
+    ) -> Vec<Result<BatchOutcome>> {
+        self.run(
+            runtime,
+            states
+                .into_iter()
+                .map(|state| BatchJob::new(Arc::clone(pipeline), state))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::RefinementMode;
+    use crate::llm::EchoLlm;
+    use crate::pipeline::Pipeline;
+    use crate::value::Value;
+
+    fn runtime() -> Runtime {
+        Runtime::builder().llm(Arc::new(EchoLlm::default())).build()
+    }
+
+    fn pipeline() -> Arc<Pipeline> {
+        Arc::new(
+            Pipeline::builder("batch_test")
+                .create_text("p", "Answer briefly: {{ctx:q}}", RefinementMode::Manual)
+                .gen("a", "p")
+                .build(),
+        )
+    }
+
+    fn state(i: usize) -> ExecState {
+        let mut st = ExecState::new();
+        st.context.set("q", format!("question number {i}"));
+        st
+    }
+
+    #[test]
+    fn outcomes_come_back_in_submission_order() {
+        let rt = runtime();
+        let p = pipeline();
+        let runner = BatchRunner::new(4);
+        let outcomes =
+            runner.run_states(&rt, &p, (0..13).map(state).collect());
+        assert_eq!(outcomes.len(), 13);
+        for (i, o) in outcomes.iter().enumerate() {
+            let o = o.as_ref().expect("job succeeds");
+            let answer = o.state.context.get("a").expect("generated");
+            let Value::Str(text) = answer else {
+                panic!("string answer")
+            };
+            assert!(
+                text.contains(&format!("question number {i}")),
+                "slot {i} holds its own job's output: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let run_with = |workers: usize| -> Vec<String> {
+            let rt = runtime();
+            let p = pipeline();
+            let runner = BatchRunner::new(workers);
+            runner
+                .run_states(&rt, &p, (0..10).map(state).collect())
+                .into_iter()
+                .map(|o| {
+                    let o = o.expect("job succeeds");
+                    format!(
+                        "{:?}|{}",
+                        o.report,
+                        o.state.trace.to_jsonl().expect("serializable")
+                    )
+                })
+                .collect()
+        };
+        let one = run_with(1);
+        assert_eq!(one, run_with(2));
+        assert_eq!(one, run_with(8));
+    }
+
+    #[test]
+    fn failures_stay_in_their_slot() {
+        let rt = runtime();
+        let good = pipeline();
+        let bad = Arc::new(
+            Pipeline::builder("bad")
+                .gen("a", "missing_prompt")
+                .build(),
+        );
+        let runner = BatchRunner::new(3);
+        let jobs = vec![
+            BatchJob::new(Arc::clone(&good), state(0)),
+            BatchJob::new(bad, state(1)),
+            BatchJob::new(good, state(2)),
+        ];
+        let outcomes = runner.run(&rt, jobs);
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[1].is_err());
+        assert!(outcomes[2].is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let rt = runtime();
+        let runner = BatchRunner::new(8);
+        assert!(runner.run(&rt, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn owners_are_unique_across_runs() {
+        let runner = BatchRunner::new(2);
+        let rt = runtime();
+        let p = pipeline();
+        runner.run_states(&rt, &p, (0..5).map(state).collect());
+        let before = runner.next_owner.load(Ordering::Relaxed);
+        runner.run_states(&rt, &p, (0..5).map(state).collect());
+        assert_eq!(runner.next_owner.load(Ordering::Relaxed), before + 5);
+    }
+}

@@ -92,6 +92,13 @@ pub enum SpearError {
     },
     /// Replay input was inconsistent with the recorded history.
     Replay(String),
+    /// A persisted trace (JSON Lines) failed to parse.
+    TraceParse {
+        /// 1-based line number within the JSONL input.
+        line: usize,
+        /// Parser diagnostic.
+        reason: String,
+    },
     /// Error from the KV substrate.
     Kv(spear_kv::KvError),
     /// Catch-all for invalid pipeline construction.
@@ -149,6 +156,9 @@ impl fmt::Display for SpearError {
                 *limit_us as f64 / 1e3
             ),
             SpearError::Replay(e) => write!(f, "replay error: {e}"),
+            SpearError::TraceParse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
             SpearError::Kv(e) => write!(f, "kv substrate error: {e}"),
             SpearError::InvalidPipeline(e) => write!(f, "invalid pipeline: {e}"),
         }

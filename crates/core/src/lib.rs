@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod batch;
 pub mod condition;
 pub mod context;
 pub mod diff;
@@ -90,6 +91,7 @@ pub mod refiner;
 pub mod replay;
 pub mod retriever;
 pub mod runtime;
+pub mod scope;
 pub mod shadow;
 pub mod store;
 pub mod template;
@@ -98,6 +100,7 @@ pub mod validate;
 pub mod value;
 pub mod view;
 
+pub use batch::{BatchJob, BatchOutcome, BatchRunner};
 pub use condition::{CmpOp, Cond, Operand};
 pub use context::Context;
 pub use error::{Result, SpearError};
@@ -117,6 +120,7 @@ pub use view::{ParamSpec, ViewCatalog, ViewDef};
 /// Convenient glob-import of the most-used types.
 pub mod prelude {
     pub use crate::agent::{Agent, AgentRegistry, FnAgent};
+    pub use crate::batch::{BatchJob, BatchOutcome, BatchRunner};
     pub use crate::condition::{CmpOp, Cond, Operand};
     pub use crate::context::Context;
     pub use crate::error::{Result, SpearError};

@@ -180,6 +180,13 @@ impl RuntimeBuilder {
 }
 
 /// The pipeline executor and its registries.
+///
+/// `Runtime` is `Send + Sync`: `execute` takes `&self`, every registry is
+/// read-only after construction, and all backends are required to be
+/// thread-safe (`LlmClient: Send + Sync` etc.), so one runtime can serve
+/// many concurrent pipeline instances — this is what
+/// [`crate::batch::BatchRunner`] relies on to share a single runtime
+/// across its worker pool.
 pub struct Runtime {
     llm: Option<Arc<dyn LlmClient>>,
     retrievers: RetrieverRegistry,
@@ -188,6 +195,16 @@ pub struct Runtime {
     views: ViewCatalog,
     config: RuntimeConfig,
 }
+
+/// Compile-time guarantee that a runtime and per-job state can cross
+/// thread boundaries; batch execution depends on both.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Runtime>();
+    assert_send::<ExecState>();
+    assert_send::<ExecReport>();
+};
 
 impl Runtime {
     /// Start building a runtime (built-in refiners pre-registered).

@@ -1,0 +1,108 @@
+//! Per-thread execution scope: which pipeline instance owns the work the
+//! current thread is doing, and which worker lane it runs on.
+//!
+//! The batch executor ([`crate::batch::BatchRunner`]) runs many pipeline
+//! instances concurrently against shared backends (one simulated engine,
+//! one prefix cache). Backends that want to stay **deterministic under any
+//! thread count** need two pieces of ambient information that the
+//! `LlmClient` call signature does not carry:
+//!
+//! - the **owner**: a nonzero id naming the pipeline instance on whose
+//!   behalf the current thread is executing. The prefix cache partitions
+//!   private insertions by owner, so a pipeline's cache hits depend only on
+//!   the pre-warmed shared blocks plus its *own* history — never on how
+//!   concurrent pipelines happened to interleave;
+//! - the **lane**: a small worker index. The virtual clock charges latency
+//!   to per-lane counters so aggregate busy time *and* the parallel
+//!   makespan (max over lanes) are both observable.
+//!
+//! Outside any batch scope both default to the **ambient** values
+//! (`owner == 0`, `lane == 0`), which backends treat exactly like the
+//! original single-threaded semantics: everything shared, one clock lane.
+//! The scope is plumbed through a thread-local rather than through every
+//! operator signature so that backends opt in without an API break.
+
+use std::cell::Cell;
+
+/// Owner id meaning "no particular pipeline": work that should see (and
+/// populate) only shared state.
+pub const AMBIENT_OWNER: u64 = 0;
+
+thread_local! {
+    static SCOPE: Cell<(u64, usize)> = const { Cell::new((AMBIENT_OWNER, 0)) };
+}
+
+/// The pipeline-instance owner id the current thread executes for
+/// (`AMBIENT_OWNER` when outside any batch scope).
+#[must_use]
+pub fn owner() -> u64 {
+    SCOPE.with(|s| s.get().0)
+}
+
+/// The worker lane the current thread charges virtual time to (0 when
+/// outside any batch scope).
+#[must_use]
+pub fn lane() -> usize {
+    SCOPE.with(|s| s.get().1)
+}
+
+/// Enter an execution scope for the duration of the returned guard.
+/// Scopes nest; dropping the guard restores the previous scope.
+#[must_use]
+pub fn enter(owner: u64, lane: usize) -> ScopeGuard {
+    let previous = SCOPE.with(|s| s.replace((owner, lane)));
+    ScopeGuard { previous }
+}
+
+/// Restores the previous scope on drop (RAII).
+#[derive(Debug)]
+pub struct ScopeGuard {
+    previous: (u64, usize),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| s.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ambient() {
+        assert_eq!(owner(), AMBIENT_OWNER);
+        assert_eq!(lane(), 0);
+    }
+
+    #[test]
+    fn guard_sets_and_restores() {
+        {
+            let _g = enter(7, 3);
+            assert_eq!(owner(), 7);
+            assert_eq!(lane(), 3);
+            {
+                let _inner = enter(9, 1);
+                assert_eq!(owner(), 9);
+                assert_eq!(lane(), 1);
+            }
+            assert_eq!(owner(), 7);
+            assert_eq!(lane(), 3);
+        }
+        assert_eq!(owner(), AMBIENT_OWNER);
+        assert_eq!(lane(), 0);
+    }
+
+    #[test]
+    fn scope_is_per_thread() {
+        let _g = enter(5, 2);
+        std::thread::spawn(|| {
+            assert_eq!(owner(), AMBIENT_OWNER);
+            assert_eq!(lane(), 0);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(owner(), 5);
+    }
+}

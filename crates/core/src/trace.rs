@@ -4,6 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::SpearError;
 use crate::value::Value;
 
 /// What a trace event records.
@@ -108,14 +109,20 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Fails on any malformed line.
-    pub fn from_jsonl(s: &str) -> Result<Self, serde_json::Error> {
+    /// Fails on the first malformed line — including trailing garbage
+    /// after a valid JSON object — reporting its 1-based line number via
+    /// [`SpearError::TraceParse`]. Blank lines are skipped.
+    pub fn from_jsonl(s: &str) -> Result<Self, SpearError> {
         let mut events = Vec::new();
-        for line in s.lines() {
+        for (number, line) in s.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            events.push(serde_json::from_str(line)?);
+            let event = serde_json::from_str(line).map_err(|e| SpearError::TraceParse {
+                line: number + 1,
+                reason: e.to_string(),
+            })?;
+            events.push(event);
         }
         Ok(Self { events })
     }

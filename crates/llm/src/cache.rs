@@ -12,12 +12,20 @@
 
 use std::collections::HashMap;
 
+use parking_lot::Mutex;
 use spear_kv::shard::fnv1a;
 
 use crate::tokenizer::Token;
 
 /// Default tokens per block (vLLM's default).
 pub const DEFAULT_BLOCK_SIZE: usize = 16;
+
+/// Default shard count for [`StripedPrefixCache`].
+pub const DEFAULT_NUM_SHARDS: usize = 16;
+
+/// Owner tag for blocks visible to every pipeline instance (pre-warmed
+/// prefixes and all ambient single-threaded inserts).
+pub const SHARED_OWNER: u64 = 0;
 
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,6 +58,11 @@ impl CacheStats {
 struct Node {
     parent: u64,
     block_hash: u64,
+    /// Which pipeline instance inserted the block ([`SHARED_OWNER`] for
+    /// ambient/warm inserts). Part of the index key: a block inserted by
+    /// owner A is invisible to owner B, which is what makes per-pipeline
+    /// hit counts independent of concurrent interleaving.
+    owner: u64,
     children: u32,
     last_used: u64,
 }
@@ -60,8 +73,8 @@ struct Node {
 pub struct PrefixCache {
     block_size: usize,
     capacity_blocks: usize,
-    /// `(parent id, block hash) -> node id`
-    index: HashMap<(u64, u64), u64>,
+    /// `(parent id, block hash, owner) -> node id`
+    index: HashMap<(u64, u64, u64), u64>,
     nodes: HashMap<u64, Node>,
     next_id: u64,
     tick: u64,
@@ -103,18 +116,40 @@ impl PrefixCache {
         fnv1a(&bytes)
     }
 
-    /// How many tokens of `tokens`' prefix are cached. Touches the matched
-    /// path (LRU refresh).
+    /// Find the node for `block` under `parent` that `owner` is allowed to
+    /// see: shared blocks match everyone; owned blocks match only their
+    /// owner. Shared wins when both exist (its presence cannot depend on
+    /// what concurrent pipelines did).
+    fn visible(&self, parent: u64, hash: u64, owner: u64) -> Option<u64> {
+        if let Some(&id) = self.index.get(&(parent, hash, SHARED_OWNER)) {
+            return Some(id);
+        }
+        if owner != SHARED_OWNER {
+            if let Some(&id) = self.index.get(&(parent, hash, owner)) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// How many tokens of `tokens`' prefix are cached (ambient owner).
+    /// Touches the matched path (LRU refresh).
     pub fn lookup(&mut self, tokens: &[Token]) -> usize {
+        self.lookup_for(tokens, SHARED_OWNER)
+    }
+
+    /// How many tokens of `tokens`' prefix are cached *as seen by
+    /// `owner`*: shared blocks plus the owner's private blocks. Touches
+    /// the matched path (LRU refresh).
+    pub fn lookup_for(&mut self, tokens: &[Token], owner: u64) -> usize {
         self.tick += 1;
         self.stats.lookups += 1;
         self.stats.lookup_tokens += tokens.len() as u64;
         let mut parent = ROOT;
         let mut matched_blocks = 0usize;
         for block in tokens.chunks_exact(self.block_size) {
-            let key = (parent, Self::hash_block(block));
-            match self.index.get(&key) {
-                Some(&id) => {
+            match self.visible(parent, Self::hash_block(block), owner) {
+                Some(id) => {
                     if let Some(node) = self.nodes.get_mut(&id) {
                         node.last_used = self.tick;
                     }
@@ -129,15 +164,24 @@ impl PrefixCache {
         hit
     }
 
-    /// Register `tokens`' full blocks in the cache (the trailing partial
-    /// block is never cached, as in vLLM).
+    /// Register `tokens`' full blocks in the cache with the ambient
+    /// (shared) owner — the trailing partial block is never cached, as in
+    /// vLLM.
     pub fn insert(&mut self, tokens: &[Token]) {
+        self.insert_for(tokens, SHARED_OWNER);
+    }
+
+    /// Register `tokens`' full blocks on behalf of `owner`. Blocks already
+    /// visible to the owner (shared, or previously inserted by it) are
+    /// reused; new blocks are tagged with the owner and stay invisible to
+    /// every other owner.
+    pub fn insert_for(&mut self, tokens: &[Token], owner: u64) {
         self.tick += 1;
         let mut parent = ROOT;
         for block in tokens.chunks_exact(self.block_size) {
-            let key = (parent, Self::hash_block(block));
-            let id = match self.index.get(&key) {
-                Some(&id) => {
+            let hash = Self::hash_block(block);
+            let id = match self.visible(parent, hash, owner) {
+                Some(id) => {
                     if let Some(node) = self.nodes.get_mut(&id) {
                         node.last_used = self.tick;
                     }
@@ -147,12 +191,13 @@ impl PrefixCache {
                     self.evict_to_fit();
                     let id = self.next_id;
                     self.next_id += 1;
-                    self.index.insert(key, id);
+                    self.index.insert((parent, hash, owner), id);
                     self.nodes.insert(
                         id,
                         Node {
                             parent,
-                            block_hash: key.1,
+                            block_hash: hash,
+                            owner,
                             children: 0,
                             last_used: self.tick,
                         },
@@ -185,7 +230,7 @@ impl PrefixCache {
                 return; // no leaf (cannot happen in a tree), bail out
             };
             let node = self.nodes.remove(&id).expect("victim exists");
-            self.index.remove(&(node.parent, node.block_hash));
+            self.index.remove(&(node.parent, node.block_hash, node.owner));
             if node.parent != ROOT {
                 if let Some(p) = self.nodes.get_mut(&node.parent) {
                     p.children = p.children.saturating_sub(1);
@@ -223,6 +268,127 @@ impl PrefixCache {
     pub fn clear(&mut self) {
         self.index.clear();
         self.nodes.clear();
+    }
+}
+
+/// A lock-striped prefix cache: the radix tree is sharded by the hash of a
+/// stream's **first block**, each shard behind its own mutex, so
+/// concurrent GEN calls touching unrelated prompt families never contend
+/// on one global lock.
+///
+/// Sharding by first-block hash is correctness-preserving: block `k`'s
+/// radix key chains from block 0 via parent ids, so any two token streams
+/// that share even a one-block prefix hash to the same shard, and every
+/// radix path lives entirely within one shard. Streams shorter than one
+/// block have nothing cacheable and route to shard 0 (their lookups still
+/// count toward stats).
+///
+/// ## Determinism contract
+///
+/// Combined with owner tagging ([`PrefixCache::lookup_for`] /
+/// [`PrefixCache::insert_for`]): as long as (a) shared blocks are only
+/// inserted while no owned work is in flight (warm-up), and (b) each
+/// owner's requests execute in program order, the hit count every request
+/// observes is a pure function of the warm set and that owner's own
+/// history — independent of thread count and interleaving. Eviction is
+/// the one escape hatch: a cache under capacity pressure evicts in
+/// LRU-touch order, which *is* interleaving-dependent, so deterministic
+/// runs should size `capacity_blocks` above the working set (the default
+/// is ~1M tokens per shard).
+#[derive(Debug)]
+pub struct StripedPrefixCache {
+    shards: Vec<Mutex<PrefixCache>>,
+    block_size: usize,
+}
+
+impl StripedPrefixCache {
+    /// A striped cache of `num_shards` shards, each holding up to
+    /// `capacity_blocks / num_shards` blocks (rounded up, minimum 1).
+    #[must_use]
+    pub fn new(block_size: usize, capacity_blocks: usize, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let per_shard = capacity_blocks.div_ceil(num_shards).max(1);
+        Self {
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(PrefixCache::new(block_size, per_shard)))
+                .collect(),
+            block_size: block_size.max(1),
+        }
+    }
+
+    /// Striped cache with vLLM-like defaults and [`DEFAULT_NUM_SHARDS`].
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(DEFAULT_BLOCK_SIZE, DEFAULT_NUM_SHARDS * 64 * 1024, DEFAULT_NUM_SHARDS)
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, tokens: &[Token]) -> &Mutex<PrefixCache> {
+        let head = &tokens[..self.block_size.min(tokens.len())];
+        let index = if head.is_empty() {
+            0
+        } else {
+            (PrefixCache::hash_block(head) % self.shards.len() as u64) as usize
+        };
+        &self.shards[index]
+    }
+
+    /// Atomic lookup-then-insert on behalf of `owner` under a single
+    /// shard lock — the engine's per-request fast path.
+    pub fn lookup_insert(&self, tokens: &[Token], owner: u64) -> usize {
+        let mut shard = self.shard_for(tokens).lock();
+        let hit = shard.lookup_for(tokens, owner);
+        shard.insert_for(tokens, owner);
+        hit
+    }
+
+    /// Owner-aware lookup (see [`PrefixCache::lookup_for`]).
+    pub fn lookup_for(&self, tokens: &[Token], owner: u64) -> usize {
+        self.shard_for(tokens).lock().lookup_for(tokens, owner)
+    }
+
+    /// Owner-aware insert (see [`PrefixCache::insert_for`]).
+    pub fn insert_for(&self, tokens: &[Token], owner: u64) {
+        self.shard_for(tokens).lock().insert_for(tokens, owner);
+    }
+
+    /// Insert `tokens` as shared/pre-warmed blocks, visible to every
+    /// owner.
+    pub fn warm(&self, tokens: &[Token]) {
+        self.insert_for(tokens, SHARED_OWNER);
+    }
+
+    /// Aggregate statistics across all shards.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.lookups += s.lookups;
+            total.lookup_tokens += s.lookup_tokens;
+            total.hit_tokens += s.hit_tokens;
+            total.inserted_blocks += s.inserted_blocks;
+            total.evicted_blocks += s.evicted_blocks;
+        }
+        total
+    }
+
+    /// Total resident blocks across shards.
+    #[must_use]
+    pub fn len_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len_blocks()).sum()
+    }
+
+    /// Drop all blocks in every shard (statistics are retained).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
     }
 }
 
@@ -339,6 +505,106 @@ mod tests {
             hit >= instr_tokens - DEFAULT_BLOCK_SIZE,
             "hit {hit} should cover nearly the whole {instr_tokens}-token instruction"
         );
+    }
+
+    #[test]
+    fn owned_blocks_are_invisible_to_other_owners() {
+        let mut c = PrefixCache::new(4, 1024);
+        let t = toks(16, 0);
+        c.insert_for(&t, 1);
+        assert_eq!(c.lookup_for(&t, 1), 16, "owner sees its own blocks");
+        assert_eq!(c.lookup_for(&t, 2), 0, "another owner does not");
+        assert_eq!(c.lookup(&t), 0, "nor does ambient work");
+    }
+
+    #[test]
+    fn shared_blocks_are_visible_to_every_owner() {
+        let mut c = PrefixCache::new(4, 1024);
+        let t = toks(16, 0);
+        c.insert(&t); // ambient == shared
+        for owner in [SHARED_OWNER, 1, 2, 99] {
+            assert_eq!(c.lookup_for(&t, owner), 16);
+        }
+    }
+
+    #[test]
+    fn owner_chains_extend_shared_prefixes() {
+        let mut c = PrefixCache::new(4, 1024);
+        let shared = toks(8, 0);
+        c.insert(&shared);
+        let mut extended = shared.clone();
+        extended.extend(toks(8, 50));
+        c.insert_for(&extended, 1);
+        assert_eq!(c.lookup_for(&extended, 1), 16);
+        assert_eq!(
+            c.lookup_for(&extended, 2),
+            8,
+            "other owners still see only the shared prefix"
+        );
+    }
+
+    #[test]
+    fn per_owner_hits_are_interleaving_independent() {
+        // Two owners inserting the same stream: each sees exactly its own
+        // history regardless of the order their inserts interleave.
+        let t = toks(16, 7);
+        let mut ab = PrefixCache::new(4, 1024);
+        ab.insert_for(&t, 1);
+        ab.insert_for(&t, 2);
+        let mut ba = PrefixCache::new(4, 1024);
+        ba.insert_for(&t, 2);
+        ba.insert_for(&t, 1);
+        for c in [&mut ab, &mut ba] {
+            assert_eq!(c.lookup_for(&t, 1), 16);
+            assert_eq!(c.lookup_for(&t, 2), 16);
+        }
+    }
+
+    #[test]
+    fn striped_cache_routes_shared_prefixes_to_one_shard() {
+        let c = StripedPrefixCache::new(4, 4096, 8);
+        let mut a = toks(12, 0);
+        let mut b = a.clone();
+        a.extend(toks(8, 100));
+        b.extend(toks(8, 200));
+        c.insert_for(&a, SHARED_OWNER);
+        // b shares a's first 3 blocks; a cross-shard split would lose them.
+        assert_eq!(c.lookup_for(&b, SHARED_OWNER), 12);
+        let s = c.stats();
+        assert_eq!(s.lookups, 1);
+        assert_eq!(s.hit_tokens, 12);
+    }
+
+    #[test]
+    fn striped_lookup_insert_is_one_round_trip() {
+        let c = StripedPrefixCache::new(4, 4096, 8);
+        let t = toks(16, 3);
+        assert_eq!(c.lookup_insert(&t, 5), 0);
+        assert_eq!(c.lookup_insert(&t, 5), 16);
+        assert_eq!(c.lookup_insert(&t, 6), 0, "other owner still cold");
+        c.clear();
+        assert_eq!(c.len_blocks(), 0);
+        assert_eq!(c.lookup_insert(&t, 5), 0);
+    }
+
+    #[test]
+    fn striped_warm_is_shared() {
+        let c = StripedPrefixCache::with_defaults();
+        let tok = Tokenizer::new();
+        let prefix = tok.encode(&"shared instruction text ".repeat(20));
+        c.warm(&prefix);
+        assert!(c.lookup_for(&prefix, 1) > 0);
+        assert!(c.lookup_for(&prefix, 2) > 0);
+        assert_eq!(c.shard_count(), DEFAULT_NUM_SHARDS);
+    }
+
+    #[test]
+    fn striped_short_streams_route_to_shard_zero() {
+        let c = StripedPrefixCache::new(16, 4096, 8);
+        let t = toks(3, 0); // shorter than a block: nothing cacheable
+        assert_eq!(c.lookup_insert(&t, 1), 0);
+        assert_eq!(c.len_blocks(), 0);
+        assert_eq!(c.stats().lookups, 1);
     }
 
     #[test]

@@ -12,13 +12,14 @@
 //! what makes reuse visible. (Set
 //! [`EngineConfig::cache_opaque_prompts`] to study the counterfactual.)
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use spear_core::error::Result;
 use spear_core::llm::{FinishReason, GenRequest, GenResponse, LlmClient, PromptIdentity};
 use spear_core::metadata::TokenUsage;
+use spear_core::scope;
 
-use crate::cache::{CacheStats, PrefixCache, DEFAULT_BLOCK_SIZE};
+use crate::cache::{CacheStats, StripedPrefixCache, DEFAULT_BLOCK_SIZE, DEFAULT_NUM_SHARDS};
 use crate::clock::SimClock;
 use crate::profile::ModelProfile;
 use crate::task::{self, TaskParams};
@@ -37,6 +38,8 @@ pub struct EngineConfig {
     pub block_size: usize,
     /// Cache capacity in blocks.
     pub capacity_blocks: usize,
+    /// Lock stripes for the prefix cache (shards of the radix tree).
+    pub cache_shards: usize,
     /// Run seed for the task model's correctness draws.
     pub seed: u64,
 }
@@ -48,6 +51,7 @@ impl Default for EngineConfig {
             cache_opaque_prompts: false,
             block_size: DEFAULT_BLOCK_SIZE,
             capacity_blocks: 64 * 1024,
+            cache_shards: DEFAULT_NUM_SHARDS,
             seed: 42,
         }
     }
@@ -57,10 +61,17 @@ impl Default for EngineConfig {
 pub struct SimLlm {
     profile: ModelProfile,
     tokenizer: Tokenizer,
-    cache: Mutex<PrefixCache>,
+    cache: StripedPrefixCache,
     clock: SimClock,
     config: EngineConfig,
 }
+
+/// Owner ids handed to requests inside [`SimLlm::submit_many`]. The high
+/// bit keeps them disjoint from [`spear_core::batch::BatchRunner`]'s
+/// owner sequence, so batch pipelines and direct engine batches never
+/// alias each other's private cache state.
+const SUBMIT_OWNER_BASE: u64 = 1 << 63;
+static SUBMIT_OWNER_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl SimLlm {
     /// Engine with default config.
@@ -75,7 +86,11 @@ impl SimLlm {
         Self {
             profile,
             tokenizer: Tokenizer::new(),
-            cache: Mutex::new(PrefixCache::new(config.block_size, config.capacity_blocks)),
+            cache: StripedPrefixCache::new(
+                config.block_size,
+                config.capacity_blocks,
+                config.cache_shards,
+            ),
             clock: SimClock::new(),
             config,
         }
@@ -93,15 +108,15 @@ impl SimLlm {
         &self.clock
     }
 
-    /// Prefix-cache statistics.
+    /// Prefix-cache statistics, aggregated across all lock stripes.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().stats()
+        self.cache.stats()
     }
 
     /// Drop all cached blocks (between benchmark configurations).
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        self.cache.clear();
     }
 
     /// Pre-register a prompt's blocks, simulating a prior pipeline run that
@@ -110,7 +125,7 @@ impl SimLlm {
     pub fn warm(&self, text: &str) {
         if self.config.cache_enabled {
             let tokens = self.tokenizer.encode(text);
-            self.cache.lock().insert(&tokens);
+            self.cache.warm(&tokens);
         }
     }
 
@@ -165,6 +180,67 @@ impl SimLlm {
         }
         Ok(out)
     }
+
+    /// Submit many independent requests across a worker pool, returning
+    /// responses in submission order.
+    ///
+    /// This is the engine-level parallel entry point (the pipeline-level
+    /// one is `spear_core::batch::BatchRunner`). Requests are striped
+    /// across `workers` std threads statically (worker `w` runs requests
+    /// `w, w+W, …`), each request under its own fresh cache owner, so for
+    /// a fixed request list the responses — including cached-token counts
+    /// and latencies — are byte-identical at any worker count:
+    /// every request sees exactly the pre-warmed shared blocks (see
+    /// [`Self::warm`]) plus nothing else.
+    ///
+    /// The trade-off is that requests inside one `submit_many` call do
+    /// not serve each other's freshly inserted prefixes; warm shared
+    /// scaffolds first when cross-request reuse matters. Use
+    /// [`Self::generate_batch`] for continuous-batching semantics
+    /// (sequential, amortized overhead, intra-batch reuse).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure of the earliest-submitted failing request.
+    pub fn submit_many(
+        &self,
+        requests: &[GenRequest],
+        workers: usize,
+    ) -> Result<Vec<GenResponse>> {
+        let n = requests.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = workers.max(1).min(n);
+        let owner_base =
+            SUBMIT_OWNER_BASE | SUBMIT_OWNER_SEQ.fetch_add(n as u64, Ordering::Relaxed);
+        let mut slots: Vec<Option<Result<GenResponse>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|lane| {
+                    s.spawn(move || {
+                        let mut produced = Vec::new();
+                        let mut index = lane;
+                        while index < n {
+                            let _scope = scope::enter(owner_base + index as u64, lane);
+                            produced.push((index, self.generate(&requests[index])));
+                            index += workers;
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, result) in handle.join().expect("submit worker panicked") {
+                    slots[index] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request index is assigned exactly once"))
+            .collect()
+    }
 }
 
 impl LlmClient for SimLlm {
@@ -174,10 +250,13 @@ impl LlmClient for SimLlm {
 
         let cacheable = self.cacheable(&request.identity);
         let cached_tokens = if cacheable {
-            let mut cache = self.cache.lock();
-            let hit = cache.lookup(&tokens) as u64;
-            cache.insert(&tokens);
-            hit
+            // The owner comes from the ambient execution scope: pipeline
+            // instances under a BatchRunner each see shared (pre-warmed)
+            // blocks plus their own insert history, which keeps this hit
+            // count independent of concurrent interleaving. Outside any
+            // scope the owner is ambient and all blocks are shared —
+            // exactly the original single-threaded semantics.
+            self.cache.lookup_insert(&tokens, scope::owner()) as u64
         } else {
             0
         };
@@ -434,6 +513,82 @@ mod tests {
             fresh.generate(&req).unwrap().latency,
             "a singleton batch pays full overhead"
         );
+    }
+
+    fn batch_requests(n: usize) -> Vec<GenRequest> {
+        let instruction = long_instruction();
+        (0..n)
+            .map(|i| {
+                GenRequest::structured(
+                    format!("{instruction}Tweet: submitted item number {i}"),
+                    "view:batch@1#0/v1",
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn submit_many_keeps_submission_order() {
+        let e = engine();
+        let responses = e.submit_many(&batch_requests(12), 4).unwrap();
+        assert_eq!(responses.len(), 12);
+        let serial = engine();
+        for (i, r) in responses.iter().enumerate() {
+            let expected = serial.generate(&batch_requests(12)[i]).unwrap();
+            assert_eq!(r.text, expected.text, "slot {i} holds request {i}'s output");
+        }
+    }
+
+    #[test]
+    fn submit_many_is_deterministic_across_worker_counts() {
+        let run = |workers: usize| -> Vec<String> {
+            let e = engine();
+            e.warm(&long_instruction());
+            e.submit_many(&batch_requests(16), workers)
+                .unwrap()
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}|{}|{}|{}",
+                        r.text,
+                        r.usage.cached_tokens,
+                        r.latency.as_micros(),
+                        r.confidence
+                    )
+                })
+                .collect()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn submit_many_sees_warm_blocks_but_isolates_requests() {
+        let e = engine();
+        e.warm(&long_instruction());
+        let responses = e.submit_many(&batch_requests(6), 3).unwrap();
+        for r in &responses {
+            let rate = r.usage.cache_hit_rate().unwrap();
+            assert!(rate > 0.8, "warm instruction prefix is shared: {rate}");
+        }
+        // Repeating the same call does not inherit the first call's
+        // private insertions: hit rates are identical, not higher.
+        let again = e.submit_many(&batch_requests(6), 3).unwrap();
+        for (a, b) in responses.iter().zip(&again) {
+            assert_eq!(a.usage.cached_tokens, b.usage.cached_tokens);
+        }
+    }
+
+    #[test]
+    fn submit_many_splits_clock_lanes() {
+        let e = engine();
+        let responses = e.submit_many(&batch_requests(8), 4).unwrap();
+        let total: std::time::Duration = responses.iter().map(|r| r.latency).sum();
+        assert_eq!(e.clock().elapsed(), total, "lanes sum to aggregate time");
+        let makespan = e.clock().max_lane_elapsed();
+        assert!(makespan < total, "parallel makespan beats serial total");
+        assert!(makespan * 4 >= total, "4 lanes can be at most 4x faster");
     }
 
     #[test]

@@ -41,8 +41,11 @@ pub mod profile;
 pub mod task;
 pub mod tokenizer;
 
-pub use cache::{CacheStats, PrefixCache, DEFAULT_BLOCK_SIZE};
-pub use clock::SimClock;
+pub use cache::{
+    CacheStats, PrefixCache, StripedPrefixCache, DEFAULT_BLOCK_SIZE, DEFAULT_NUM_SHARDS,
+    SHARED_OWNER,
+};
+pub use clock::{SimClock, MAX_LANES};
 pub use engine::{EngineConfig, SimLlm};
 pub use profile::{ModelProfile, PromptFeatures, QualityWeights, TaskKind};
 pub use tokenizer::{Token, Tokenizer};

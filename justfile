@@ -1,0 +1,16 @@
+# SPEAR task runner. `just check` is the tier-1 gate (see README).
+
+# Run everything CI gates on: release build, tests, strict clippy.
+check:
+    sh scripts/check.sh
+
+# Fast feedback loop: debug tests only.
+test:
+    cargo test --workspace -q
+
+# Regenerate the paper tables/figures and the batch throughput sweep.
+bench:
+    cargo run --release -p spear-bench --bin table3
+    cargo run --release -p spear-bench --bin table4
+    cargo run --release -p spear-bench --bin figure1
+    cargo run --release -p spear-bench --bin bench_batch

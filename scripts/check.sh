@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green. Runnable directly
+# (`sh scripts/check.sh`) or via `just check`.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings

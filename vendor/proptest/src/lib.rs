@@ -1,0 +1,1153 @@
+//! Offline shim of the `proptest` crate.
+//!
+//! Implements the subset of the proptest API used by this workspace:
+//! `Strategy` + combinators (`prop_map`, `boxed`, `prop_recursive`),
+//! `any::<T>()`, range strategies, tuple strategies, `Just`,
+//! `prop_oneof!`, `collection::{vec, btree_map}`, `option::of`,
+//! regex-like string strategies (`"[a-z]{1,8}"` etc.), the `proptest!`
+//! macro with `#![proptest_config(...)]`, and `prop_assert*` /
+//! `prop_assume!`.
+//!
+//! Differences from upstream: generation is deterministic per test case
+//! index (no OS entropy), and there is **no shrinking** — a failing case
+//! reports the values via the assertion message instead. That is
+//! sufficient for the workspace's invariant tests while keeping the
+//! shim dependency-free and offline-buildable.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+pub mod test_runner {
+    /// Deterministic xoshiro256** generator seeded per test case.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            TestRng { s }
+        }
+
+        /// Seed stream for the `case`-th generated input of a run.
+        pub fn for_case(case: u64) -> Self {
+            Self::from_seed(0x5EA2_C0DE_0000_0000 ^ case.wrapping_mul(0x9E37_79B9))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Rejection sampling to remove modulo bias.
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Outcome of a single property-test case body.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure with a rendered message.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; case is retried.
+        Reject,
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject<S: Into<String>>(_msg: S) -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Run configuration; only `cases` is honored by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value-tree/shrinking layer:
+    /// `generate` produces the final value directly.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+
+        /// Build a recursive strategy: `self` is the leaf case, `recurse`
+        /// wraps an inner strategy into a deeper one. `depth` bounds the
+        /// nesting; `_desired_size` and `_expected_branch_size` are
+        /// accepted for API compatibility and ignored.
+        fn prop_recursive<F, R>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+            R: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut cur = self.boxed();
+            for level in 0..depth {
+                // Deeper levels favor the leaf so generated sizes stay small.
+                let leaf_weight = 1 + level;
+                cur = BoxedStrategy {
+                    inner: Rc::new(WeightedUnion {
+                        options: vec![
+                            (leaf_weight, cur.clone()),
+                            (1, recurse(cur).boxed()),
+                        ],
+                    }),
+                };
+            }
+            cur
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` combinator (bounded rejection sampling).
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1024 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1024 consecutive candidates");
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T> {
+        pub(crate) inner: Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice among boxed alternatives (`prop_oneof!` backend).
+    pub struct WeightedUnion<T> {
+        pub(crate) options: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T: Debug> Strategy for WeightedUnion<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total.max(1));
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            self.options
+                .last()
+                .expect("prop_oneof! requires at least one alternative")
+                .1
+                .generate(rng)
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn __union<T: Debug>(options: Vec<(u32, BoxedStrategy<T>)>) -> WeightedUnion<T> {
+        WeightedUnion { options }
+    }
+
+    // -- scalar strategies --------------------------------------------------
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = rng.below(span);
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    let off = rng.below(span);
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    // -- tuple strategies ---------------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    // -- string strategies from regex-ish patterns --------------------------
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::pattern::generate(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::pattern::generate(self, rng)
+        }
+    }
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+// ---------------------------------------------------------------------------
+// Regex-like string generation
+// ---------------------------------------------------------------------------
+
+mod pattern {
+    use super::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Literal(char),
+        /// Sorted candidate set (positive classes) or excluded set (negated).
+        Class { chars: Vec<char>, negated: bool },
+        Group(Vec<Node>),
+        Repeat { node: Box<Node>, min: u32, max: u32 },
+    }
+
+    /// Printable ASCII universe used for negated classes and `.`.
+    fn universe() -> impl Iterator<Item = char> {
+        (0x20u8..0x7f).map(|b| b as char)
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        pattern: &'a str,
+    }
+
+    impl<'a> Parser<'a> {
+        fn fail(&self, why: &str) -> ! {
+            panic!(
+                "proptest shim: unsupported regex pattern {:?}: {}",
+                self.pattern, why
+            );
+        }
+
+        fn parse_escape(&mut self) -> char {
+            match self.chars.next() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('r') => '\r',
+                Some(c) if !c.is_alphanumeric() => c,
+                Some(c) => self.fail(&format!("escape \\{}", c)),
+                None => self.fail("dangling backslash"),
+            }
+        }
+
+        fn parse_class(&mut self) -> Node {
+            let mut negated = false;
+            if self.chars.peek() == Some(&'^') {
+                self.chars.next();
+                negated = true;
+            }
+            let mut chars: Vec<char> = Vec::new();
+            let mut first = true;
+            loop {
+                let c = match self.chars.next() {
+                    Some(']') if !first => break,
+                    Some('\\') => self.parse_escape(),
+                    Some(c) => c,
+                    None => self.fail("unterminated character class"),
+                };
+                first = false;
+                // Range like `a-z` — only when `-` is followed by a non-`]`.
+                if self.chars.peek() == Some(&'-') {
+                    let mut ahead = self.chars.clone();
+                    ahead.next();
+                    if ahead.peek().is_some() && ahead.peek() != Some(&']') {
+                        self.chars.next(); // consume '-'
+                        let hi = match self.chars.next() {
+                            Some('\\') => self.parse_escape(),
+                            Some(h) => h,
+                            None => self.fail("unterminated range"),
+                        };
+                        if (c as u32) > (hi as u32) {
+                            self.fail("inverted range");
+                        }
+                        for u in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(u) {
+                                chars.push(ch);
+                            }
+                        }
+                        continue;
+                    }
+                }
+                chars.push(c);
+            }
+            chars.sort_unstable();
+            chars.dedup();
+            Node::Class { chars, negated }
+        }
+
+        fn parse_quantifier(&mut self, node: Node) -> Node {
+            match self.chars.peek() {
+                Some('{') => {
+                    self.chars.next();
+                    let mut min_s = String::new();
+                    let mut max_s = String::new();
+                    let mut in_max = false;
+                    loop {
+                        match self.chars.next() {
+                            Some('}') => break,
+                            Some(',') => in_max = true,
+                            Some(d) if d.is_ascii_digit() => {
+                                if in_max {
+                                    max_s.push(d)
+                                } else {
+                                    min_s.push(d)
+                                }
+                            }
+                            _ => self.fail("bad {n,m} quantifier"),
+                        }
+                    }
+                    let min: u32 = min_s.parse().unwrap_or(0);
+                    let max: u32 = if !in_max {
+                        min
+                    } else if max_s.is_empty() {
+                        min + 8
+                    } else {
+                        max_s.parse().unwrap_or(min)
+                    };
+                    Node::Repeat {
+                        node: Box::new(node),
+                        min,
+                        max,
+                    }
+                }
+                Some('?') => {
+                    self.chars.next();
+                    Node::Repeat {
+                        node: Box::new(node),
+                        min: 0,
+                        max: 1,
+                    }
+                }
+                Some('*') => {
+                    self.chars.next();
+                    Node::Repeat {
+                        node: Box::new(node),
+                        min: 0,
+                        max: 8,
+                    }
+                }
+                Some('+') => {
+                    self.chars.next();
+                    Node::Repeat {
+                        node: Box::new(node),
+                        min: 1,
+                        max: 8,
+                    }
+                }
+                _ => node,
+            }
+        }
+
+        fn parse_sequence(&mut self, in_group: bool) -> Vec<Node> {
+            let mut out = Vec::new();
+            loop {
+                let atom = match self.chars.peek().copied() {
+                    None => {
+                        if in_group {
+                            self.fail("unterminated group");
+                        }
+                        break;
+                    }
+                    Some(')') if in_group => {
+                        self.chars.next();
+                        break;
+                    }
+                    Some('[') => {
+                        self.chars.next();
+                        self.parse_class()
+                    }
+                    Some('(') => {
+                        self.chars.next();
+                        Node::Group(self.parse_sequence(true))
+                    }
+                    Some('.') => {
+                        self.chars.next();
+                        Node::Class {
+                            chars: universe().collect(),
+                            negated: false,
+                        }
+                    }
+                    Some('\\') => {
+                        self.chars.next();
+                        Node::Literal(self.parse_escape())
+                    }
+                    Some('|') => self.fail("alternation is not supported"),
+                    Some(c) => {
+                        self.chars.next();
+                        Node::Literal(c)
+                    }
+                };
+                out.push(self.parse_quantifier(atom));
+            }
+            out
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class { chars, negated } => {
+                if *negated {
+                    let candidates: Vec<char> =
+                        universe().filter(|c| !chars.contains(c)).collect();
+                    let i = rng.below(candidates.len() as u64) as usize;
+                    out.push(candidates[i]);
+                } else {
+                    assert!(!chars.is_empty(), "empty character class");
+                    let i = rng.below(chars.len() as u64) as usize;
+                    out.push(chars[i]);
+                }
+            }
+            Node::Group(seq) => {
+                for n in seq {
+                    emit(n, rng, out);
+                }
+            }
+            Node::Repeat { node, min, max } => {
+                let n = if max > min {
+                    min + rng.below((max - min + 1) as u64) as u32
+                } else {
+                    *min
+                };
+                for _ in 0..n {
+                    emit(node, rng, out);
+                }
+            }
+        }
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut parser = Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        };
+        let seq = parser.parse_sequence(false);
+        let mut out = String::new();
+        for n in &seq {
+            emit(n, rng, &mut out);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized + Debug {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Mix of magnitudes, always finite.
+            let mag = [1.0, 1e3, 1e6, 1e-3][(rng.next_u64() % 4) as usize];
+            (rng.unit_f64() * 2.0 - 1.0) * mag
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> char {
+            (0x20u8 + (rng.next_u64() % 0x5f) as u8) as char
+        }
+    }
+}
+
+pub use arbitrary::any;
+
+// ---------------------------------------------------------------------------
+// Collections / option
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Element-count specification accepted by collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize, // inclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        val: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord + Debug,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            // Duplicate keys may make the map smaller than `n`; acceptable.
+            for _ in 0..n {
+                out.insert(self.key.generate(rng), self.val.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        val: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            val,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Some ~75% of the time, like upstream's default weight.
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Weighted/unweighted choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::__union(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::__union(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                    l, r, format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left != right`\n  both: {:?}", l),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right`\n  both: {:?}\n{}",
+                    l, format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $($pat:pat in $strat:expr),+ ; $body:block) => {{
+        let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+        let mut __case: u64 = 0;
+        let mut __ran: u32 = 0;
+        let mut __rejects: u32 = 0;
+        while __ran < __cfg.cases {
+            if __rejects > __cfg.max_global_rejects {
+                panic!("proptest shim: too many prop_assume! rejections");
+            }
+            let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+            __case += 1;
+            $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+            let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+            match __outcome {
+                ::std::result::Result::Ok(()) => {
+                    __ran += 1;
+                }
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                    __rejects += 1;
+                }
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                    panic!("proptest case {} failed: {}", __case - 1, __msg);
+                }
+            }
+        }
+    }};
+}
+
+/// Shim of `proptest::proptest!`: generates one `#[test]` fn per item,
+/// running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            // Callers write `#[test]` themselves (it arrives via `$meta`),
+            // matching upstream proptest's macro shape.
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_body!($cfg; $($pat in $strat),+ ; $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_body!(
+                    $crate::test_runner::ProptestConfig::default();
+                    $($pat in $strat),+ ; $body
+                );
+            }
+        )*
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Prelude
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::TestRng;
+
+    #[test]
+    fn pattern_generation_respects_classes() {
+        for case in 0..200u64 {
+            let mut rng = TestRng::for_case(case);
+            let s = crate::pattern::generate("[a-z]{1,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = crate::pattern::generate("[^{}]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(!s.contains('{') && !s.contains('}'));
+
+            let s = crate::pattern::generate("[ab]/[a-d]{1,3}", &mut rng);
+            let (l, r) = s.split_once('/').unwrap();
+            assert!(l == "a" || l == "b");
+            assert!((1..=3).contains(&r.len()));
+            assert!(r.chars().all(|c| ('a'..='d').contains(&c)));
+
+            let s = crate::pattern::generate("[a-z]{1,3}( [a-z]{1,3}){0,2}", &mut rng);
+            assert!(s.split(' ').count() <= 3);
+
+            let s = crate::pattern::generate("[a-z \\n]{0,10}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        for case in 0..200u64 {
+            let mut rng = TestRng::for_case(case);
+            let v = Strategy::generate(&(3i64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let v = Strategy::generate(&(0.0f64..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&v));
+            let v = Strategy::generate(&(5usize..=5), &mut rng);
+            assert_eq!(v, 5);
+        }
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let strat = crate::collection::vec(0u8..255, 0..20);
+        let mut a = TestRng::for_case(7);
+        let mut b = TestRng::for_case(7);
+        assert_eq!(
+            Strategy::generate(&strat, &mut a),
+            Strategy::generate(&strat, &mut b)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn shim_macro_works(x in 0u32..100, s in "[a-c]{2}") {
+            prop_assert!(x < 100);
+            prop_assert_eq!(s.len(), 2);
+        }
+
+        #[test]
+        fn shim_assume_works(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(pair in (any::<bool>(), 0i64..10)) {
+            // The bool half exercises any::<bool>() generation itself.
+            let (_, v) = pair;
+            prop_assert!((0..10).contains(&v), "range strategy stays in range");
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(u8),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(v) => {
+                    assert!(*v < 10, "leaf strategy range");
+                    1
+                }
+                T::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = prop_oneof![(0u8..10).prop_map(T::Leaf), Just(T::Leaf(0))];
+        let strat = Strategy::prop_recursive(leaf, 3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        for case in 0..100u64 {
+            let mut rng = TestRng::for_case(case);
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 4, "depth bound violated: {:?}", t);
+        }
+    }
+}

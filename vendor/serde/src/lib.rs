@@ -1,0 +1,639 @@
+//! Offline shim for `serde`, vendored because the build environment has no
+//! access to crates.io.
+//!
+//! Instead of serde's visitor-based data model, this shim serializes
+//! through a concrete JSON-shaped [`Content`] tree: `Serialize` lowers a
+//! value into `Content`, `Deserialize` lifts it back. The companion
+//! `serde_derive` proc-macro generates impls compatible with serde's
+//! derive semantics for the shapes used in this workspace (named structs,
+//! externally tagged enums, `#[serde(untagged)]` enums), and the companion
+//! `serde_json` shim renders `Content` to and from JSON text.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the serialization intermediate of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer that fits an `i64`.
+    I64(i64),
+    /// Integer above `i64::MAX`.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, with insertion order preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Borrow as an object, with a type name for the error message.
+    pub fn as_map_for(&self, ty: &str) -> Result<&[(String, Content)], DeError> {
+        match self {
+            Content::Map(m) => Ok(m),
+            other => Err(DeError::custom(format!(
+                "expected a map for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Borrow as an array of exactly `len` elements.
+    pub fn as_seq_for(&self, ty: &str, len: usize) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(s) if s.len() == len => Ok(s),
+            Content::Seq(s) => Err(DeError::custom(format!(
+                "expected {len} elements for {ty}, found {}",
+                s.len()
+            ))),
+            other => Err(DeError::custom(format!(
+                "expected a sequence for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable kind for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::I64(_) | Content::U64(_) => "an integer",
+            Content::F64(_) => "a float",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        }
+    }
+}
+
+/// Deserialization error: a message, optionally with input position
+/// attached by `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Construct from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// The error message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can lower itself into [`Content`].
+pub trait Serialize {
+    /// Lower into the content tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// A type that can lift itself out of [`Content`].
+pub trait Deserialize: Sized {
+    /// Lift from the content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when `content` has the wrong shape.
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent from the input map. The default
+    /// errors; `Option<T>` overrides it to produce `None`, matching serde's
+    /// missing-field behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] naming the missing field.
+    fn deserialize_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::custom(format!("missing field `{field}`")))
+    }
+}
+
+/// Namespace mirroring `serde::de`.
+pub mod de {
+    pub use super::DeError as Error;
+
+    /// Owned deserialization (every `Deserialize` in this shim is owned).
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+/// Namespace mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Look up a struct field by name in an object's entries (derive helper).
+///
+/// # Errors
+///
+/// Propagates field deserialization errors; absent fields go through
+/// [`Deserialize::deserialize_missing`].
+pub fn __field<T: Deserialize>(
+    entries: &[(String, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize_content(v)
+            .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        None => T::deserialize_missing(name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn serialize_content(&self) -> Content {
+        if let Ok(i) = i64::try_from(*self) {
+            Content::I64(i)
+        } else {
+            Content::U64(*self)
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn serialize_content(&self) -> Content {
+        (*self as u64).serialize_content()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.serialize_content()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys must render as JSON strings.
+pub trait JsonKey: Ord {
+    /// The key as a JSON object key.
+    fn to_json_key(&self) -> String;
+    /// Parse back from a JSON object key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the key does not parse.
+    fn from_json_key(key: &str) -> Result<Self, DeError>
+    where
+        Self: Sized;
+}
+
+impl JsonKey for String {
+    fn to_json_key(&self) -> String {
+        self.clone()
+    }
+    fn from_json_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_json_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_json_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| {
+                    DeError::custom(format!("invalid integer map key {key:?}"))
+                })
+            }
+        }
+    )*};
+}
+impl_json_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: JsonKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_json_key(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        // Sorted for deterministic output (HashMap iteration order is not).
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_json_key(), v.serialize_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(|v| v.serialize_content()).collect())
+    }
+}
+
+impl<T: Serialize + Ord + std::hash::Hash> Serialize for std::collections::HashSet<T> {
+    fn serialize_content(&self) -> Content {
+        // Sorted for deterministic output (HashSet iteration order is not).
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Content::Seq(items.iter().map(|v| v.serialize_content()).collect())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_content(&self) -> Content {
+        // Mirrors upstream serde's {secs, nanos} struct representation.
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            ("nanos".to_string(), Content::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected a boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let out = match content {
+                    Content::I64(i) => <$t>::try_from(*i).ok(),
+                    Content::U64(u) => <$t>::try_from(*u).ok(),
+                    // Integral floats narrow losslessly (untagged enums and
+                    // hand-written JSON produce these).
+                    Content::F64(f) if f.fract() == 0.0
+                        && *f >= i64::MIN as f64
+                        && *f <= u64::MAX as f64 =>
+                    {
+                        if *f >= 0.0 {
+                            <$t>::try_from(*f as u64).ok()
+                        } else {
+                            <$t>::try_from(*f as i64).ok()
+                        }
+                    }
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected an integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                out.ok_or_else(|| {
+                    DeError::custom(format!(
+                        "integer out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(f) => Ok(*f),
+            Content::I64(i) => Ok(*i as f64),
+            Content::U64(u) => Ok(*u as f64),
+            other => Err(DeError::custom(format!(
+                "expected a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(content).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            other => Err(DeError::custom(format!(
+                "expected a single-character string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(DeError::custom(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::custom(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let s = content.as_seq_for("tuple", $len)?;
+                Ok(($($t::deserialize_content(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: JsonKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content.as_map_for("map")?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_json_key(k)?, V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: JsonKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content.as_map_for("map")?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_json_key(k)?, V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let items = match content {
+            Content::Seq(s) => s,
+            other => {
+                return Err(DeError::custom(format!(
+                    "expected a sequence for set, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        items.iter().map(T::deserialize_content).collect()
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let items = match content {
+            Content::Seq(s) => s,
+            other => {
+                return Err(DeError::custom(format!(
+                    "expected a sequence for set, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        items.iter().map(T::deserialize_content).collect()
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content.as_map_for("Duration")?;
+        let secs = u64::deserialize_content(__field_content(entries, "secs")?)?;
+        let nanos = u64::deserialize_content(__field_content(entries, "nanos")?)?;
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}
+
+fn __field_content<'a>(
+    entries: &'a [(String, Content)],
+    name: &str,
+) -> Result<&'a Content, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_roundtrips() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let c = v.serialize_content();
+        let back: Vec<(u64, String)> = Deserialize::deserialize_content(&c).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn option_missing_field_is_none() {
+        let got: Option<String> = Option::deserialize_missing("x").unwrap();
+        assert!(got.is_none());
+        assert!(String::deserialize_missing("x").is_err());
+    }
+
+    #[test]
+    fn int_widening_and_narrowing() {
+        assert_eq!(u8::deserialize_content(&Content::I64(7)).unwrap(), 7);
+        assert!(u8::deserialize_content(&Content::I64(300)).is_err());
+        assert_eq!(f64::deserialize_content(&Content::I64(2)).unwrap(), 2.0);
+        assert_eq!(i64::deserialize_content(&Content::F64(2.0)).unwrap(), 2);
+        assert!(i64::deserialize_content(&Content::F64(2.5)).is_err());
+    }
+}

@@ -1,0 +1,542 @@
+//! Offline shim for `serde_derive`: hand-written `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` proc-macros with no dependency on `syn` or
+//! `quote` (neither is available offline).
+//!
+//! The macros parse the item's token stream directly and emit impls of the
+//! vendored `serde` shim's `Serialize` / `Deserialize` traits (which lower
+//! to / lift from `serde::Content`). Supported item shapes — everything
+//! this workspace derives on:
+//!
+//! - structs with named fields (possibly generic over plain type params)
+//! - unit structs
+//! - enums with unit, tuple, and struct variants, externally tagged
+//!   (serde's default representation)
+//! - `#[serde(untagged)]` enums: variants are tried in declaration order
+//!
+//! Unknown fields are ignored and missing `Option` fields deserialize to
+//! `None`, matching serde's defaults.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => item.serialize_impl().parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => item.deserialize_impl().parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("literal parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    untagged: bool,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0usize;
+        let mut untagged = false;
+
+        // Item-level attributes: record #[serde(untagged)], skip the rest
+        // (doc comments, #[derive(...)] of other traits, etc.).
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if attr_is_serde_untagged(g.stream()) {
+                    untagged = true;
+                }
+            }
+            i += 2;
+        }
+
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+
+        let keyword = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+        };
+        i += 1;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected item name, found {other:?}")),
+        };
+        i += 1;
+
+        // Generics: only plain type-parameter lists (`<V>`, `<A, B>`).
+        let mut generics = Vec::new();
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            i += 1;
+            loop {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        i += 1;
+                        break;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(TokenTree::Ident(id)) => {
+                        generics.push(id.to_string());
+                        i += 1;
+                    }
+                    other => {
+                        return Err(format!(
+                            "unsupported generics on {name} (only plain type params): {other:?}"
+                        ))
+                    }
+                }
+            }
+        }
+
+        let kind = match keyword.as_str() {
+            "struct" => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    ItemKind::Struct(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    return Err(format!(
+                        "tuple struct {name} is not supported by the vendored serde derive"
+                    ))
+                }
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            },
+            "enum" => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    ItemKind::Enum(parse_variants(g.stream())?)
+                }
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            },
+            other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+        };
+
+        Ok(Item {
+            name,
+            generics,
+            untagged,
+            kind,
+        })
+    }
+
+    /// `<V>` for the type position, empty string when non-generic.
+    fn type_args(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics.join(", "))
+        }
+    }
+
+    /// `<V: ::serde::Serialize>`-style impl generics.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            let params: Vec<String> = self
+                .generics
+                .iter()
+                .map(|g| format!("{g}: {bound}"))
+                .collect();
+            format!("<{}>", params.join(", "))
+        }
+    }
+
+    // -- Serialize ----------------------------------------------------------
+
+    fn serialize_impl(&self) -> String {
+        let body = match &self.kind {
+            ItemKind::Struct(fields) => ser_named_fields_body(fields, "self.", ""),
+            ItemKind::UnitStruct => "::serde::Content::Null".to_string(),
+            ItemKind::Enum(variants) => self.ser_enum_body(variants),
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl{ig} ::serde::Serialize for {name}{ta} {{\n\
+                 fn serialize_content(&self) -> ::serde::Content {{\n\
+                     {body}\n\
+                 }}\n\
+             }}",
+            ig = self.impl_generics("::serde::Serialize"),
+            name = self.name,
+            ta = self.type_args(),
+        )
+    }
+
+    fn ser_enum_body(&self, variants: &[Variant]) -> String {
+        let mut arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            let arm = match &v.shape {
+                VariantShape::Unit => {
+                    let content = if self.untagged {
+                        "::serde::Content::Null".to_string()
+                    } else {
+                        format!("::serde::Content::Str(::std::string::String::from({vname:?}))")
+                    };
+                    format!("Self::{vname} => {content},\n")
+                }
+                VariantShape::Tuple(arity) => {
+                    let binds: Vec<String> = (0..*arity).map(|k| format!("__t{k}")).collect();
+                    let inner = if *arity == 1 {
+                        "::serde::Serialize::serialize_content(__t0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_content({b})"))
+                            .collect();
+                        format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                    };
+                    let content = if self.untagged {
+                        inner
+                    } else {
+                        tag_map(vname, &inner)
+                    };
+                    format!("Self::{vname}({}) => {content},\n", binds.join(", "))
+                }
+                VariantShape::Struct(fields) => {
+                    let binds = fields.join(", ");
+                    let inner = ser_named_fields_body(fields, "", "");
+                    let content = if self.untagged {
+                        inner
+                    } else {
+                        tag_map(vname, &inner)
+                    };
+                    format!("Self::{vname} {{ {binds} }} => {content},\n")
+                }
+            };
+            arms.push_str(&arm);
+        }
+        format!("match self {{\n{arms}}}")
+    }
+
+    // -- Deserialize --------------------------------------------------------
+
+    fn deserialize_impl(&self) -> String {
+        let body = match &self.kind {
+            ItemKind::Struct(fields) => de_named_fields_body(&self.name, fields, "Self"),
+            ItemKind::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+            ItemKind::Enum(variants) if self.untagged => self.de_untagged_body(variants),
+            ItemKind::Enum(variants) => self.de_tagged_body(variants),
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl{ig} ::serde::Deserialize for {name}{ta} {{\n\
+                 fn deserialize_content(__c: &::serde::Content) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     {body}\n\
+                 }}\n\
+             }}",
+            ig = self.impl_generics("::serde::Deserialize"),
+            name = self.name,
+            ta = self.type_args(),
+        )
+    }
+
+    fn de_tagged_body(&self, variants: &[Variant]) -> String {
+        let ty = &self.name;
+        let mut unit_arms = String::new();
+        let mut payload_arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            match &v.shape {
+                VariantShape::Unit => {
+                    unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok(Self::{vname}),\n"
+                    ));
+                    // Also accept the map form `{"Variant": null}`.
+                    payload_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok(Self::{vname}),\n"
+                    ));
+                }
+                VariantShape::Tuple(arity) => {
+                    let expr = de_tuple_expr(ty, vname, *arity, "__v");
+                    payload_arms.push_str(&format!("{vname:?} => {expr},\n"));
+                }
+                VariantShape::Struct(fields) => {
+                    let inner =
+                        de_named_fields_from(ty, fields, &format!("Self::{vname}"), "__v");
+                    payload_arms.push_str(&format!("{vname:?} => {{ {inner} }}\n"));
+                }
+            }
+        }
+        format!(
+            "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"unknown variant `{{__other}}` for {ty}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __v) = &__entries[0];\n\
+                     match __tag.as_str() {{\n\
+                         {payload_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"unknown variant `{{__other}}` for {ty}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"expected a variant of {ty}, found {{}}\", __other.kind()))),\n\
+             }}"
+        )
+    }
+
+    fn de_untagged_body(&self, variants: &[Variant]) -> String {
+        let ty = &self.name;
+        let mut tries = String::new();
+        for v in variants {
+            let vname = &v.name;
+            match &v.shape {
+                VariantShape::Unit => {
+                    tries.push_str(&format!(
+                        "if ::std::matches!(__c, ::serde::Content::Null) {{\n\
+                             return ::std::result::Result::Ok(Self::{vname});\n\
+                         }}\n"
+                    ));
+                }
+                VariantShape::Tuple(arity) => {
+                    let expr = de_tuple_expr(ty, vname, *arity, "__c");
+                    tries.push_str(&format!(
+                        "if let ::std::result::Result::Ok(__ok) = \
+                             (|| -> ::std::result::Result<Self, ::serde::DeError> {{ {expr} }})() {{\n\
+                             return ::std::result::Result::Ok(__ok);\n\
+                         }}\n"
+                    ));
+                }
+                VariantShape::Struct(fields) => {
+                    let inner =
+                        de_named_fields_from(ty, fields, &format!("Self::{vname}"), "__c");
+                    tries.push_str(&format!(
+                        "if let ::std::result::Result::Ok(__ok) = \
+                             (|| -> ::std::result::Result<Self, ::serde::DeError> {{ {inner} }})() {{\n\
+                             return ::std::result::Result::Ok(__ok);\n\
+                         }}\n"
+                    ));
+                }
+            }
+        }
+        format!(
+            "{tries}\
+             ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                 \"no untagged variant of {ty} matched {{}}\", __c.kind())))"
+        )
+    }
+}
+
+/// `Content::Map(vec![("Tag", inner)])`.
+fn tag_map(tag: &str, inner: &str) -> String {
+    format!(
+        "::serde::Content::Map(::std::vec![(::std::string::String::from({tag:?}), {inner})])"
+    )
+}
+
+/// Serialize named fields (struct body or struct-variant body).
+/// `access` is `"self."` for structs and `""` for variant bindings.
+fn ser_named_fields_body(fields: &[String], access: &str, _unused: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::serialize_content(&{access}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Content::Map(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+/// Deserialize named fields from the top-level content `__c`.
+fn de_named_fields_body(ty: &str, fields: &[String], constructor: &str) -> String {
+    de_named_fields_from(ty, fields, constructor, "__c")
+}
+
+/// Deserialize named fields from content expression `src`.
+fn de_named_fields_from(ty: &str, fields: &[String], constructor: &str, src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__field(__m, {f:?})?"))
+        .collect();
+    format!(
+        "let __m = {src}.as_map_for({ty:?})?;\n\
+         ::std::result::Result::Ok({constructor} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+/// Deserialize a tuple variant: arity 1 is serde's newtype form (payload is
+/// the inner value), arity ≥ 2 expects a sequence.
+fn de_tuple_expr(ty: &str, vname: &str, arity: usize, src: &str) -> String {
+    if arity == 1 {
+        format!(
+            "::std::result::Result::Ok(Self::{vname}(\
+                 ::serde::Deserialize::deserialize_content({src})?))"
+        )
+    } else {
+        let label = format!("{ty}::{vname}");
+        let items: Vec<String> = (0..arity)
+            .map(|k| format!("::serde::Deserialize::deserialize_content(&__s[{k}])?"))
+            .collect();
+        format!(
+            "{{ let __s = {src}.as_seq_for({label:?}, {arity})?;\n\
+               ::std::result::Result::Ok(Self::{vname}({})) }}",
+            items.join(", ")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing helpers
+// ---------------------------------------------------------------------------
+
+/// Does this attribute group (the `[...]` after `#`) say `serde(untagged)`?
+fn attr_is_serde_untagged(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "untagged"))
+        }
+        _ => false,
+    }
+}
+
+/// Split a token list on top-level commas, tracking `<...>` depth so that
+/// generic arguments (`BTreeMap<String, Value>`) do not split.
+fn split_top_level_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse `{ field: Ty, ... }` contents into field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field_tokens in split_top_level_commas(stream.into_iter().collect()) {
+        let mut i = 0usize;
+        // Attributes (doc comments etc.).
+        while matches!(&field_tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if field_tokens.get(i).is_none() {
+            continue; // trailing comma
+        }
+        // Visibility.
+        if matches!(&field_tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub")
+        {
+            i += 1;
+            if matches!(&field_tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match (field_tokens.get(i), field_tokens.get(i + 1)) {
+            (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(colon)))
+                if colon.as_char() == ':' =>
+            {
+                names.push(name.to_string());
+            }
+            other => return Err(format!("unsupported field syntax: {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Parse enum body contents into variants.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for var_tokens in split_top_level_commas(stream.into_iter().collect()) {
+        let mut i = 0usize;
+        while matches!(&var_tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(tree) = var_tokens.get(i) else {
+            continue; // trailing comma
+        };
+        let name = match tree {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unsupported variant syntax: {other:?}")),
+        };
+        i += 1;
+        let shape = match var_tokens.get(i) {
+            None => VariantShape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let elems = split_top_level_commas(g.stream().into_iter().collect());
+                let arity = elems.iter().filter(|e| !e.is_empty()).count();
+                VariantShape::Tuple(arity)
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unsupported tokens after variant {name}: {other:?} \
+                     (discriminants are not supported)"
+                ))
+            }
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
