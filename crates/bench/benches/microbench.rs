@@ -138,11 +138,13 @@ fn bench_dl(c: &mut Criterion) {
 }
 
 fn bench_executor(c: &mut Criterion) {
-    let runtime = Runtime::builder()
-        .llm(Arc::new(EchoLlm::default()))
-        .build();
+    let runtime = Runtime::builder().llm(Arc::new(EchoLlm::default())).build();
     let pipeline = Pipeline::builder("bench")
-        .create_text("p", "Classify the note. {{ctx:item}}", RefinementMode::Manual)
+        .create_text(
+            "p",
+            "Classify the note. {{ctx:item}}",
+            RefinementMode::Manual,
+        )
         .gen("a", "p")
         .check(Cond::low_confidence(0.99), |b| b.expand("p", "hint"))
         .build();

@@ -79,7 +79,10 @@ pub fn ablation_planner(seed: u64) -> Result<Vec<PlannerRow>> {
             "inject_example",
             map([
                 ("input", Value::from("enoxaparin 60 mg nightly for PE")),
-                ("output", Value::from("Enoxaparin use documented: 60 mg nightly")),
+                (
+                    "output",
+                    Value::from("Enoxaparin use documented: 60 mg nightly"),
+                ),
             ]),
         ),
         ("append", Value::from("Answer in complete sentences.")),
@@ -104,8 +107,7 @@ pub fn ablation_planner(seed: u64) -> Result<Vec<PlannerRow>> {
         })?;
         let text = output.new_text.unwrap_or_else(|| base_text.to_string());
         let gain = probe(&text)? - base_confidence;
-        let token_cost =
-            tokenizer.count(&text) as f64 - tokenizer.count(base_text) as f64;
+        let token_cost = tokenizer.count(&text) as f64 - tokenizer.count(base_text) as f64;
         profiles.push(RefinerProfile {
             name: (*name).to_string(),
             avg_gain: gain,
@@ -231,8 +233,8 @@ pub fn ablation_views(seed: u64, n_items: usize) -> Result<Vec<ViewRow>> {
 
     let mut rows = Vec::new();
     for task in tasks {
-        let choice = view_selector::select_view(&catalog, task, None)
-            .expect("catalog is non-empty");
+        let choice =
+            view_selector::select_view(&catalog, task, None).expect("catalog is non-empty");
         let view = catalog.get(&choice.view)?;
         let view_prompt = format!("{}\nFocus on {task}.", view.template);
         let scratch_prompt = format!(
@@ -441,7 +443,10 @@ mod tests {
             assert!(r.speedup > 1.1, "task {:?}: speedup {}", r.task, r.speedup);
         }
         assert_eq!(rows[0].chosen_view, "tweet_pipeline", "school task → V");
-        assert_eq!(rows[1].chosen_view, "review_pipeline", "review task → review view");
+        assert_eq!(
+            rows[1].chosen_view, "review_pipeline",
+            "review task → review view"
+        );
     }
 
     #[test]

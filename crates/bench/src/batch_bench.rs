@@ -165,13 +165,12 @@ pub fn run(config: &BatchBenchConfig) -> Result<BatchBenchReport> {
         ));
         let views = ViewCatalog::new();
         views.register(bench_view());
-        let entry = views
-            .instantiate(
-                "batch_tweet_filter",
-                [("topic".to_string(), Value::from("school"))]
-                    .into_iter()
-                    .collect(),
-            )?;
+        let entry = views.instantiate(
+            "batch_tweet_filter",
+            [("topic".to_string(), Value::from("school"))]
+                .into_iter()
+                .collect(),
+        )?;
         let rt = Runtime::builder()
             .llm(llm.clone() as Arc<dyn LlmClient>)
             .views(views)
@@ -190,14 +189,12 @@ pub fn run(config: &BatchBenchConfig) -> Result<BatchBenchReport> {
         let mut digest = 0xcbf2_9ce4_8422_2325u64;
         for outcome in outcomes {
             let outcome = outcome?;
-            let jsonl = outcome
-                .state
-                .trace
-                .to_jsonl()
-                .map_err(|e| spear_core::error::SpearError::TraceParse {
+            let jsonl = outcome.state.trace.to_jsonl().map_err(|e| {
+                spear_core::error::SpearError::TraceParse {
                     line: 0,
                     reason: e.to_string(),
-                })?;
+                }
+            })?;
             digest ^= fnv1a(jsonl.as_bytes());
             digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
         }
@@ -215,7 +212,11 @@ pub fn run(config: &BatchBenchConfig) -> Result<BatchBenchReport> {
             pipelines: config.n_pipelines,
             busy_s,
             makespan_s,
-            speedup: if makespan_s > 0.0 { base / makespan_s } else { 1.0 },
+            speedup: if makespan_s > 0.0 {
+                base / makespan_s
+            } else {
+                1.0
+            },
             throughput_pps: if makespan_s > 0.0 {
                 config.n_pipelines as f64 / makespan_s
             } else {
@@ -258,8 +259,15 @@ mod tests {
         assert_eq!(report.rows.len(), 2);
         let (one, four) = (&report.rows[0], &report.rows[1]);
         assert_eq!(one.trace_digest, four.trace_digest);
-        assert!((one.busy_s - four.busy_s).abs() < 1e-9, "busy time is invariant");
-        assert!(four.speedup > 2.0, "4 workers beat 2x, got {}", four.speedup);
+        assert!(
+            (one.busy_s - four.busy_s).abs() < 1e-9,
+            "busy time is invariant"
+        );
+        assert!(
+            four.speedup > 2.0,
+            "4 workers beat 2x, got {}",
+            four.speedup
+        );
         assert!(one.cache_hit_pct > 0.0, "warm prefix must hit");
     }
 

@@ -19,7 +19,9 @@ fn arg(name: &str, default: u64) -> u64 {
 fn main() {
     let n = arg("--n", 500) as usize;
     let seed = arg("--seed", 140);
-    eprintln!("Ablation A: Table 3 strategies with the prefix cache enabled vs disabled ({n} tweets)");
+    eprintln!(
+        "Ablation A: Table 3 strategies with the prefix cache enabled vs disabled ({n} tweets)"
+    );
 
     let with_cache = run(&Table3Config {
         n_tweets: n,

@@ -75,9 +75,8 @@ fn main() {
     let (fused_gens, fused_time) = run(true);
 
     // What the planner predicted, for comparison.
-    let predicted = gen_fusion::estimate_saving(&CostModel::default(), 3, 45.0, true)
-        .as_secs_f64()
-        * n as f64;
+    let predicted =
+        gen_fusion::estimate_saving(&CostModel::default(), 3, 45.0, true).as_secs_f64() * n as f64;
 
     let mut table = Table::new(&["Plan", "GEN calls", "Total time (s)", "Per case (s)"]);
     table.row(vec![

@@ -22,7 +22,11 @@ fn main() {
     let cells = table4(n, seed).expect("table4 run failed");
 
     let mut headers = vec!["Fusion Type".to_string()];
-    headers.extend(TABLE4_SELECTIVITIES.iter().map(|s| format!("{:.0}%", s * 100.0)));
+    headers.extend(
+        TABLE4_SELECTIVITIES
+            .iter()
+            .map(|s| format!("{:.0}%", s * 100.0)),
+    );
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
 

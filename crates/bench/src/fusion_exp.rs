@@ -11,6 +11,8 @@
 //! `s`. Prompts here are not view-derived (opaque), so the prefix cache is
 //! out of the picture and the measurement isolates fusion itself.
 
+use std::sync::Arc;
+
 use spear_core::error::Result;
 use spear_data::tweets::{self, Sentiment, TweetConfig};
 use spear_llm::{EngineConfig, ModelProfile, SimLlm};
@@ -136,10 +138,10 @@ pub fn measure(
         seed: config.seed,
         ..EngineConfig::default()
     };
-    let seq_engine = SimLlm::with_config(profile.clone(), engine_cfg.clone());
-    let seq = run_plan(&seq_engine, &PhysicalPlan::sequential(&plan), &items)?;
-    let fused_engine = SimLlm::with_config(profile.clone(), engine_cfg);
-    let fused = run_plan(&fused_engine, &PhysicalPlan::fused(&plan), &items)?;
+    let seq_engine = Arc::new(SimLlm::with_config(profile.clone(), engine_cfg.clone()));
+    let seq = run_plan(seq_engine, &PhysicalPlan::sequential(&plan), &items)?;
+    let fused_engine = Arc::new(SimLlm::with_config(profile.clone(), engine_cfg));
+    let fused = run_plan(fused_engine, &PhysicalPlan::fused(&plan), &items)?;
 
     let seq_time = seq.latency.as_secs_f64();
     let fused_time = fused.latency.as_secs_f64();
@@ -161,8 +163,7 @@ pub fn measure(
         fused: StageEstimate {
             prompt_tokens: fused.usage.prompt_tokens as f64 / fused.gen_calls.max(1) as f64,
             cached_fraction: 0.0,
-            decode_tokens: fused.usage.completion_tokens as f64
-                / fused.gen_calls.max(1) as f64,
+            decode_tokens: fused.usage.completion_tokens as f64 / fused.gen_calls.max(1) as f64,
         },
     };
     let cost_model = CostModel {
@@ -277,7 +278,11 @@ mod tests {
         assert!(!low.optimizer_would_fuse);
 
         let high = measure(&profile, FusionOrder::FilterMap, &cfg(1.0)).unwrap();
-        assert!(high.gain_pct > 12.0, "fusion wins at 100%: {}", high.gain_pct);
+        assert!(
+            high.gain_pct > 12.0,
+            "fusion wins at 100%: {}",
+            high.gain_pct
+        );
         assert!(high.optimizer_would_fuse);
     }
 

@@ -221,9 +221,7 @@ fn prepare_strategies(engine: &SimLlm) -> Result<Vec<Prepared>> {
         engine,
         "auto",
         "llm_rewrite",
-        &Value::from(
-            "meet the task objective of selecting negative school-related tweets",
-        ),
+        &Value::from("meet the task objective of selecting negative school-related tweets"),
         RefAction::Update,
         RefinementMode::Auto,
     )?;
@@ -294,11 +292,9 @@ pub fn run(config: &Table3Config) -> Result<Vec<StrategyRow>> {
             }
             let request = GenRequest {
                 text: format!("{}\nTweet: {}", s.entry.text, tweet.text),
-                identity: identity
-                    .clone()
-                    .map_or(PromptIdentity::Opaque, |id| PromptIdentity::Structured {
-                        id,
-                    }),
+                identity: identity.clone().map_or(PromptIdentity::Opaque, |id| {
+                    PromptIdentity::Structured { id }
+                }),
                 options: GenOptions {
                     max_tokens: 128,
                     temperature: 0.0,
@@ -375,7 +371,12 @@ mod tests {
         // Manual (0.75) > Assisted (0.74) > Static (0.70). At n=300 the
         // per-item correctness draws leave ±0.04-0.06 of noise on F1, so
         // assert the robust separations (≥ 2σ) and bracket the rest.
-        assert!(auto.f1 > static_p.f1 + 0.05, "auto {} static {}", auto.f1, static_p.f1);
+        assert!(
+            auto.f1 > static_p.f1 + 0.05,
+            "auto {} static {}",
+            auto.f1,
+            static_p.f1
+        );
         assert!(agentic.f1 > static_p.f1 + 0.03);
         assert!(auto.f1 >= agentic.f1 - 0.02);
         for mid in [manual, assisted] {
@@ -411,7 +412,10 @@ mod tests {
         for r in &rows {
             assert_eq!(r.cache_hit_pct, 0.0, "{}", r.strategy);
         }
-        let manual = rows.iter().find(|r| r.strategy == "Manual Refinement").unwrap();
+        let manual = rows
+            .iter()
+            .find(|r| r.strategy == "Manual Refinement")
+            .unwrap();
         assert!(
             manual.speedup < 1.1,
             "without the cache, manual refinement loses its edge: {}",

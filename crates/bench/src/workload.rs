@@ -65,9 +65,7 @@ pub fn view_v_text() -> String {
 pub fn view_v() -> ViewDef {
     ViewDef::new("tweet_pipeline", view_v_text())
         .with_tag("sentiment")
-        .with_description(
-            "Base tweet pipeline: summarize (Map) + negative-sentiment filter",
-        )
+        .with_description("Base tweet pipeline: summarize (Map) + negative-sentiment filter")
 }
 
 /// The Static-Prompt baseline: a freshly written instruction for the
@@ -158,11 +156,7 @@ mod tests {
     fn static_prompt_shares_no_prefix_with_v() {
         let v = view_v_text();
         let s = static_prompt_text();
-        let common = v
-            .chars()
-            .zip(s.chars())
-            .take_while(|(a, b)| a == b)
-            .count();
+        let common = v.chars().zip(s.chars()).take_while(|(a, b)| a == b).count();
         assert!(common < 10, "prefixes must diverge, common={common}");
     }
 

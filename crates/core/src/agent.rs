@@ -182,10 +182,7 @@ mod tests {
             evidence_key: "notes".into(),
         };
         let supported = agent
-            .call(
-                &Value::from("enoxaparin prophylaxis after surgery"),
-                &ctx,
-            )
+            .call(&Value::from("enoxaparin prophylaxis after surgery"), &ctx)
             .unwrap();
         let unsupported = agent
             .call(&Value::from("warfarin bridging protocol unrelated"), &ctx)

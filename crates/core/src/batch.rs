@@ -27,11 +27,12 @@
 //! the runtime without requiring `'static` lifetimes or reference counting
 //! at the call site.
 
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::Result;
 use crate::pipeline::Pipeline;
+use crate::plan::LoweredPlan;
 use crate::runtime::{ExecReport, ExecState, Runtime};
 use crate::scope;
 
@@ -63,6 +64,24 @@ pub struct BatchOutcome {
     pub state: ExecState,
 }
 
+/// A batch job whose private [`ExecState`] can be taken out for execution
+/// (the rest of the job — the plan — stays readable during the run).
+trait HasState {
+    fn take_state(&mut self) -> ExecState;
+}
+
+impl HasState for BatchJob {
+    fn take_state(&mut self) -> ExecState {
+        std::mem::take(&mut self.state)
+    }
+}
+
+impl HasState for (Arc<LoweredPlan>, ExecState) {
+    fn take_state(&mut self) -> ExecState {
+        std::mem::take(&mut self.1)
+    }
+}
+
 /// Executes batches of independent pipeline instances on a worker pool.
 #[derive(Debug)]
 pub struct BatchRunner {
@@ -92,11 +111,37 @@ impl BatchRunner {
     /// Owner ids are allocated per job and are unique across successive
     /// `run` calls on the same runner, so two batches never alias each
     /// other's owner-private backend state.
-    pub fn run(
+    pub fn run(&self, runtime: &Runtime, jobs: Vec<BatchJob>) -> Vec<Result<BatchOutcome>> {
+        self.run_jobs(jobs, |job, state| runtime.execute(&job.pipeline, state))
+    }
+
+    /// Execute one lowered plan over many per-job states — the single-spine
+    /// analogue of [`BatchRunner::run_states`], used by the optimizer's
+    /// plan executor. Owner/lane assignment and outcome ordering are
+    /// identical to [`BatchRunner::run`].
+    pub fn run_lowered(
         &self,
         runtime: &Runtime,
-        jobs: Vec<BatchJob>,
+        plan: &Arc<LoweredPlan>,
+        states: Vec<ExecState>,
     ) -> Vec<Result<BatchOutcome>> {
+        let jobs: Vec<(Arc<LoweredPlan>, ExecState)> = states
+            .into_iter()
+            .map(|state| (Arc::clone(plan), state))
+            .collect();
+        self.run_jobs(jobs, |(plan, _), state| {
+            runtime.execute_lowered(plan, state)
+        })
+    }
+
+    /// Shared batch engine: statically stripe `jobs` across the worker
+    /// pool, run each inside its own execution scope, and collect outcomes
+    /// in submission order.
+    fn run_jobs<J, F>(&self, jobs: Vec<J>, exec: F) -> Vec<Result<BatchOutcome>>
+    where
+        J: Send + HasState,
+        F: Fn(&J, &mut ExecState) -> Result<ExecReport> + Sync,
+    {
         let n = jobs.len();
         if n == 0 {
             return Vec::new();
@@ -107,28 +152,26 @@ impl BatchRunner {
         // Hand each worker its statically striped slice of jobs. Jobs are
         // moved out of the input vector into per-worker lists up front so
         // no locking is needed during execution.
-        let mut per_worker: Vec<Vec<(usize, BatchJob)>> =
-            (0..workers).map(|_| Vec::new()).collect();
+        let mut per_worker: Vec<Vec<(usize, J)>> = (0..workers).map(|_| Vec::new()).collect();
         for (index, job) in jobs.into_iter().enumerate() {
             per_worker[index % workers].push((index, job));
         }
 
-        let mut slots: Vec<Option<Result<BatchOutcome>>> =
-            (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<BatchOutcome>>> = (0..n).map(|_| None).collect();
         std::thread::scope(|s| {
+            let exec = &exec;
             let handles: Vec<_> = per_worker
                 .into_iter()
                 .enumerate()
                 .map(|(lane, assigned)| {
                     s.spawn(move || {
                         let mut produced = Vec::with_capacity(assigned.len());
-                        for (index, job) in assigned {
+                        for (index, mut job) in assigned {
                             let owner = owner_base + index as u64;
                             let _scope = scope::enter(owner, lane);
-                            let mut state = job.state;
-                            let result = runtime
-                                .execute(&job.pipeline, &mut state)
-                                .map(|report| BatchOutcome { report, state });
+                            let mut state = job.take_state();
+                            let result =
+                                exec(&job, &mut state).map(|report| BatchOutcome { report, state });
                             produced.push((index, result));
                         }
                         produced
@@ -198,8 +241,7 @@ mod tests {
         let rt = runtime();
         let p = pipeline();
         let runner = BatchRunner::new(4);
-        let outcomes =
-            runner.run_states(&rt, &p, (0..13).map(state).collect());
+        let outcomes = runner.run_states(&rt, &p, (0..13).map(state).collect());
         assert_eq!(outcomes.len(), 13);
         for (i, o) in outcomes.iter().enumerate() {
             let o = o.as_ref().expect("job succeeds");
@@ -242,11 +284,7 @@ mod tests {
     fn failures_stay_in_their_slot() {
         let rt = runtime();
         let good = pipeline();
-        let bad = Arc::new(
-            Pipeline::builder("bad")
-                .gen("a", "missing_prompt")
-                .build(),
-        );
+        let bad = Arc::new(Pipeline::builder("bad").gen("a", "missing_prompt").build());
         let runner = BatchRunner::new(3);
         let jobs = vec![
             BatchJob::new(Arc::clone(&good), state(0)),

@@ -316,13 +316,17 @@ mod tests {
         assert!(!Cond::All(vec![Cond::Never, erroring.clone()])
             .eval(&c, &m)
             .unwrap());
-        assert!(Cond::Any(vec![Cond::Always, erroring]).eval(&c, &m).unwrap());
+        assert!(Cond::Any(vec![Cond::Always, erroring])
+            .eval(&c, &m)
+            .unwrap());
     }
 
     #[test]
     fn truthiness_of_context_values() {
         let (c, m) = state();
-        assert!(Cond::Truthy(Operand::Ctx("orders".into())).eval(&c, &m).unwrap());
+        assert!(Cond::Truthy(Operand::Ctx("orders".into()))
+            .eval(&c, &m)
+            .unwrap());
         assert!(!Cond::Truthy(Operand::Ctx("empty_list".into()))
             .eval(&c, &m)
             .unwrap());

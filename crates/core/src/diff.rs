@@ -69,7 +69,10 @@ pub fn diff(left: &str, right: &str) -> PromptDiff {
     let l_lines: Vec<&str> = left.lines().collect();
     let r_lines: Vec<&str> = right.lines().collect();
     let edits = lcs_edits(&l_lines, &r_lines);
-    let added = edits.iter().filter(|e| matches!(e, DiffEdit::Add(_))).count();
+    let added = edits
+        .iter()
+        .filter(|e| matches!(e, DiffEdit::Add(_)))
+        .count();
     let removed = edits
         .iter()
         .filter(|e| matches!(e, DiffEdit::Remove(_)))
@@ -86,10 +89,7 @@ pub fn diff(left: &str, right: &str) -> PromptDiff {
 /// Length in characters of the longest common prefix (on char boundaries).
 #[must_use]
 pub fn common_prefix_chars(a: &str, b: &str) -> usize {
-    a.chars()
-        .zip(b.chars())
-        .take_while(|(x, y)| x == y)
-        .count()
+    a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count()
 }
 
 /// Word-level Jaccard similarity. Tokens are lowercased alphanumeric runs.
@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn pure_append_is_adds_only() {
-        let d = diff("Summarize the notes.", "Summarize the notes.\nFocus on dosage.");
+        let d = diff(
+            "Summarize the notes.",
+            "Summarize the notes.\nFocus on dosage.",
+        );
         assert_eq!(d.removed, 0);
         assert_eq!(d.added, 1);
         assert_eq!(d.common_prefix_chars, "Summarize the notes.".len());

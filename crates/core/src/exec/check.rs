@@ -1,0 +1,47 @@
+//! CHECK — conditional execution (paper §3.3).
+
+use crate::condition::Cond;
+use crate::error::Result;
+use crate::ops::Op;
+use crate::runtime::{ExecState, Runtime};
+use crate::trace::TraceKind;
+use crate::value::Value;
+
+use super::{Flow, OpExecutor};
+
+/// Evaluate a condition and record the `CheckTaken`/`CheckSkipped` event.
+/// Evaluation errors record nothing here — the spine logs them.
+pub(crate) fn eval_and_trace(cond: &Cond, state: &mut ExecState) -> Result<bool> {
+    let holds = cond.eval(&state.context, &state.metadata)?;
+    let cond_text = cond.to_string();
+    state.trace.record(
+        state.step,
+        if holds {
+            TraceKind::CheckTaken
+        } else {
+            TraceKind::CheckSkipped
+        },
+        format!("CHECK[{cond_text}]"),
+        Value::Bool(holds),
+    );
+    Ok(holds)
+}
+
+/// Executor for [`Op::Check`]: evaluates the condition; the spine routes
+/// control into the matching branch.
+pub(crate) struct CheckExec;
+
+impl OpExecutor for CheckExec {
+    fn execute(
+        &self,
+        _rt: &Runtime,
+        op: &Op,
+        _trigger: Option<&str>,
+        state: &mut ExecState,
+    ) -> Result<Flow> {
+        let Op::Check { cond, .. } = op else {
+            unreachable!("CheckExec only dispatches on Op::Check")
+        };
+        Ok(Flow::Cond(eval_and_trace(cond, state)?))
+    }
+}

@@ -1,0 +1,116 @@
+//! GEN — LLM invocation (paper §3.3).
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, SpearError};
+use crate::llm::{GenRequest, PromptIdentity};
+use crate::ops::{Op, PromptRef};
+use crate::runtime::{ExecState, Runtime};
+use crate::template;
+use crate::trace::TraceKind;
+use crate::value::{map, Value};
+
+use super::{Flow, OpExecutor};
+
+/// Resolve a prompt reference to `(rendered text, identity)`. The identity
+/// carries the structure-gates-caching rule: only structured prompts (store
+/// entries, views, lowered prompts with a plan identity) are cacheable.
+pub(crate) fn resolve_prompt(
+    rt: &Runtime,
+    prompt: &PromptRef,
+    state: &ExecState,
+) -> Result<(String, PromptIdentity)> {
+    match prompt {
+        PromptRef::Key(key) => {
+            let entry = state.prompts.get(key)?;
+            let rendered = entry.render(&state.context)?;
+            let identity = entry.cache_identity().map_or(PromptIdentity::Opaque, |id| {
+                PromptIdentity::Structured { id }
+            });
+            Ok((rendered, identity))
+        }
+        PromptRef::Inline(text) => {
+            let rendered = template::render(text, &BTreeMap::new(), &state.context)?;
+            Ok((rendered, PromptIdentity::Opaque))
+        }
+        PromptRef::Lowered { text, identity } => {
+            let rendered = template::render(text, &BTreeMap::new(), &state.context)?;
+            let identity =
+                identity
+                    .clone()
+                    .map_or(PromptIdentity::Opaque, |id| PromptIdentity::Structured {
+                        id,
+                    });
+            Ok((rendered, identity))
+        }
+        PromptRef::View { name, args } => {
+            let entry = rt.views.instantiate(name, args.clone())?;
+            let rendered = entry.render(&state.context)?;
+            let identity = entry.cache_identity().map_or(PromptIdentity::Opaque, |id| {
+                PromptIdentity::Structured { id }
+            });
+            Ok((rendered, identity))
+        }
+    }
+}
+
+/// Executor for [`Op::Gen`]: renders the prompt, calls the backend, and
+/// records the generation in C, M, and the trace.
+pub(crate) struct GenExec;
+
+impl OpExecutor for GenExec {
+    fn execute(
+        &self,
+        rt: &Runtime,
+        op: &Op,
+        _trigger: Option<&str>,
+        state: &mut ExecState,
+    ) -> Result<Flow> {
+        let Op::Gen {
+            label,
+            prompt,
+            options,
+        } = op
+        else {
+            unreachable!("GenExec only dispatches on Op::Gen")
+        };
+        let llm = rt.llm.as_deref().ok_or(SpearError::LlmUnavailable {
+            requested_by: "GEN".into(),
+        })?;
+        let (text, identity) = resolve_prompt(rt, prompt, state)?;
+        let response = llm.generate(&GenRequest {
+            text,
+            identity,
+            options: options.clone(),
+        })?;
+        state
+            .context
+            .set_attributed(label, response.text.clone(), state.step, "GEN");
+        state
+            .metadata
+            .record_gen(response.usage, response.latency, response.confidence);
+        state
+            .metadata
+            .set(format!("confidence:{label}"), response.confidence);
+        state.trace.record(
+            state.step,
+            TraceKind::Gen,
+            format!("GEN[{label:?}]"),
+            map([
+                ("model", Value::from(response.model.clone())),
+                ("confidence", Value::from(response.confidence)),
+                ("prompt_tokens", Value::from(response.usage.prompt_tokens)),
+                ("cached_tokens", Value::from(response.usage.cached_tokens)),
+                (
+                    "completion_tokens",
+                    Value::from(response.usage.completion_tokens),
+                ),
+                (
+                    "latency_us",
+                    Value::from(u64::try_from(response.latency.as_micros()).unwrap_or(u64::MAX)),
+                ),
+            ]),
+        );
+        Ok(Flow::Next)
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-operator executors and the execution spine.
+//!
+//! Every operator of the algebra has its own executor module implementing
+//! [`OpExecutor`] — the obligation to consume and produce the full
+//! `(P, C, M)` triple is per-operator, so the code is organized the same
+//! way. The spine — budget gating, step counting, tracing, and error
+//! unwinding — lives here, in exactly one place:
+//!
+//! - [`run_lowered`] steps a [`LoweredPlan`] with a program counter; this
+//!   is what [`crate::runtime::Runtime::execute`] dispatches to.
+//! - [`run_tree`] is the reference recursive walk over the operator tree,
+//!   kept for differential testing
+//!   ([`crate::runtime::Runtime::execute_tree`]).
+//!
+//! Both produce byte-identical traces for any pipeline, including error
+//! paths (see `tests/trace_equivalence.rs`).
+
+pub(crate) mod check;
+pub(crate) mod delegate;
+pub(crate) mod gen;
+pub(crate) mod merge;
+pub(crate) mod refine;
+pub(crate) mod ret;
+
+use crate::error::{Result, SpearError};
+use crate::ops::Op;
+use crate::plan::{LoweredOp, LoweredPlan};
+use crate::runtime::{ExecState, Runtime};
+use crate::trace::TraceKind;
+use crate::value::Value;
+
+/// Control-flow outcome of one operator.
+pub(crate) enum Flow {
+    /// Proceed to the next operator.
+    Next,
+    /// A CHECK evaluated; `true` enters the then-branch.
+    Cond(bool),
+}
+
+/// One operator's executor: applies the operator to the state triple.
+///
+/// Implementations never gate budgets or record `Error` events — the spine
+/// owns both — but do record their own success trace event, because its
+/// payload comes from the operator's internals (token usage, condition
+/// outcome, merge choice, …).
+pub(crate) trait OpExecutor: Sync {
+    /// Execute `op` against `state`.
+    fn execute(
+        &self,
+        rt: &Runtime,
+        op: &Op,
+        trigger: Option<&str>,
+        state: &mut ExecState,
+    ) -> Result<Flow>;
+}
+
+/// Static dispatch table: the executor for an operator.
+pub(crate) fn executor_for(op: &Op) -> &'static dyn OpExecutor {
+    match op {
+        Op::Ret { .. } => &ret::RetExec,
+        Op::Gen { .. } => &gen::GenExec,
+        Op::Ref { .. } => &refine::RefineExec,
+        Op::Check { .. } => &check::CheckExec,
+        Op::Merge { .. } => &merge::MergeExec,
+        Op::Delegate { .. } => &delegate::DelegateExec,
+    }
+}
+
+/// Per-call resource limits, checked before each operator against the
+/// metadata counters accumulated since the call started.
+pub(crate) struct CallLimits {
+    pub(crate) tokens_start: u64,
+    pub(crate) latency_start_us: u64,
+    pub(crate) max_tokens: Option<u64>,
+    pub(crate) max_latency_us: Option<u64>,
+}
+
+impl CallLimits {
+    fn check(&self, state: &ExecState) -> Result<()> {
+        if let Some(max) = self.max_tokens {
+            let used = state.metadata.usage.total() - self.tokens_start;
+            if used > max {
+                return Err(SpearError::TokenBudgetExceeded { limit: max, used });
+            }
+        }
+        if let Some(max) = self.max_latency_us {
+            let used_us = state.metadata.latency_us - self.latency_start_us;
+            if used_us > max {
+                return Err(SpearError::LatencyBudgetExceeded {
+                    limit_us: max,
+                    used_us,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The pre-operator gate: op budget, call limits, step advance. Gate
+/// failures are *not* recorded against the operator (it never ran) — only
+/// enclosing CHECK frames log them during unwind.
+fn gate(rt: &Runtime, state: &mut ExecState, budget: &mut u64, limits: &CallLimits) -> Result<()> {
+    if *budget == 0 {
+        return Err(SpearError::OpBudgetExceeded {
+            limit: rt.config.max_ops,
+        });
+    }
+    limits.check(state)?;
+    *budget -= 1;
+    state.step += 1;
+    Ok(())
+}
+
+/// Replay the tree walk's error unwind: the failing operator's own trace
+/// event (when it ran), then one event per enclosing CHECK, innermost
+/// first — all at the current step, matching the recursive walk.
+fn unwind(state: &mut ExecState, own: Option<String>, frames: &[String], e: &SpearError) {
+    if let Some(describe) = own {
+        state.trace.record(
+            state.step,
+            TraceKind::Error,
+            describe,
+            Value::from(e.to_string()),
+        );
+    }
+    for frame in frames.iter().rev() {
+        state.trace.record(
+            state.step,
+            TraceKind::Error,
+            frame.clone(),
+            Value::from(e.to_string()),
+        );
+    }
+}
+
+/// The IR spine: step `plan` with a program counter.
+pub(crate) fn run_lowered(
+    rt: &Runtime,
+    plan: &LoweredPlan,
+    state: &mut ExecState,
+    budget: &mut u64,
+    limits: &CallLimits,
+) -> Result<()> {
+    let mut pc = 0usize;
+    while let Some(instr) = plan.ops.get(pc) {
+        match instr {
+            LoweredOp::Jump { target } => pc = *target,
+            LoweredOp::Check {
+                cond,
+                on_false,
+                frames,
+            } => {
+                if let Err(e) = gate(rt, state, budget, limits) {
+                    unwind(state, None, frames, &e);
+                    return Err(e);
+                }
+                match check::eval_and_trace(cond, state) {
+                    Ok(true) => pc += 1,
+                    Ok(false) => pc = *on_false,
+                    Err(e) => {
+                        unwind(state, Some(format!("CHECK[{cond}]")), frames, &e);
+                        return Err(e);
+                    }
+                }
+            }
+            LoweredOp::Leaf {
+                op,
+                trigger,
+                frames,
+            } => {
+                if let Err(e) = gate(rt, state, budget, limits) {
+                    unwind(state, None, frames, &e);
+                    return Err(e);
+                }
+                match executor_for(op).execute(rt, op, trigger.as_deref(), state) {
+                    Ok(_) => pc += 1,
+                    Err(e) => {
+                        unwind(state, Some(op.describe()), frames, &e);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The reference spine: recursive walk over the operator tree. Gate
+/// failures propagate unrecorded (the enclosing recursion level logs them
+/// against its CHECK), execution failures are logged against the operator.
+pub(crate) fn run_tree(
+    rt: &Runtime,
+    ops: &[Op],
+    state: &mut ExecState,
+    budget: &mut u64,
+    trigger: Option<&str>,
+    limits: &CallLimits,
+) -> Result<()> {
+    for op in ops {
+        gate(rt, state, budget, limits)?;
+        let outcome =
+            executor_for(op)
+                .execute(rt, op, trigger, state)
+                .and_then(|flow| match flow {
+                    Flow::Next => Ok(()),
+                    Flow::Cond(holds) => {
+                        let Op::Check {
+                            cond,
+                            then_ops,
+                            else_ops,
+                        } = op
+                        else {
+                            unreachable!("only CHECK returns Flow::Cond")
+                        };
+                        if holds {
+                            run_tree(rt, then_ops, state, budget, Some(&cond.to_string()), limits)
+                        } else if else_ops.is_empty() {
+                            Ok(())
+                        } else {
+                            let negated = format!("!({cond})");
+                            run_tree(rt, else_ops, state, budget, Some(&negated), limits)
+                        }
+                    }
+                });
+        if let Err(e) = outcome {
+            state.trace.record(
+                state.step,
+                TraceKind::Error,
+                op.describe(),
+                Value::from(e.to_string()),
+            );
+            return Err(e);
+        }
+    }
+    Ok(())
+}

@@ -79,6 +79,7 @@ pub mod condition;
 pub mod context;
 pub mod diff;
 pub mod error;
+mod exec;
 pub mod features;
 pub mod history;
 pub mod llm;
@@ -86,6 +87,7 @@ pub mod meta;
 pub mod metadata;
 pub mod ops;
 pub mod pipeline;
+pub mod plan;
 pub mod prompt;
 pub mod refiner;
 pub mod replay;
@@ -110,6 +112,7 @@ pub use llm::{EchoLlm, GenOptions, GenRequest, GenResponse, LlmClient, PromptIde
 pub use metadata::{Metadata, TokenUsage};
 pub use ops::{MergePolicy, Op, PayloadSpec, PromptRef};
 pub use pipeline::{Pipeline, PipelineBuilder};
+pub use plan::{lower, LoweredOp, LoweredPlan};
 pub use prompt::{PromptEntry, PromptOrigin};
 pub use runtime::{ExecReport, ExecState, Runtime, RuntimeBuilder, RuntimeConfig};
 pub use store::PromptStore;
@@ -132,6 +135,7 @@ pub mod prelude {
     pub use crate::metadata::{Metadata, TokenUsage};
     pub use crate::ops::{MergePolicy, Op, PayloadSpec, PromptRef};
     pub use crate::pipeline::{Pipeline, PipelineBuilder};
+    pub use crate::plan::{lower, LoweredOp, LoweredPlan};
     pub use crate::prompt::{PromptEntry, PromptOrigin};
     pub use crate::refiner::{FnRefiner, RefineCtx, RefineOutput, Refiner, RefinerRegistry};
     pub use crate::retriever::{
@@ -140,8 +144,8 @@ pub mod prelude {
     };
     pub use crate::runtime::{ExecReport, ExecState, Runtime, RuntimeBuilder, RuntimeConfig};
     pub use crate::store::PromptStore;
-    pub use crate::validate::{ValidationIssue, Validator};
     pub use crate::trace::{Trace, TraceEvent, TraceKind};
+    pub use crate::validate::{ValidationIssue, Validator};
     pub use crate::value::{map, Value};
     pub use crate::view::{ParamSpec, ViewCatalog, ViewDef};
 }

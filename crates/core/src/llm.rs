@@ -242,8 +242,12 @@ mod tests {
     #[test]
     fn echo_is_deterministic() {
         let llm = EchoLlm::default();
-        let a = llm.generate(&GenRequest::opaque("summarize the notes")).unwrap();
-        let b = llm.generate(&GenRequest::opaque("summarize the notes")).unwrap();
+        let a = llm
+            .generate(&GenRequest::opaque("summarize the notes"))
+            .unwrap();
+        let b = llm
+            .generate(&GenRequest::opaque("summarize the notes"))
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(a.usage.prompt_tokens, 3);
     }

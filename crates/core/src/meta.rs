@@ -46,11 +46,7 @@ impl RefinerStats {
                 Some(v.iter().sum::<f64>() / v.len() as f64)
             }
         };
-        let gains: Vec<f64> = samples
-            .before_after
-            .iter()
-            .map(|(b, a)| a - b)
-            .collect();
+        let gains: Vec<f64> = samples.before_after.iter().map(|(b, a)| a - b).collect();
         let befores: Vec<f64> = samples.before_after.iter().map(|(b, _)| *b).collect();
         let afters: Vec<f64> = samples.before_after.iter().map(|(_, a)| *a).collect();
         Self {

@@ -36,6 +36,18 @@ pub enum PromptRef {
         /// Instantiation arguments.
         args: BTreeMap<String, Value>,
     },
+    /// A pre-rendered template emitted by plan lowering (e.g. the
+    /// optimizer fusing semantic stages into one GEN). The text may contain
+    /// `{{ctx:...}}` placeholders; unlike `Inline`, the lowering step can
+    /// attach the source plan's structured identity, keeping such prompts
+    /// cacheable (structure gates caching).
+    Lowered {
+        /// Template text.
+        text: String,
+        /// Structured identity inherited from the source plan; `None`
+        /// means opaque.
+        identity: Option<String>,
+    },
 }
 
 impl PromptRef {
@@ -198,6 +210,9 @@ impl Op {
             Op::Gen { label, prompt, .. } => match prompt {
                 PromptRef::Key(k) => format!("GEN[{label:?}] using P[{k:?}]"),
                 PromptRef::Inline(_) => format!("GEN[{label:?}] using inline prompt"),
+                PromptRef::Lowered { .. } => {
+                    format!("GEN[{label:?}] using lowered prompt")
+                }
                 PromptRef::View { name, .. } => {
                     format!("GEN[{label:?}] using VIEW[{name:?}]")
                 }

@@ -154,20 +154,12 @@ impl PipelineBuilder {
     /// `REF[CREATE, f_view(args)]` — define a prompt from a view
     /// (the derived VIEW operator of Table 2).
     #[must_use]
-    pub fn create_from_view(
-        self,
-        target: &str,
-        view: &str,
-        args: BTreeMap<String, Value>,
-    ) -> Self {
+    pub fn create_from_view(self, target: &str, view: &str, args: BTreeMap<String, Value>) -> Self {
         self.op(Op::Ref {
             target: target.to_string(),
             action: RefAction::Create,
             refiner: "from_view".to_string(),
-            args: map([
-                ("view", Value::from(view)),
-                ("args", Value::Map(args)),
-            ]),
+            args: map([("view", Value::from(view)), ("args", Value::Map(args))]),
             mode: RefinementMode::Manual,
         })
     }

@@ -1,0 +1,275 @@
+//! The lowered plan IR: a flat instruction form for pipelines.
+//!
+//! A [`Pipeline`] is a tree (CHECK nests its branches); the executor spine
+//! wants a flat program it can step with a program counter — the same move
+//! a query engine makes when it lowers a logical plan into a physical one.
+//! [`lower`] flattens the operator tree into a [`LoweredPlan`]: every
+//! non-CHECK operator becomes a [`LoweredOp::Leaf`], every CHECK becomes a
+//! [`LoweredOp::Check`] with an explicit `on_false` jump target, and a
+//! then-branch followed by an else-branch ends in a [`LoweredOp::Jump`]
+//! over the else block.
+//!
+//! Two pieces of tree-shaped bookkeeping are baked into the instructions so
+//! the flat interpreter reproduces the tree walk byte-for-byte:
+//!
+//! - **triggers** — a REF inside a CHECK branch records the branch's
+//!   condition text in its ref_log; each leaf carries the trigger of its
+//!   innermost enclosing branch.
+//! - **frames** — when an operator fails, the tree walk records one
+//!   `Error` trace event per enclosing CHECK while unwinding; each
+//!   instruction carries the `describe()` strings of its enclosing CHECKs
+//!   (outermost first) so the spine can replay that unwind.
+//!
+//! Both executors — [`crate::runtime::Runtime::execute`] over this IR and
+//! the reference tree walk kept as
+//! [`crate::runtime::Runtime::execute_tree`] — are differentially tested
+//! for byte-identical traces (`tests/trace_equivalence.rs`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::condition::Cond;
+use crate::ops::Op;
+use crate::pipeline::Pipeline;
+
+/// One instruction of the lowered IR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoweredOp {
+    /// A data operator (never [`Op::Check`]) executed by its per-operator
+    /// executor; falls through to the next instruction.
+    Leaf {
+        /// The operator.
+        op: Op,
+        /// Condition text of the innermost enclosing CHECK branch (negated
+        /// for else-branches); REF records it as the ref_log trigger.
+        trigger: Option<String>,
+        /// `describe()` of enclosing CHECKs, outermost first (error unwind).
+        frames: Vec<String>,
+    },
+    /// Evaluate a condition: fall through when it holds, jump to `on_false`
+    /// otherwise.
+    Check {
+        /// The condition over (C, M).
+        cond: Cond,
+        /// Jump target when the condition is false (first instruction after
+        /// the then-branch, or into the else-branch when one exists).
+        on_false: usize,
+        /// `describe()` of enclosing CHECKs, outermost first.
+        frames: Vec<String>,
+    },
+    /// Unconditional jump (closes a then-branch that is followed by an
+    /// else-branch). Free: consumes no op budget and records no trace.
+    Jump {
+        /// Target instruction index.
+        target: usize,
+    },
+}
+
+impl LoweredOp {
+    /// Compact one-line rendering in the paper's notation.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            LoweredOp::Leaf { op, .. } => op.describe(),
+            LoweredOp::Check { cond, on_false, .. } => {
+                format!("CHECK[{cond}] else -> {on_false:04}")
+            }
+            LoweredOp::Jump { target } => format!("JUMP -> {target:04}"),
+        }
+    }
+}
+
+/// A pipeline lowered to a flat instruction list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoweredPlan {
+    /// Name of the source pipeline (used in traces).
+    pub name: String,
+    /// `Pipeline::size()` of the source — the op count the trace's
+    /// `PipelineStart` event reports (jumps are not counted).
+    pub source_size: u64,
+    /// The instructions.
+    pub ops: Vec<LoweredOp>,
+}
+
+impl LoweredPlan {
+    /// Multi-line rendering: one instruction per line with its index.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut out = format!("LOWERED PLAN {:?}\n", self.name);
+        for (pc, op) in self.ops.iter().enumerate() {
+            out.push_str(&format!("  {pc:04}  {}\n", op.describe()));
+        }
+        out
+    }
+}
+
+/// Lower a pipeline into the flat IR.
+#[must_use]
+pub fn lower(pipeline: &Pipeline) -> LoweredPlan {
+    let mut ops = Vec::new();
+    lower_ops(&pipeline.ops, None, &mut Vec::new(), &mut ops);
+    LoweredPlan {
+        name: pipeline.name.clone(),
+        source_size: pipeline.size(),
+        ops,
+    }
+}
+
+fn lower_ops(
+    ops: &[Op],
+    trigger: Option<&str>,
+    frames: &mut Vec<String>,
+    out: &mut Vec<LoweredOp>,
+) {
+    for op in ops {
+        match op {
+            Op::Check {
+                cond,
+                then_ops,
+                else_ops,
+            } => {
+                let check_at = out.len();
+                out.push(LoweredOp::Check {
+                    cond: cond.clone(),
+                    on_false: usize::MAX, // patched below
+                    frames: frames.clone(),
+                });
+                let cond_text = cond.to_string();
+                frames.push(op.describe());
+                lower_ops(then_ops, Some(&cond_text), frames, out);
+                let on_false = if else_ops.is_empty() {
+                    out.len()
+                } else {
+                    let jump_at = out.len();
+                    out.push(LoweredOp::Jump { target: usize::MAX });
+                    let else_start = out.len();
+                    let negated = format!("!({cond_text})");
+                    lower_ops(else_ops, Some(&negated), frames, out);
+                    let end = out.len();
+                    out[jump_at] = LoweredOp::Jump { target: end };
+                    else_start
+                };
+                frames.pop();
+                let LoweredOp::Check { on_false: slot, .. } = &mut out[check_at] else {
+                    unreachable!("check_at indexes the Check pushed above")
+                };
+                *slot = on_false;
+            }
+            other => out.push(LoweredOp::Leaf {
+                op: other.clone(),
+                trigger: trigger.map(str::to_string),
+                frames: frames.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::RefinementMode;
+
+    #[test]
+    fn straight_line_pipelines_lower_to_leaves() {
+        let p = Pipeline::builder("flat")
+            .create_text("p", "base", RefinementMode::Manual)
+            .gen("a", "p")
+            .build();
+        let lowered = lower(&p);
+        assert_eq!(lowered.name, "flat");
+        assert_eq!(lowered.source_size, 2);
+        assert_eq!(lowered.ops.len(), 2);
+        assert!(lowered.ops.iter().all(
+            |op| matches!(op, LoweredOp::Leaf { trigger: None, frames, .. } if frames.is_empty())
+        ));
+    }
+
+    #[test]
+    fn check_without_else_jumps_past_its_branch() {
+        let p = Pipeline::builder("c")
+            .create_text("p", "base", RefinementMode::Manual)
+            .check(Cond::Always, |b| b.expand("p", "more").expand("p", "more"))
+            .gen("a", "p")
+            .build();
+        let lowered = lower(&p);
+        // create, check, expand, expand, gen
+        assert_eq!(lowered.ops.len(), 5);
+        let LoweredOp::Check { on_false, .. } = &lowered.ops[1] else {
+            panic!("check at 1: {}", lowered.describe())
+        };
+        assert_eq!(*on_false, 4, "false skips straight to the trailing gen");
+        // Branch leaves carry the trigger and the enclosing frame.
+        let LoweredOp::Leaf {
+            trigger, frames, ..
+        } = &lowered.ops[2]
+        else {
+            panic!("leaf at 2")
+        };
+        assert_eq!(trigger.as_deref(), Some("true"));
+        assert_eq!(frames, &["CHECK[true]".to_string()]);
+        // The trailing gen is back at top level.
+        let LoweredOp::Leaf {
+            trigger, frames, ..
+        } = &lowered.ops[4]
+        else {
+            panic!("leaf at 4")
+        };
+        assert!(trigger.is_none() && frames.is_empty());
+    }
+
+    #[test]
+    fn check_with_else_emits_a_jump_over_the_else_branch() {
+        let p = Pipeline::builder("ce")
+            .create_text("p", "base", RefinementMode::Manual)
+            .check_else(
+                Cond::Always,
+                |b| b.expand("p", "then"),
+                |b| b.expand("p", "else"),
+            )
+            .build();
+        let lowered = lower(&p);
+        // create, check, then-expand, jump, else-expand
+        assert_eq!(lowered.ops.len(), 5);
+        let LoweredOp::Check { on_false, .. } = &lowered.ops[1] else {
+            panic!("check at 1")
+        };
+        assert_eq!(*on_false, 4, "false enters the else branch");
+        assert_eq!(lowered.ops[3], LoweredOp::Jump { target: 5 });
+        let LoweredOp::Leaf { trigger, .. } = &lowered.ops[4] else {
+            panic!("leaf at 4")
+        };
+        assert_eq!(trigger.as_deref(), Some("!(true)"));
+    }
+
+    #[test]
+    fn nested_checks_stack_frames_outermost_first() {
+        let p = Pipeline::builder("nest")
+            .check(Cond::Always, |b| {
+                b.check(Cond::Never, |b| b.expand("p", "x"))
+            })
+            .build();
+        let lowered = lower(&p);
+        let LoweredOp::Leaf { frames, .. } = &lowered.ops[2] else {
+            panic!("innermost leaf at 2: {}", lowered.describe())
+        };
+        assert_eq!(
+            frames,
+            &["CHECK[true]".to_string(), "CHECK[false]".to_string()]
+        );
+        let LoweredOp::Check { frames, .. } = &lowered.ops[1] else {
+            panic!("inner check at 1")
+        };
+        assert_eq!(frames, &["CHECK[true]".to_string()]);
+    }
+
+    #[test]
+    fn lowered_plans_serialize_roundtrip() {
+        let p = Pipeline::builder("s")
+            .create_text("p", "base", RefinementMode::Manual)
+            .check(Cond::low_confidence(0.5), |b| b.expand("p", "x"))
+            .build();
+        let lowered = lower(&p);
+        let json = serde_json::to_string(&lowered).unwrap();
+        let back: LoweredPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(lowered, back);
+    }
+}

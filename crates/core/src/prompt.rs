@@ -172,7 +172,10 @@ impl PromptEntry {
                 name,
                 version,
                 param_hash,
-            } => Some(format!("view:{name}@{version}#{param_hash:x}/v{}", self.version)),
+            } => Some(format!(
+                "view:{name}@{version}#{param_hash:x}/v{}",
+                self.version
+            )),
             PromptOrigin::Merged { left, right } => {
                 Some(format!("merge:{left}+{right}/v{}", self.version))
             }
@@ -196,8 +199,12 @@ mod tests {
 
     #[test]
     fn render_uses_params_then_context() {
-        let e = PromptEntry::new("Use of {{drug}} in {{setting}}.", "f", RefinementMode::Manual)
-            .with_param("drug", "Enoxaparin");
+        let e = PromptEntry::new(
+            "Use of {{drug}} in {{setting}}.",
+            "f",
+            RefinementMode::Manual,
+        )
+        .with_param("drug", "Enoxaparin");
         let mut ctx = Context::new();
         ctx.set("setting", "ICU");
         assert_eq!(e.render(&ctx).unwrap(), "Use of Enoxaparin in ICU.");
@@ -260,13 +267,12 @@ mod tests {
 
     #[test]
     fn cache_identity_changes_with_entry_version() {
-        let mut e = PromptEntry::new("x", "f", RefinementMode::Manual).with_origin(
-            PromptOrigin::View {
+        let mut e =
+            PromptEntry::new("x", "f", RefinementMode::Manual).with_origin(PromptOrigin::View {
                 name: "v".into(),
                 version: 1,
                 param_hash: 1,
-            },
-        );
+            });
         let id1 = e.cache_identity().unwrap();
         e.apply_refinement(
             "y".into(),

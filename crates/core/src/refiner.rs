@@ -176,20 +176,20 @@ impl Refiner for Prepend {
 struct Replace;
 impl Refiner for Replace {
     fn refine(&self, rcx: &RefineCtx<'_>) -> Result<RefineOutput> {
-        let find = rcx
-            .args_field("replace", "find")?
-            .as_str()
-            .ok_or_else(|| SpearError::RefinerArgs {
-                refiner: "replace".into(),
-                reason: "field \"find\" must be a string".into(),
-            })?;
-        let with = rcx
-            .args_field("replace", "with")?
-            .as_str()
-            .ok_or_else(|| SpearError::RefinerArgs {
-                refiner: "replace".into(),
-                reason: "field \"with\" must be a string".into(),
-            })?;
+        let find =
+            rcx.args_field("replace", "find")?
+                .as_str()
+                .ok_or_else(|| SpearError::RefinerArgs {
+                    refiner: "replace".into(),
+                    reason: "field \"find\" must be a string".into(),
+                })?;
+        let with =
+            rcx.args_field("replace", "with")?
+                .as_str()
+                .ok_or_else(|| SpearError::RefinerArgs {
+                    refiner: "replace".into(),
+                    reason: "field \"with\" must be a string".into(),
+                })?;
         let current = rcx.require_current("replace")?;
         if !current.text.contains(find) {
             return Err(SpearError::RefinerArgs {
@@ -320,8 +320,7 @@ impl Refiner for AutoRefine {
         let Some(hint) = next else {
             return Err(SpearError::RefinerArgs {
                 refiner: "auto_refine".into(),
-                reason: "hint ladder exhausted; escalate to assisted/manual refinement"
-                    .into(),
+                reason: "hint ladder exhausted; escalate to assisted/manual refinement".into(),
             });
         };
         let note = match value {
@@ -383,20 +382,20 @@ impl Refiner for Normalize {
 struct DiffRefiner;
 impl Refiner for DiffRefiner {
     fn refine(&self, rcx: &RefineCtx<'_>) -> Result<RefineOutput> {
-        let left = rcx
-            .args_field("diff", "left")?
-            .as_str()
-            .ok_or_else(|| SpearError::RefinerArgs {
-                refiner: "diff".into(),
-                reason: "field \"left\" must be a prompt key".into(),
-            })?;
-        let right = rcx
-            .args_field("diff", "right")?
-            .as_str()
-            .ok_or_else(|| SpearError::RefinerArgs {
-                refiner: "diff".into(),
-                reason: "field \"right\" must be a prompt key".into(),
-            })?;
+        let left =
+            rcx.args_field("diff", "left")?
+                .as_str()
+                .ok_or_else(|| SpearError::RefinerArgs {
+                    refiner: "diff".into(),
+                    reason: "field \"left\" must be a prompt key".into(),
+                })?;
+        let right =
+            rcx.args_field("diff", "right")?
+                .as_str()
+                .ok_or_else(|| SpearError::RefinerArgs {
+                    refiner: "diff".into(),
+                    reason: "field \"right\" must be a prompt key".into(),
+                })?;
         let into = rcx
             .args
             .as_map()
@@ -448,10 +447,12 @@ impl Refiner for SplitSections {
             })?
             .iter()
             .map(|v| {
-                v.as_str().map(str::to_string).ok_or_else(|| SpearError::RefinerArgs {
-                    refiner: "split_sections".into(),
-                    reason: "every \"into\" element must be a string".into(),
-                })
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| SpearError::RefinerArgs {
+                        refiner: "split_sections".into(),
+                        reason: "every \"into\" element must be a string".into(),
+                    })
             })
             .collect::<Result<Vec<String>>>()?;
         let separator = rcx
@@ -473,10 +474,9 @@ impl Refiner for SplitSections {
         let ctx_writes = into
             .iter()
             .map(|key| {
-                let section = parts.next().map_or_else(
-                    || combined.trim().to_string(),
-                    |s| s.trim().to_string(),
-                );
+                let section = parts
+                    .next()
+                    .map_or_else(|| combined.trim().to_string(), |s| s.trim().to_string());
                 (key.clone(), Value::from(section))
             })
             .collect();
@@ -795,8 +795,14 @@ mod tests {
         .unwrap();
         assert!(out.new_text.is_none());
         assert_eq!(out.ctx_writes.len(), 2);
-        assert_eq!(out.ctx_writes[0], ("summary".into(), Value::from("first section")));
-        assert_eq!(out.ctx_writes[1], ("label".into(), Value::from("second section")));
+        assert_eq!(
+            out.ctx_writes[0],
+            ("summary".into(), Value::from("first section"))
+        );
+        assert_eq!(
+            out.ctx_writes[1],
+            ("label".into(), Value::from("second section"))
+        );
     }
 
     #[test]
@@ -815,8 +821,14 @@ mod tests {
             ]),
         )
         .unwrap();
-        assert_eq!(out.ctx_writes[0].1, Value::from("only one section came back"));
-        assert_eq!(out.ctx_writes[1].1, Value::from("only one section came back"));
+        assert_eq!(
+            out.ctx_writes[0].1,
+            Value::from("only one section came back")
+        );
+        assert_eq!(
+            out.ctx_writes[1].1,
+            Value::from("only one section came back")
+        );
     }
 
     #[test]

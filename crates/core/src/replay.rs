@@ -140,10 +140,7 @@ mod tests {
     fn evolution_lists_all_states() {
         let e = entry_with_versions(3);
         let evo = evolution(&e);
-        assert_eq!(
-            evo,
-            vec![(1, "text v1"), (2, "text v2"), (3, "text v3")]
-        );
+        assert_eq!(evo, vec![(1, "text v1"), (2, "text v2"), (3, "text v3")]);
     }
 
     #[test]

@@ -52,10 +52,7 @@ impl RetrievedDoc {
         m.insert("id".to_string(), Value::from(self.id.clone()));
         m.insert("text".to_string(), Value::from(self.text.clone()));
         m.insert("score".to_string(), Value::from(self.score));
-        m.insert(
-            "fields".to_string(),
-            Value::Map(self.fields.clone()),
-        );
+        m.insert("fields".to_string(), Value::Map(self.fields.clone()));
         Value::Map(m)
     }
 }
@@ -281,7 +278,9 @@ mod tests {
         let docs = r.retrieve(&req).unwrap();
         assert_eq!(docs.len(), 2, "only enoxaparin notes match");
         assert!(docs.iter().all(|d| d.score > 0.0));
-        assert!(docs.iter().all(|d| d.text.to_lowercase().contains("enoxaparin")));
+        assert!(docs
+            .iter()
+            .all(|d| d.text.to_lowercase().contains("enoxaparin")));
     }
 
     #[test]

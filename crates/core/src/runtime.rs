@@ -1,31 +1,30 @@
 //! The SPEAR runtime: executes pipelines over the state triple (P, C, M).
 //!
-//! The executor interprets the operator algebra of [`crate::ops`]. Every
-//! operator consumes and produces `(P, C, M)` — held together in
-//! [`ExecState`] alongside the structured trace — which is what the paper
-//! means by the algebra being closed under composition, and what makes
-//! shadow execution ([`crate::shadow`]) a state-clone away.
+//! The runtime is a thin dispatch layer. [`Runtime::execute`] lowers the
+//! pipeline to the flat IR of [`crate::plan`] and steps it with the spine
+//! in [`crate::exec`], which owns tracing, budget enforcement, and the
+//! op-count cap in exactly one place; each operator's semantics live in
+//! its own executor module (`exec::{ret,gen,refine,check,merge,delegate}`).
+//! The original recursive tree walk is kept as [`Runtime::execute_tree`]
+//! so the two paths can be differentially tested for byte-identical
+//! traces.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::agent::AgentRegistry;
-use crate::condition::Cond;
 use crate::context::Context;
-use crate::error::{Result, SpearError};
-use crate::history::{RefAction, RefinementMode};
-use crate::llm::{GenOptions, GenRequest, LlmClient, PromptIdentity};
+use crate::error::Result;
+use crate::exec::{self, CallLimits};
+use crate::llm::LlmClient;
 use crate::metadata::{Metadata, TokenUsage};
-use crate::ops::{MergePolicy, Op, PayloadSpec, PromptRef};
 use crate::pipeline::Pipeline;
-use crate::prompt::{PromptEntry, PromptOrigin};
-use crate::refiner::{RefineCtx, RefinerRegistry};
-use crate::retriever::{RetrievalQuery, RetrievalRequest, RetrieverRegistry};
+use crate::plan::{self, LoweredPlan};
+use crate::refiner::RefinerRegistry;
+use crate::retriever::RetrieverRegistry;
 use crate::store::PromptStore;
-use crate::template;
 use crate::trace::{Trace, TraceKind};
-use crate::value::{map, Value};
+use crate::value::Value;
 use crate::view::ViewCatalog;
 
 /// Executor configuration.
@@ -128,11 +127,7 @@ impl RuntimeBuilder {
 
     /// Register a retriever.
     #[must_use]
-    pub fn retriever(
-        self,
-        source: &str,
-        retriever: Arc<dyn crate::retriever::Retriever>,
-    ) -> Self {
+    pub fn retriever(self, source: &str, retriever: Arc<dyn crate::retriever::Retriever>) -> Self {
         self.retrievers.register(source, retriever);
         self
     }
@@ -188,12 +183,12 @@ impl RuntimeBuilder {
 /// [`crate::batch::BatchRunner`] relies on to share a single runtime
 /// across its worker pool.
 pub struct Runtime {
-    llm: Option<Arc<dyn LlmClient>>,
-    retrievers: RetrieverRegistry,
-    agents: AgentRegistry,
-    refiners: RefinerRegistry,
-    views: ViewCatalog,
-    config: RuntimeConfig,
+    pub(crate) llm: Option<Arc<dyn LlmClient>>,
+    pub(crate) retrievers: RetrieverRegistry,
+    pub(crate) agents: AgentRegistry,
+    pub(crate) refiners: RefinerRegistry,
+    pub(crate) views: ViewCatalog,
+    pub(crate) config: RuntimeConfig,
 }
 
 /// Compile-time guarantee that a runtime and per-job state can cross
@@ -232,6 +227,12 @@ impl Runtime {
         self.llm.as_ref()
     }
 
+    /// The executor configuration.
+    #[must_use]
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
     /// Registered retriever source names, sorted.
     #[must_use]
     pub fn retriever_sources(&self) -> Vec<String> {
@@ -250,19 +251,71 @@ impl Runtime {
         self.agents.names()
     }
 
-    /// Execute `pipeline` against `state`.
+    /// Execute `pipeline` against `state` by lowering it to the flat IR
+    /// and stepping that — equivalent to
+    /// `execute_lowered(&plan::lower(pipeline), state)`.
     ///
     /// # Errors
     ///
     /// Propagates the first operator failure (after recording it in the
-    /// trace) and [`SpearError::OpBudgetExceeded`] if the op cap is hit.
+    /// trace) and [`crate::error::SpearError::OpBudgetExceeded`] if the op
+    /// cap is hit.
     pub fn execute(&self, pipeline: &Pipeline, state: &mut ExecState) -> Result<ExecReport> {
+        let lowered = plan::lower(pipeline);
+        self.execute_lowered(&lowered, state)
+    }
+
+    /// Execute an already-lowered plan against `state`. This is the single
+    /// execution spine: optimizer plans, DL-compiled programs, and tree
+    /// pipelines all funnel through here.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Runtime::execute`].
+    pub fn execute_lowered(
+        &self,
+        lowered: &LoweredPlan,
+        state: &mut ExecState,
+    ) -> Result<ExecReport> {
+        self.traced_run(
+            &lowered.name,
+            lowered.source_size,
+            state,
+            |rt, st, budget, limits| exec::run_lowered(rt, lowered, st, budget, limits),
+        )
+    }
+
+    /// Execute `pipeline` via the reference recursive tree walk. Kept for
+    /// differential testing against the lowered IR path; the two produce
+    /// byte-identical traces and reports.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Runtime::execute`].
+    pub fn execute_tree(&self, pipeline: &Pipeline, state: &mut ExecState) -> Result<ExecReport> {
+        self.traced_run(
+            &pipeline.name,
+            pipeline.size(),
+            state,
+            |rt, st, budget, limits| exec::run_tree(rt, &pipeline.ops, st, budget, None, limits),
+        )
+    }
+
+    /// Shared per-call wrapper: pipeline start/end/error trace events,
+    /// budget and limit initialization, and the before/after report delta.
+    fn traced_run(
+        &self,
+        name: &str,
+        size: u64,
+        state: &mut ExecState,
+        body: impl FnOnce(&Self, &mut ExecState, &mut u64, &CallLimits) -> Result<()>,
+    ) -> Result<ExecReport> {
         let before = Snapshot::of(state);
         state.trace.record(
             state.step,
             TraceKind::PipelineStart,
-            format!("pipeline {:?}", pipeline.name),
-            Value::from(pipeline.size()),
+            format!("pipeline {name:?}"),
+            Value::from(size),
         );
         let mut budget = self.config.max_ops;
         let limits = CallLimits {
@@ -274,482 +327,37 @@ impl Runtime {
                 .max_latency
                 .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX)),
         };
-        let result = self.exec_ops(&pipeline.ops, state, &mut budget, None, &limits);
+        let result = body(self, state, &mut budget, &limits);
         match &result {
             Ok(()) => state.trace.record(
                 state.step,
                 TraceKind::PipelineEnd,
-                format!("pipeline {:?}", pipeline.name),
+                format!("pipeline {name:?}"),
                 Value::Null,
             ),
             Err(e) => state.trace.record(
                 state.step,
                 TraceKind::Error,
-                format!("pipeline {:?}", pipeline.name),
+                format!("pipeline {name:?}"),
                 Value::from(e.to_string()),
             ),
         }
         result?;
         Ok(before.report(state, self.config.max_ops - budget))
     }
-
-    fn exec_ops(
-        &self,
-        ops: &[Op],
-        state: &mut ExecState,
-        budget: &mut u64,
-        trigger: Option<&str>,
-        limits: &CallLimits,
-    ) -> Result<()> {
-        for op in ops {
-            if *budget == 0 {
-                return Err(SpearError::OpBudgetExceeded {
-                    limit: self.config.max_ops,
-                });
-            }
-            limits.check(state)?;
-            *budget -= 1;
-            state.step += 1;
-            if let Err(e) = self.exec_op(op, state, budget, trigger, limits) {
-                state.trace.record(
-                    state.step,
-                    TraceKind::Error,
-                    op.describe(),
-                    Value::from(e.to_string()),
-                );
-                return Err(e);
-            }
-        }
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn exec_op(
-        &self,
-        op: &Op,
-        state: &mut ExecState,
-        budget: &mut u64,
-        trigger: Option<&str>,
-        limits: &CallLimits,
-    ) -> Result<()> {
-        match op {
-            Op::Ret {
-                source,
-                query,
-                prompt,
-                into,
-                limit,
-            } => self.exec_ret(source, query, prompt.as_deref(), into, *limit, state),
-            Op::Gen {
-                label,
-                prompt,
-                options,
-            } => self.exec_gen(label, prompt, options, state),
-            Op::Ref {
-                target,
-                action,
-                refiner,
-                args,
-                mode,
-            } => self.exec_ref(target, *action, refiner, args, *mode, trigger, state),
-            Op::Check {
-                cond,
-                then_ops,
-                else_ops,
-            } => self.exec_check(cond, then_ops, else_ops, state, budget, limits),
-            Op::Merge {
-                left,
-                right,
-                into,
-                policy,
-            } => self.exec_merge(left, right, into, policy, state),
-            Op::Delegate {
-                agent,
-                payload,
-                into,
-            } => self.exec_delegate(agent, payload, into, state),
-        }
-    }
-
-    fn exec_ret(
-        &self,
-        source: &str,
-        query: &RetrievalQuery,
-        prompt_key: Option<&str>,
-        into: &str,
-        limit: usize,
-        state: &mut ExecState,
-    ) -> Result<()> {
-        let retriever = self.retrievers.resolve(source)?;
-        let effective_query = match prompt_key {
-            Some(key) => {
-                let entry = state.prompts.get(key)?;
-                RetrievalQuery::Prompt(entry.render(&state.context)?)
-            }
-            None => query.clone(),
-        };
-        let request = RetrievalRequest {
-            source: source.to_string(),
-            query: effective_query,
-            limit,
-        };
-        let docs = retriever.retrieve(&request)?;
-        let count = docs.len();
-        state.context.set_attributed(
-            into,
-            Value::List(docs.iter().map(|d| d.to_value()).collect()),
-            state.step,
-            "RET",
-        );
-        state.metadata.set("retrieved_count", count);
-        state.trace.record(
-            state.step,
-            TraceKind::Ret,
-            format!("RET[{source:?}] -> C[{into:?}]"),
-            map([("count", Value::from(count))]),
-        );
-        Ok(())
-    }
-
-    /// Resolve a prompt reference to `(rendered text, identity)`.
-    fn resolve_prompt(
-        &self,
-        prompt: &PromptRef,
-        state: &ExecState,
-    ) -> Result<(String, PromptIdentity)> {
-        match prompt {
-            PromptRef::Key(key) => {
-                let entry = state.prompts.get(key)?;
-                let rendered = entry.render(&state.context)?;
-                let identity = entry
-                    .cache_identity()
-                    .map_or(PromptIdentity::Opaque, |id| PromptIdentity::Structured {
-                        id,
-                    });
-                Ok((rendered, identity))
-            }
-            PromptRef::Inline(text) => {
-                let rendered = template::render(text, &BTreeMap::new(), &state.context)?;
-                Ok((rendered, PromptIdentity::Opaque))
-            }
-            PromptRef::View { name, args } => {
-                let entry = self.views.instantiate(name, args.clone())?;
-                let rendered = entry.render(&state.context)?;
-                let identity = entry
-                    .cache_identity()
-                    .map_or(PromptIdentity::Opaque, |id| PromptIdentity::Structured {
-                        id,
-                    });
-                Ok((rendered, identity))
-            }
-        }
-    }
-
-    fn exec_gen(
-        &self,
-        label: &str,
-        prompt: &PromptRef,
-        options: &GenOptions,
-        state: &mut ExecState,
-    ) -> Result<()> {
-        let llm = self.llm.as_deref().ok_or(SpearError::LlmUnavailable {
-            requested_by: "GEN".into(),
-        })?;
-        let (text, identity) = self.resolve_prompt(prompt, state)?;
-        let response = llm.generate(&GenRequest {
-            text,
-            identity,
-            options: options.clone(),
-        })?;
-        state
-            .context
-            .set_attributed(label, response.text.clone(), state.step, "GEN");
-        state
-            .metadata
-            .record_gen(response.usage, response.latency, response.confidence);
-        state
-            .metadata
-            .set(format!("confidence:{label}"), response.confidence);
-        state.trace.record(
-            state.step,
-            TraceKind::Gen,
-            format!("GEN[{label:?}]"),
-            map([
-                ("model", Value::from(response.model.clone())),
-                ("confidence", Value::from(response.confidence)),
-                ("prompt_tokens", Value::from(response.usage.prompt_tokens)),
-                ("cached_tokens", Value::from(response.usage.cached_tokens)),
-                (
-                    "completion_tokens",
-                    Value::from(response.usage.completion_tokens),
-                ),
-                (
-                    "latency_us",
-                    Value::from(u64::try_from(response.latency.as_micros()).unwrap_or(u64::MAX)),
-                ),
-            ]),
-        );
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)] // one argument per REF field
-    fn exec_ref(
-        &self,
-        target: &str,
-        action: RefAction,
-        refiner_name: &str,
-        args: &Value,
-        mode: RefinementMode,
-        trigger: Option<&str>,
-        state: &mut ExecState,
-    ) -> Result<()> {
-        let refiner = self.refiners.resolve(refiner_name)?;
-        let current = state.prompts.try_get(target);
-        if current.is_none() && action != RefAction::Create {
-            return Err(SpearError::PromptNotFound(target.to_string()));
-        }
-        let output = {
-            let rcx = RefineCtx {
-                current: current.as_ref(),
-                context: &state.context,
-                metadata: &state.metadata,
-                llm: self.llm.as_deref(),
-                views: &self.views,
-                prompts: &state.prompts,
-                args,
-            };
-            refiner.refine(&rcx)?
-        };
-
-        let mut new_version = None;
-        if let Some(new_text) = output.new_text {
-            if current.is_some() {
-                let v = state.prompts.refine(
-                    target,
-                    new_text,
-                    action,
-                    refiner_name,
-                    mode,
-                    state.step,
-                    trigger.map(str::to_string),
-                    state.metadata.signal_snapshot(),
-                    output.note.clone(),
-                )?;
-                new_version = Some(v);
-            } else {
-                let mut entry = PromptEntry::new(new_text, refiner_name, mode);
-                entry.ref_log[0].step = state.step;
-                entry.ref_log[0].trigger = trigger.map(str::to_string);
-                entry.ref_log[0].signals = state.metadata.signal_snapshot();
-                entry.ref_log[0].note = output.note.clone();
-                state.prompts.insert(target, entry);
-                new_version = Some(1);
-            }
-            // Params / origin updates from the refiner (e.g. from_view).
-            if output.params.is_some() || output.origin.is_some() {
-                state.prompts.update(target, |e| {
-                    if let Some(p) = output.params {
-                        e.params = p;
-                    }
-                    if let Some(o) = output.origin {
-                        e.origin = o;
-                    }
-                })?;
-            }
-        } else {
-            for (key, value) in &output.ctx_writes {
-                state
-                    .context
-                    .set_attributed(key.clone(), value.clone(), state.step, "REF");
-            }
-        }
-        if new_version.is_some() {
-            for (key, value) in &output.ctx_writes {
-                state
-                    .context
-                    .set_attributed(key.clone(), value.clone(), state.step, "REF");
-            }
-        }
-        state.metadata.ref_calls += 1;
-        state.trace.record(
-            state.step,
-            TraceKind::Ref,
-            format!("REF[{action}, {refiner_name}] on P[{target:?}]"),
-            map([
-                ("mode", Value::from(mode.to_string())),
-                ("version", Value::from(new_version.unwrap_or(0))),
-                (
-                    "trigger",
-                    trigger.map_or(Value::Null, |t| Value::from(t.to_string())),
-                ),
-            ]),
-        );
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn exec_check(
-        &self,
-        cond: &Cond,
-        then_ops: &[Op],
-        else_ops: &[Op],
-        state: &mut ExecState,
-        budget: &mut u64,
-        limits: &CallLimits,
-    ) -> Result<()> {
-        let holds = cond.eval(&state.context, &state.metadata)?;
-        let cond_text = cond.to_string();
-        state.trace.record(
-            state.step,
-            if holds {
-                TraceKind::CheckTaken
-            } else {
-                TraceKind::CheckSkipped
-            },
-            format!("CHECK[{cond_text}]"),
-            Value::Bool(holds),
-        );
-        if holds {
-            self.exec_ops(then_ops, state, budget, Some(&cond_text), limits)?;
-        } else if !else_ops.is_empty() {
-            let negated = format!("!({cond_text})");
-            self.exec_ops(else_ops, state, budget, Some(&negated), limits)?;
-        }
-        Ok(())
-    }
-
-    fn exec_merge(
-        &self,
-        left: &str,
-        right: &str,
-        into: &str,
-        policy: &MergePolicy,
-        state: &mut ExecState,
-    ) -> Result<()> {
-        let l = state
-            .prompts
-            .try_get(left)
-            .ok_or_else(|| SpearError::Merge(format!("left prompt {left:?} missing")))?;
-        let r = state
-            .prompts
-            .try_get(right)
-            .ok_or_else(|| SpearError::Merge(format!("right prompt {right:?} missing")))?;
-
-        let (mut base, merged_text, choice) = match policy {
-            MergePolicy::PreferLeft => (l.clone(), l.text.clone(), "left"),
-            MergePolicy::PreferRight => (r.clone(), r.text.clone(), "right"),
-            MergePolicy::Concat { separator } => {
-                let text = format!("{}{separator}{}", l.text, r.text);
-                (l.clone(), text, "concat")
-            }
-            MergePolicy::BySignal {
-                left_signal,
-                right_signal,
-            } => {
-                let ls = state.metadata.get(left_signal).and_then(|v| v.as_f64());
-                let rs = state.metadata.get(right_signal).and_then(|v| v.as_f64());
-                match (ls, rs) {
-                    (Some(a), Some(b)) if b > a => (r.clone(), r.text.clone(), "right"),
-                    _ => (l.clone(), l.text.clone(), "left"),
-                }
-            }
-        };
-
-        base.apply_refinement(
-            merged_text,
-            RefAction::Merge,
-            &format!("merge:{policy:?}"),
-            RefinementMode::Manual,
-            state.step,
-            None,
-            state.metadata.signal_snapshot(),
-            Some(format!("merged {left:?} + {right:?} ({choice})")),
-        );
-        base.origin = PromptOrigin::Merged {
-            left: left.to_string(),
-            right: right.to_string(),
-        };
-        state.prompts.insert(into, base);
-        state.trace.record(
-            state.step,
-            TraceKind::Merge,
-            format!("MERGE[P[{left:?}], P[{right:?}]] -> P[{into:?}]"),
-            Value::from(choice),
-        );
-        Ok(())
-    }
-
-    fn exec_delegate(
-        &self,
-        agent_name: &str,
-        payload: &PayloadSpec,
-        into: &str,
-        state: &mut ExecState,
-    ) -> Result<()> {
-        let agent = self.agents.resolve(agent_name)?;
-        let payload_value = match payload {
-            PayloadSpec::CtxKey(k) => state.context.get(k).ok_or_else(|| SpearError::Agent {
-                agent: agent_name.to_string(),
-                reason: format!("payload context key {k:?} missing"),
-            })?,
-            PayloadSpec::PromptKey(k) => {
-                let entry = state.prompts.get(k)?;
-                Value::from(entry.render(&state.context)?)
-            }
-            PayloadSpec::Lit(v) => v.clone(),
-        };
-        let result = agent.call(&payload_value, &state.context)?;
-        state
-            .context
-            .set_attributed(into, result, state.step, "DELEGATE");
-        state.trace.record(
-            state.step,
-            TraceKind::Delegate,
-            format!("DELEGATE[{agent_name:?}] -> C[{into:?}]"),
-            Value::Null,
-        );
-        Ok(())
-    }
 }
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
-            .field("llm", &self.llm.as_ref().map(|l| l.model_name().to_string()))
+            .field(
+                "llm",
+                &self.llm.as_ref().map(|l| l.model_name().to_string()),
+            )
             .field("retrievers", &self.retrievers.sources())
             .field("agents", &self.agents.names())
             .field("views", &self.views.names())
             .finish()
-    }
-}
-
-/// Per-call resource limits, checked before each operator against the
-/// metadata counters accumulated since the call started.
-struct CallLimits {
-    tokens_start: u64,
-    latency_start_us: u64,
-    max_tokens: Option<u64>,
-    max_latency_us: Option<u64>,
-}
-
-impl CallLimits {
-    fn check(&self, state: &ExecState) -> Result<()> {
-        if let Some(max) = self.max_tokens {
-            let used = state.metadata.usage.total() - self.tokens_start;
-            if used > max {
-                return Err(SpearError::TokenBudgetExceeded { limit: max, used });
-            }
-        }
-        if let Some(max) = self.max_latency_us {
-            let used_us = state.metadata.latency_us - self.latency_start_us;
-            if used_us > max {
-                return Err(SpearError::LatencyBudgetExceeded {
-                    limit_us: max,
-                    used_us,
-                });
-            }
-        }
-        Ok(())
     }
 }
 
@@ -787,396 +395,5 @@ impl Snapshot {
             },
             latency: Duration::from_micros(state.metadata.latency_us - self.latency_us),
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::agent::EvidenceValidator;
-    use crate::llm::{EchoLlm, ScriptedLlm};
-    use crate::retriever::InMemoryRetriever;
-    use crate::view::{ParamSpec, ViewDef};
-
-    fn runtime() -> Runtime {
-        let views = ViewCatalog::new();
-        views.register(
-            ViewDef::new(
-                "med_summary",
-                "Summarize the patient's medication history and highlight any use of {{drug}}.\nNotes: {{ctx:notes}}",
-            )
-            .with_param(ParamSpec::required("drug")),
-        );
-        Runtime::builder()
-            .llm(Arc::new(EchoLlm::default()))
-            .retriever(
-                "initial_notes",
-                Arc::new(InMemoryRetriever::from_texts([
-                    ("n1", "Patient on enoxaparin 40mg daily"),
-                    ("n2", "No bleeding events reported"),
-                ])),
-            )
-            .agent(
-                "validation_agent",
-                Arc::new(EvidenceValidator {
-                    evidence_key: "answer_0".into(),
-                }),
-            )
-            .views(views)
-            .build()
-    }
-
-    fn qa_pipeline() -> Pipeline {
-        Pipeline::builder("qa")
-            .ret("initial_notes", "notes_raw", 5)
-            .create_text("notes_joiner", "ignored", RefinementMode::Manual)
-            .build()
-    }
-
-    #[test]
-    fn full_qa_pipeline_runs_and_traces() {
-        let rt = runtime();
-        let mut state = ExecState::new();
-        state.context.set("notes", "enoxaparin 40mg daily");
-        let pipeline = Pipeline::builder("qa")
-            .ret("initial_notes", "notes_raw", 5)
-            .create_from_view(
-                "qa_prompt",
-                "med_summary",
-                [("drug".to_string(), Value::from("Enoxaparin"))]
-                    .into_iter()
-                    .collect(),
-            )
-            .gen("answer_0", "qa_prompt")
-            .build();
-        let report = rt.execute(&pipeline, &mut state).unwrap();
-
-        assert_eq!(report.ops_executed, 3);
-        assert_eq!(report.gens, 1);
-        assert_eq!(report.refs, 1);
-        assert!(state.context.contains("answer_0"));
-        assert!(state.context.contains("notes_raw"));
-        assert!(state.metadata.get("confidence").is_some());
-        assert_eq!(state.trace.count(TraceKind::Gen), 1);
-        assert_eq!(state.trace.count(TraceKind::Ret), 1);
-
-        // The prompt was view-derived, so GEN saw a structured identity and
-        // the entry records its origin.
-        let entry = state.prompts.get("qa_prompt").unwrap();
-        assert!(entry.derives_from_view("med_summary"));
-    }
-
-    #[test]
-    fn confidence_retry_refines_and_regenerates() {
-        // First answer low confidence, second high.
-        let llm = ScriptedLlm::new(vec![
-            ScriptedLlm::response("weak answer", 0.4),
-            ScriptedLlm::response("strong answer", 0.9),
-        ]);
-        let rt = Runtime::builder().llm(Arc::new(llm)).build();
-        let mut state = ExecState::new();
-        let pipeline = Pipeline::builder("retry")
-            .create_text("p", "Classify the note.", RefinementMode::Manual)
-            .retry_gen(
-                "answer",
-                "p",
-                Cond::low_confidence(0.7),
-                "auto_refine",
-                Value::Null,
-                RefinementMode::Auto,
-                2,
-            )
-            .build();
-        let report = rt.execute(&pipeline, &mut state).unwrap();
-
-        assert_eq!(report.gens, 2, "initial + one retry");
-        assert_eq!(report.checks_taken, 1, "second check sees 0.9 and skips");
-        assert!(state.context.contains("answer_0"));
-        assert!(state.context.contains("answer_1"));
-        assert!(!state.context.contains("answer_2"));
-
-        // The refinement carries the triggering condition in the ref_log.
-        let entry = state.prompts.get("p").unwrap();
-        assert_eq!(entry.version, 2);
-        let auto_rec = &entry.ref_log[1];
-        assert_eq!(auto_rec.mode, RefinementMode::Auto);
-        assert!(auto_rec.trigger.as_deref().unwrap().contains("confidence"));
-        assert_eq!(
-            auto_rec.signals.get("confidence").unwrap().as_f64(),
-            Some(0.4),
-            "signals snapshot captured at refinement time"
-        );
-    }
-
-    #[test]
-    fn check_else_branch_gets_negated_trigger() {
-        let rt = runtime();
-        let mut state = ExecState::new();
-        state.metadata.set("confidence", 0.9);
-        let pipeline = Pipeline::builder("else")
-            .create_text("p", "base", RefinementMode::Manual)
-            .check_else(
-                Cond::low_confidence(0.7),
-                |b| b.expand("p", "then-branch"),
-                |b| b.expand("p", "else-branch"),
-            )
-            .build();
-        rt.execute(&pipeline, &mut state).unwrap();
-        let entry = state.prompts.get("p").unwrap();
-        assert!(entry.text.contains("else-branch"));
-        assert!(entry.ref_log[1].trigger.as_deref().unwrap().starts_with("!("));
-    }
-
-    #[test]
-    fn merge_policies_choose_correctly() {
-        let rt = runtime();
-        let mut state = ExecState::new();
-        state
-            .prompts
-            .define("primary", "primary text", "f", RefinementMode::Manual);
-        state
-            .prompts
-            .define("fallback", "fallback text", "f", RefinementMode::Manual);
-        state.metadata.set("confidence:primary", 0.5);
-        state.metadata.set("confidence:fallback", 0.8);
-
-        let pipeline = Pipeline::builder("merge")
-            .merge(
-                "fallback",
-                "primary",
-                "merged_concat",
-                MergePolicy::Concat {
-                    separator: "\n---\n".into(),
-                },
-            )
-            .merge(
-                "primary",
-                "fallback",
-                "merged_best",
-                MergePolicy::BySignal {
-                    left_signal: "confidence:primary".into(),
-                    right_signal: "confidence:fallback".into(),
-                },
-            )
-            .build();
-        rt.execute(&pipeline, &mut state).unwrap();
-
-        let concat = state.prompts.get("merged_concat").unwrap();
-        assert!(concat.text.contains("fallback text") && concat.text.contains("primary text"));
-        let best = state.prompts.get("merged_best").unwrap();
-        assert_eq!(best.text, "fallback text", "higher signal wins");
-        assert!(matches!(best.origin, PromptOrigin::Merged { .. }));
-    }
-
-    #[test]
-    fn merge_missing_source_errors() {
-        let rt = runtime();
-        let mut state = ExecState::new();
-        state
-            .prompts
-            .define("only", "x", "f", RefinementMode::Manual);
-        let pipeline = Pipeline::builder("bad")
-            .merge("only", "ghost", "out", MergePolicy::PreferLeft)
-            .build();
-        let err = rt.execute(&pipeline, &mut state).unwrap_err();
-        assert!(matches!(err, SpearError::Merge(_)));
-        assert_eq!(state.trace.count(TraceKind::Error), 2, "op + pipeline");
-    }
-
-    #[test]
-    fn delegate_writes_agent_result() {
-        let rt = runtime();
-        let mut state = ExecState::new();
-        state
-            .context
-            .set("answer_0", "patient on enoxaparin daily dosing");
-        let pipeline = Pipeline::builder("validate")
-            .delegate(
-                "validation_agent",
-                PayloadSpec::CtxKey("answer_0".into()),
-                "evidence_score",
-            )
-            .build();
-        rt.execute(&pipeline, &mut state).unwrap();
-        let score = state.context.get("evidence_score").unwrap();
-        assert!(score.as_f64().unwrap() > 0.9);
-    }
-
-    #[test]
-    fn prompt_based_retrieval_uses_refinable_prompt() {
-        let rt = runtime();
-        let mut state = ExecState::new();
-        let pipeline = Pipeline::builder("ret")
-            .create_text(
-                "retrieve_meds",
-                "enoxaparin dosing notes",
-                RefinementMode::Manual,
-            )
-            .ret_with_prompt("initial_notes", "retrieve_meds", "med_context", 5)
-            .build();
-        rt.execute(&pipeline, &mut state).unwrap();
-        let docs = state.context.get("med_context").unwrap();
-        let docs = docs.as_list().unwrap();
-        assert_eq!(docs.len(), 1, "only the enoxaparin note matches");
-        assert_eq!(state.metadata.get("retrieved_count").unwrap().as_i64(), Some(1));
-    }
-
-    #[test]
-    fn gen_without_llm_errors() {
-        let rt = Runtime::builder().build();
-        let mut state = ExecState::new();
-        state.prompts.define("p", "x", "f", RefinementMode::Manual);
-        let pipeline = Pipeline::builder("g").gen("a", "p").build();
-        assert!(matches!(
-            rt.execute(&pipeline, &mut state),
-            Err(SpearError::LlmUnavailable { .. })
-        ));
-    }
-
-    #[test]
-    fn inline_prompts_render_context_but_stay_opaque() {
-        let rt = runtime();
-        let mut state = ExecState::new();
-        state.context.set("tweet", "rain ruined my day");
-        let pipeline = Pipeline::builder("inline")
-            .gen_with(
-                "sentiment",
-                PromptRef::Inline("Classify: {{ctx:tweet}}".into()),
-                GenOptions::default(),
-            )
-            .build();
-        rt.execute(&pipeline, &mut state).unwrap();
-        let out = state.context.get("sentiment").unwrap();
-        assert!(out.as_str().unwrap().contains("rain") || !out.as_str().unwrap().is_empty());
-    }
-
-    #[test]
-    fn op_budget_is_enforced() {
-        let rt = Runtime::builder()
-            .llm(Arc::new(EchoLlm::default()))
-            .config(RuntimeConfig {
-                max_ops: 2,
-                ..RuntimeConfig::default()
-            })
-            .build();
-        let mut state = ExecState::new();
-        let pipeline = Pipeline::builder("big")
-            .create_text("p", "a", RefinementMode::Manual)
-            .expand("p", "b")
-            .expand("p", "c")
-            .build();
-        assert!(matches!(
-            rt.execute(&pipeline, &mut state),
-            Err(SpearError::OpBudgetExceeded { .. })
-        ));
-    }
-
-    #[test]
-    fn ref_on_missing_target_without_create_errors() {
-        let rt = runtime();
-        let mut state = ExecState::new();
-        let pipeline = Pipeline::builder("bad").expand("ghost", "x").build();
-        assert!(matches!(
-            rt.execute(&pipeline, &mut state),
-            Err(SpearError::PromptNotFound(_))
-        ));
-    }
-
-    #[test]
-    fn per_label_confidence_signals() {
-        let llm = ScriptedLlm::new(vec![
-            ScriptedLlm::response("a", 0.3),
-            ScriptedLlm::response("b", 0.8),
-        ]);
-        let rt = Runtime::builder().llm(Arc::new(llm)).build();
-        let mut state = ExecState::new();
-        state.prompts.define("p", "x", "f", RefinementMode::Manual);
-        let pipeline = Pipeline::builder("two")
-            .gen("first", "p")
-            .gen("second", "p")
-            .build();
-        rt.execute(&pipeline, &mut state).unwrap();
-        assert_eq!(
-            state.metadata.get("confidence:first").unwrap().as_f64(),
-            Some(0.3)
-        );
-        assert_eq!(
-            state.metadata.get("confidence:second").unwrap().as_f64(),
-            Some(0.8)
-        );
-        assert_eq!(state.metadata.get("confidence").unwrap().as_f64(), Some(0.8));
-    }
-
-    #[test]
-    fn token_budget_aborts_mid_pipeline() {
-        let rt = Runtime::builder()
-            .llm(Arc::new(EchoLlm::default()))
-            .config(RuntimeConfig {
-                max_tokens: Some(10),
-                ..RuntimeConfig::default()
-            })
-            .build();
-        let mut state = ExecState::new();
-        state.prompts.define(
-            "p",
-            "a reasonably long prompt with enough words to cross ten tokens",
-            "f",
-            RefinementMode::Manual,
-        );
-        let pipeline = Pipeline::builder("over")
-            .gen("a", "p")
-            .gen("b", "p")
-            .build();
-        let err = rt.execute(&pipeline, &mut state).unwrap_err();
-        assert!(matches!(err, SpearError::TokenBudgetExceeded { .. }), "{err}");
-        // The first generation completed before the budget tripped.
-        assert!(state.context.contains("a"));
-        assert!(!state.context.contains("b"));
-    }
-
-    #[test]
-    fn latency_budget_aborts_mid_pipeline() {
-        let rt = Runtime::builder()
-            .llm(Arc::new(EchoLlm::default()))
-            .config(RuntimeConfig {
-                max_latency: Some(Duration::from_micros(1)),
-                ..RuntimeConfig::default()
-            })
-            .build();
-        let mut state = ExecState::new();
-        state.prompts.define("p", "prompt text here", "f", RefinementMode::Manual);
-        let pipeline = Pipeline::builder("slow").gen("a", "p").gen("b", "p").build();
-        let err = rt.execute(&pipeline, &mut state).unwrap_err();
-        assert!(matches!(err, SpearError::LatencyBudgetExceeded { .. }), "{err}");
-    }
-
-    #[test]
-    fn budgets_are_per_call_not_cumulative() {
-        let rt = Runtime::builder()
-            .llm(Arc::new(EchoLlm::default()))
-            .config(RuntimeConfig {
-                max_tokens: Some(200),
-                ..RuntimeConfig::default()
-            })
-            .build();
-        let mut state = ExecState::new();
-        state.prompts.define("p", "short prompt", "f", RefinementMode::Manual);
-        let pipeline = Pipeline::builder("ok").gen("a", "p").build();
-        // Many successive calls each stay within their own budget even
-        // though cumulative usage far exceeds it.
-        for _ in 0..20 {
-            rt.execute(&pipeline, &mut state).unwrap();
-        }
-    }
-
-    #[test]
-    fn execute_twice_accumulates_state() {
-        let rt = runtime();
-        let mut state = ExecState::new();
-        let p1 = qa_pipeline();
-        rt.execute(&p1, &mut state).unwrap();
-        let step_after_first = state.step;
-        rt.execute(&p1, &mut state).unwrap();
-        assert!(state.step > step_after_first, "steps continue monotonically");
     }
 }

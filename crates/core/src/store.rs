@@ -89,9 +89,7 @@ impl PromptStore {
                 let record = LogRecord {
                     seq: versioned.seq,
                     key: key.to_string(),
-                    op: versioned
-                        .value
-                        .map_or(LogOp::Delete, LogOp::Put),
+                    op: versioned.value.map_or(LogOp::Delete, LogOp::Put),
                 };
                 if let Err(e) = p.append(&record) {
                     eprintln!("spear-core: durability append failed for {key:?}: {e}");
@@ -308,10 +306,7 @@ impl PromptStore {
     pub fn keys_with_tag(&self, tag: &str) -> Vec<String> {
         self.keys()
             .into_iter()
-            .filter(|k| {
-                self.try_get(k)
-                    .is_some_and(|e| e.tags.contains(tag))
-            })
+            .filter(|k| self.try_get(k).is_some_and(|e| e.tags.contains(tag)))
             .collect()
     }
 

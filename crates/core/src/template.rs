@@ -98,10 +98,7 @@ pub fn render(
             Segment::Text(t) => out.push_str(&t),
             Segment::Placeholder { source, name } => {
                 let resolved: Option<Value> = match source.as_deref() {
-                    None => params
-                        .get(&name)
-                        .cloned()
-                        .or_else(|| context.get(&name)),
+                    None => params.get(&name).cloned().or_else(|| context.get(&name)),
                     Some("param") => params.get(&name).cloned(),
                     Some("ctx") => context.get(&name),
                     Some("view") => {
@@ -226,8 +223,7 @@ mod tests {
 
     #[test]
     fn placeholders_lists_unique_names_in_order() {
-        let names =
-            placeholders("{{a}} {{b}} {{a}} {{ctx:c}} {{view:ignored}}").unwrap();
+        let names = placeholders("{{a}} {{b}} {{a}} {{ctx:c}} {{view:ignored}}").unwrap();
         assert_eq!(names, vec!["a", "b", "c"]);
     }
 

@@ -48,7 +48,7 @@ pub struct TraceEvent {
 }
 
 /// An append-only, queryable execution trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -134,7 +134,12 @@ mod tests {
 
     fn sample() -> Trace {
         let mut t = Trace::new();
-        t.record(0, TraceKind::PipelineStart, "pipeline \"qa\"".into(), Value::Null);
+        t.record(
+            0,
+            TraceKind::PipelineStart,
+            "pipeline \"qa\"".into(),
+            Value::Null,
+        );
         t.record(
             1,
             TraceKind::Gen,
@@ -143,7 +148,12 @@ mod tests {
         );
         t.record(2, TraceKind::CheckTaken, "CHECK[...]".into(), Value::Null);
         t.record(3, TraceKind::Gen, "GEN[\"answer_1\"]".into(), Value::Null);
-        t.record(4, TraceKind::PipelineEnd, "pipeline \"qa\"".into(), Value::Null);
+        t.record(
+            4,
+            TraceKind::PipelineEnd,
+            "pipeline \"qa\"".into(),
+            Value::Null,
+        );
         t
     }
 

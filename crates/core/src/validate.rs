@@ -79,16 +79,16 @@ impl<'a> Validator<'a> {
         }
     }
 
-    fn walk(
-        &self,
-        ops: &[Op],
-        prompts: &mut BTreeSet<String>,
-        issues: &mut Vec<ValidationIssue>,
-    ) {
+    fn walk(&self, ops: &[Op], prompts: &mut BTreeSet<String>, issues: &mut Vec<ValidationIssue>) {
         for op in ops {
             match op {
                 Op::Ret { source, prompt, .. } => {
-                    if self.runtime.retriever_sources().binary_search(source).is_err() {
+                    if self
+                        .runtime
+                        .retriever_sources()
+                        .binary_search(source)
+                        .is_err()
+                    {
                         issues.push(ValidationIssue {
                             op: op.describe(),
                             message: format!("retriever source {source:?} is not registered"),
@@ -117,14 +117,12 @@ impl<'a> Validator<'a> {
                             if !prompts.contains(key) {
                                 issues.push(ValidationIssue {
                                     op: op.describe(),
-                                    message: format!(
-                                        "P[{key:?}] is never created before this GEN"
-                                    ),
+                                    message: format!("P[{key:?}] is never created before this GEN"),
                                 });
                             }
                         }
                         PromptRef::View { name, .. } => self.check_view(op, name, issues),
-                        PromptRef::Inline(_) => {}
+                        PromptRef::Inline(_) | PromptRef::Lowered { .. } => {}
                     }
                 }
                 Op::Ref {
@@ -141,8 +139,10 @@ impl<'a> Validator<'a> {
                         });
                     }
                     if refiner == "from_view" {
-                        if let Some(name) =
-                            args.as_map().and_then(|m| m.get("view")).and_then(|v| v.as_str())
+                        if let Some(name) = args
+                            .as_map()
+                            .and_then(|m| m.get("view"))
+                            .and_then(|v| v.as_str())
                         {
                             self.check_view(op, name, issues);
                         }
@@ -177,9 +177,7 @@ impl<'a> Validator<'a> {
                         if !prompts.contains(side) {
                             issues.push(ValidationIssue {
                                 op: op.describe(),
-                                message: format!(
-                                    "MERGE source P[{side:?}] is never created"
-                                ),
+                                message: format!("MERGE source P[{side:?}] is never created"),
                             });
                         }
                     }
@@ -196,9 +194,7 @@ impl<'a> Validator<'a> {
                         if !prompts.contains(key) {
                             issues.push(ValidationIssue {
                                 op: op.describe(),
-                                message: format!(
-                                    "payload prompt P[{key:?}] is never created"
-                                ),
+                                message: format!("payload prompt P[{key:?}] is never created"),
                             });
                         }
                     }
@@ -235,12 +231,15 @@ mod tests {
         views.register(ViewDef::new("known_view", "template"));
         Runtime::builder()
             .llm(Arc::new(EchoLlm::default()))
-            .retriever("notes", Arc::new(InMemoryRetriever::from_texts([("a", "x")])))
+            .retriever(
+                "notes",
+                Arc::new(InMemoryRetriever::from_texts([("a", "x")])),
+            )
             .agent(
                 "scorer",
-                Arc::new(crate::agent::FnAgent(|p: &Value, _: &crate::context::Context| {
-                    Ok(p.clone())
-                })),
+                Arc::new(crate::agent::FnAgent(
+                    |p: &Value, _: &crate::context::Context| Ok(p.clone()),
+                )),
             )
             .views(views)
             .build()
@@ -254,11 +253,7 @@ mod tests {
             .create_from_view("prompt", "known_view", Default::default())
             .gen("answer", "prompt")
             .check(Cond::low_confidence(0.7), |b| b.expand("prompt", "hint"))
-            .delegate(
-                "scorer",
-                PayloadSpec::PromptKey("prompt".into()),
-                "score",
-            )
+            .delegate("scorer", PayloadSpec::PromptKey("prompt".into()), "score")
             .build();
         assert_eq!(rt.validate(&p), vec![]);
     }
@@ -295,7 +290,9 @@ mod tests {
         let messages: Vec<&str> = issues.iter().map(|i| i.message.as_str()).collect();
         assert!(messages.iter().any(|m| m.contains("retriever source")));
         assert!(messages.iter().any(|m| m.contains("view \"ghost_view\"")));
-        assert!(messages.iter().any(|m| m.contains("refiner \"ghost_refiner\"")));
+        assert!(messages
+            .iter()
+            .any(|m| m.contains("refiner \"ghost_refiner\"")));
         assert!(messages.iter().any(|m| m.contains("agent \"ghost_agent\"")));
     }
 

@@ -126,9 +126,7 @@ impl Value {
         use Value::{Bool, Float, Int, Str};
         match (self, other) {
             (Int(a), Int(b)) => Some(a.cmp(b)),
-            (Float(_) | Int(_), Float(_) | Int(_)) => {
-                self.as_f64()?.partial_cmp(&other.as_f64()?)
-            }
+            (Float(_) | Int(_), Float(_) | Int(_)) => self.as_f64()?.partial_cmp(&other.as_f64()?),
             (Str(a), Str(b)) => Some(a.cmp(b)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             _ => None,

@@ -209,11 +209,7 @@ impl ViewCatalog {
     ///
     /// [`SpearError::ViewNotFound`], [`SpearError::MissingViewParam`], or
     /// [`SpearError::ViewCycle`].
-    pub fn instantiate(
-        &self,
-        name: &str,
-        args: BTreeMap<String, Value>,
-    ) -> Result<PromptEntry> {
+    pub fn instantiate(&self, name: &str, args: BTreeMap<String, Value>) -> Result<PromptEntry> {
         let view = self.get(name)?;
         let mut path = Vec::new();
         let text = self.expand(&view, &mut path)?;
@@ -246,16 +242,12 @@ impl ViewCatalog {
         }
 
         let hash = param_hash(&args);
-        let mut entry = PromptEntry::new(
-            text,
-            &format!("view:{name}"),
-            RefinementMode::Manual,
-        )
-        .with_origin(PromptOrigin::View {
-            name: name.to_string(),
-            version: view.version,
-            param_hash: hash,
-        });
+        let mut entry = PromptEntry::new(text, &format!("view:{name}"), RefinementMode::Manual)
+            .with_origin(PromptOrigin::View {
+                name: name.to_string(),
+                version: view.version,
+                param_hash: hash,
+            });
         entry.params = params;
         entry.tags = view.tags.clone();
         Ok(entry)
@@ -361,7 +353,10 @@ mod tests {
         let entry = c
             .instantiate("med_summary", args(&[("drug", Value::from("Enoxaparin"))]))
             .unwrap();
-        assert!(entry.text.contains("{{drug}}"), "placeholder kept for render");
+        assert!(
+            entry.text.contains("{{drug}}"),
+            "placeholder kept for render"
+        );
         assert_eq!(
             entry.params.get("drug").unwrap().as_str(),
             Some("Enoxaparin")
@@ -495,6 +490,9 @@ mod tests {
                 ]),
             )
             .unwrap();
-        assert_eq!(entry.params.get("audience").unwrap().as_str(), Some("nurse"));
+        assert_eq!(
+            entry.params.get("audience").unwrap().as_str(),
+            Some("nurse")
+        );
     }
 }

@@ -9,29 +9,81 @@
 
 /// Strongly positive words.
 pub const POSITIVE_WORDS: &[&str] = &[
-    "love", "great", "awesome", "amazing", "happy", "wonderful", "excited", "fantastic", "best",
-    "beautiful", "fun", "glad", "proud", "perfect", "sweet", "brilliant", "delighted", "enjoyed",
-    "thrilled", "grateful",
+    "love",
+    "great",
+    "awesome",
+    "amazing",
+    "happy",
+    "wonderful",
+    "excited",
+    "fantastic",
+    "best",
+    "beautiful",
+    "fun",
+    "glad",
+    "proud",
+    "perfect",
+    "sweet",
+    "brilliant",
+    "delighted",
+    "enjoyed",
+    "thrilled",
+    "grateful",
 ];
 
 /// Strongly negative words.
 pub const NEGATIVE_WORDS: &[&str] = &[
-    "hate", "awful", "terrible", "sad", "horrible", "worst", "angry", "annoyed", "miserable",
-    "disappointed", "upset", "frustrated", "boring", "ruined", "sick", "tired", "failed", "ugh",
-    "crying", "stressed",
+    "hate",
+    "awful",
+    "terrible",
+    "sad",
+    "horrible",
+    "worst",
+    "angry",
+    "annoyed",
+    "miserable",
+    "disappointed",
+    "upset",
+    "frustrated",
+    "boring",
+    "ruined",
+    "sick",
+    "tired",
+    "failed",
+    "ugh",
+    "crying",
+    "stressed",
 ];
 
 /// Ambiguous words that weaken the polarity signal (used to create hard
 /// items — the simulator's residual error source).
 pub const AMBIGUOUS_WORDS: &[&str] = &[
-    "okay", "fine", "whatever", "interesting", "unexpected", "surprising", "different", "busy",
-    "quiet", "long",
+    "okay",
+    "fine",
+    "whatever",
+    "interesting",
+    "unexpected",
+    "surprising",
+    "different",
+    "busy",
+    "quiet",
+    "long",
 ];
 
 /// School-topic nouns (the refined filter of Table 3 targets these).
 pub const SCHOOL_WORDS: &[&str] = &[
-    "school", "homework", "exam", "teacher", "class", "semester", "lecture", "campus", "finals",
-    "professor", "studying", "grades",
+    "school",
+    "homework",
+    "exam",
+    "teacher",
+    "class",
+    "semester",
+    "lecture",
+    "campus",
+    "finals",
+    "professor",
+    "studying",
+    "grades",
 ];
 
 /// Work-topic nouns.
@@ -42,20 +94,26 @@ pub const WORK_WORDS: &[&str] = &[
 
 /// Weather-topic nouns.
 pub const WEATHER_WORDS: &[&str] = &[
-    "rain", "sunshine", "storm", "snow", "weather", "heatwave", "clouds", "wind", "fog",
-    "thunder",
+    "rain", "sunshine", "storm", "snow", "weather", "heatwave", "clouds", "wind", "fog", "thunder",
 ];
 
 /// Sports-topic nouns.
 pub const SPORTS_WORDS: &[&str] = &[
-    "game", "team", "match", "season", "coach", "goal", "playoffs", "training", "score",
-    "stadium",
+    "game", "team", "match", "season", "coach", "goal", "playoffs", "training", "score", "stadium",
 ];
 
 /// Food-topic nouns.
 pub const FOOD_WORDS: &[&str] = &[
-    "coffee", "pizza", "dinner", "breakfast", "lunch", "dessert", "restaurant", "recipe",
-    "snack", "burger",
+    "coffee",
+    "pizza",
+    "dinner",
+    "breakfast",
+    "lunch",
+    "dessert",
+    "restaurant",
+    "recipe",
+    "snack",
+    "burger",
 ];
 
 fn words_of(text: &str) -> impl Iterator<Item = String> + '_ {

@@ -36,6 +36,15 @@ impl Compiled {
         self.pipelines.iter().find(|p| p.name == name)
     }
 
+    /// Lower every compiled pipeline to the core plan IR, in declaration
+    /// order. DL programs thereby target the same execution spine as
+    /// optimizer plans and hand-built pipelines; a host can lower once and
+    /// re-execute via `Runtime::execute_lowered` without re-flattening.
+    #[must_use]
+    pub fn lower(&self) -> Vec<spear_core::plan::LoweredPlan> {
+        self.pipelines.iter().map(spear_core::plan::lower).collect()
+    }
+
     /// Statically validate every compiled pipeline against `runtime` (the
     /// program's own views are assumed installed — pass a runtime that has
     /// them, typically after [`Compiled::install_views`]). Returns
@@ -200,9 +209,7 @@ fn compile_stmt(stmt: &Stmt, ops: &mut Vec<Op>) {
         }),
         // Derived operators lower exactly like the builder does.
         Stmt::Expand { target, addition } => {
-            let built = Pipeline::builder("expand")
-                .expand(target, addition)
-                .build();
+            let built = Pipeline::builder("expand").expand(target, addition).build();
             ops.extend(built.ops);
         }
         Stmt::Retry {
@@ -215,7 +222,15 @@ fn compile_stmt(stmt: &Stmt, ops: &mut Vec<Op>) {
             max,
         } => {
             let built = Pipeline::builder("retry")
-                .retry_gen(label, prompt_key, cond.clone(), refiner, args.clone(), *mode, *max)
+                .retry_gen(
+                    label,
+                    prompt_key,
+                    cond.clone(),
+                    refiner,
+                    args.clone(),
+                    *mode,
+                    *max,
+                )
                 .build();
             ops.extend(built.ops);
         }
@@ -328,7 +343,9 @@ mod tests {
             .build();
         let mut state = ExecState::new();
         state.context.set("notes", "enoxaparin 40 mg daily");
-        runtime.execute(c.pipeline("qa").unwrap(), &mut state).unwrap();
+        runtime
+            .execute(c.pipeline("qa").unwrap(), &mut state)
+            .unwrap();
         assert!(state.context.contains("answer_0"));
         assert!(
             state.context.contains("orders"),
@@ -401,7 +418,8 @@ mod tests {
         let rt = Runtime::builder().llm(Arc::new(EchoLlm::default())).build();
         let mut state = ExecState::new();
         state.context.set("discharge", true);
-        rt.execute(c.pipeline("dispatch").unwrap(), &mut state).unwrap();
+        rt.execute(c.pipeline("dispatch").unwrap(), &mut state)
+            .unwrap();
         let text = state.prompts.get("p").unwrap().text;
         assert!(text.contains("discharge branch"), "{text}");
         assert!(!text.contains("default branch"));
@@ -431,6 +449,45 @@ mod tests {
             })
             .build();
         assert_eq!(c.validate(&rt2), vec![]);
+    }
+
+    #[test]
+    fn lowering_targets_the_core_ir() {
+        use spear_core::plan::LoweredOp;
+        let c = compile(PROGRAM).unwrap();
+        let lowered = c.lower();
+        assert_eq!(lowered.len(), 1);
+        let plan = &lowered[0];
+        assert_eq!(plan.name, "qa");
+        assert_eq!(plan.source_size, c.pipeline("qa").unwrap().size());
+        // The retry CHECKs flatten into explicit jump targets; executing
+        // the lowered form matches executing the tree.
+        assert!(plan
+            .ops
+            .iter()
+            .any(|op| matches!(op, LoweredOp::Check { on_false, .. } if *on_false != 0)));
+
+        use spear_core::prelude::*;
+        use std::sync::Arc;
+        let views = ViewCatalog::new();
+        c.install_views(&views);
+        let runtime = Runtime::builder()
+            .llm(Arc::new(EchoLlm::default()))
+            .retriever(
+                "order_lookup",
+                Arc::new(InMemoryRetriever::from_texts([("o1", "order")])),
+            )
+            .views(views)
+            .build();
+        let mut tree_state = ExecState::new();
+        tree_state.context.set("notes", "enoxaparin 40 mg daily");
+        let mut ir_state = tree_state.deep_clone();
+        let tree = runtime
+            .execute_tree(c.pipeline("qa").unwrap(), &mut tree_state)
+            .unwrap();
+        let ir = runtime.execute_lowered(plan, &mut ir_state).unwrap();
+        assert_eq!(tree, ir);
+        assert_eq!(tree_state.trace, ir_state.trace);
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl fmt::Display for DlError {
             Phase::Parse => "parse",
             Phase::Compile => "compile",
         };
-        write!(f, "spear-dl {phase} error at {}: {}", self.pos, self.message)
+        write!(
+            f,
+            "spear-dl {phase} error at {}: {}",
+            self.pos, self.message
+        )
     }
 }
 

@@ -124,7 +124,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
 
     macro_rules! push {
         ($tok:expr, $pos:expr) => {
-            tokens.push(Token { tok: $tok, pos: $pos })
+            tokens.push(Token {
+                tok: $tok,
+                pos: $pos,
+            })
         };
     }
 
@@ -309,10 +312,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         }
                     }
                     other => {
-                        return Err(DlError::lex(
-                            pos,
-                            format!("unexpected character {other:?}"),
-                        ))
+                        return Err(DlError::lex(pos, format!("unexpected character {other:?}")))
                     }
                 };
                 push!(tok, pos);

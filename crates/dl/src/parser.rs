@@ -289,9 +289,9 @@ impl Parser {
                             s
                         }
                         other => {
-                            return Err(self.err(format!(
-                                "expected filter field name, found '{other}'"
-                            )))
+                            return Err(
+                                self.err(format!("expected filter field name, found '{other}'"))
+                            )
                         }
                     };
                     self.expect(&Tok::Colon)?;
@@ -833,10 +833,8 @@ mod tests {
 
     #[test]
     fn parses_conditions_with_precedence() {
-        let p = parse(
-            r#"PIPELINE c { CHECK M["a"] < 1 && M["b"] > 2 || !("x" IN C) { } }"#,
-        )
-        .unwrap();
+        let p =
+            parse(r#"PIPELINE c { CHECK M["a"] < 1 && M["b"] > 2 || !("x" IN C) { } }"#).unwrap();
         let Stmt::Check { cond, .. } = &p.pipelines[0].stmts[0] else {
             panic!()
         };
@@ -932,8 +930,20 @@ mod tests {
         )
         .unwrap();
         let s = &p.pipelines[0].stmts;
-        assert!(matches!(&s[0], Stmt::Gen { using: UsingClause::View { .. }, .. }));
-        assert!(matches!(&s[1], Stmt::Gen { using: UsingClause::Inline(_), .. }));
+        assert!(matches!(
+            &s[0],
+            Stmt::Gen {
+                using: UsingClause::View { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &s[1],
+            Stmt::Gen {
+                using: UsingClause::Inline(_),
+                ..
+            }
+        ));
         let Stmt::Ret { filters, limit, .. } = &s[2] else {
             panic!()
         };
@@ -942,7 +952,13 @@ mod tests {
             filters.as_ref().unwrap().get("max_age_hours"),
             Some(&Value::Int(72))
         );
-        assert!(matches!(&s[3], Stmt::Ret { prompt: Some(_), .. }));
+        assert!(matches!(
+            &s[3],
+            Stmt::Ret {
+                prompt: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -991,7 +1007,10 @@ mod tests {
         let Stmt::Map { keys, refiner, .. } = &s[0] else {
             panic!("expected MAP, got {:?}", s[0]);
         };
-        assert_eq!(keys, &vec!["intro_note".to_string(), "followup_note".to_string()]);
+        assert_eq!(
+            keys,
+            &vec!["intro_note".to_string(), "followup_note".to_string()]
+        );
         assert_eq!(refiner, "normalize");
         let Stmt::Switch { cases, default } = &s[1] else {
             panic!("expected SWITCH");

@@ -345,9 +345,7 @@ impl<V: Clone> KvStore<V> {
                 s.read()
                     .range(prefix.to_string()..)
                     .take_while(|(k, _)| k.starts_with(prefix))
-                    .filter_map(|(k, c)| {
-                        c.latest().value.as_ref().map(|v| (k.clone(), v.clone()))
-                    })
+                    .filter_map(|(k, c)| c.latest().value.as_ref().map(|v| (k.clone(), v.clone())))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -363,7 +361,11 @@ impl<V: Clone> KvStore<V> {
         // `next_seq` is the next seq to be handed out; everything below it
         // has already been inserted (allocation happens under the shard
         // write lock).
-        let bound = self.inner.next_seq.load(Ordering::Relaxed).saturating_sub(1);
+        let bound = self
+            .inner
+            .next_seq
+            .load(Ordering::Relaxed)
+            .saturating_sub(1);
         Snapshot::new(Arc::clone(&self.inner), bound)
     }
 
@@ -399,9 +401,7 @@ impl<V: Clone> Inner<V> {
             .flat_map(|s| {
                 s.read()
                     .iter()
-                    .filter(|(_, c)| {
-                        c.visible_at(seq_bound).is_some_and(|v| v.value.is_some())
-                    })
+                    .filter(|(_, c)| c.visible_at(seq_bound).is_some_and(|v| v.value.is_some()))
                     .map(|(k, _)| k.clone())
                     .collect::<Vec<_>>()
             })

@@ -230,7 +230,8 @@ impl PrefixCache {
                 return; // no leaf (cannot happen in a tree), bail out
             };
             let node = self.nodes.remove(&id).expect("victim exists");
-            self.index.remove(&(node.parent, node.block_hash, node.owner));
+            self.index
+                .remove(&(node.parent, node.block_hash, node.owner));
             if node.parent != ROOT {
                 if let Some(p) = self.nodes.get_mut(&node.parent) {
                     p.children = p.children.saturating_sub(1);
@@ -319,7 +320,11 @@ impl StripedPrefixCache {
     /// Striped cache with vLLM-like defaults and [`DEFAULT_NUM_SHARDS`].
     #[must_use]
     pub fn with_defaults() -> Self {
-        Self::new(DEFAULT_BLOCK_SIZE, DEFAULT_NUM_SHARDS * 64 * 1024, DEFAULT_NUM_SHARDS)
+        Self::new(
+            DEFAULT_BLOCK_SIZE,
+            DEFAULT_NUM_SHARDS * 64 * 1024,
+            DEFAULT_NUM_SHARDS,
+        )
     }
 
     /// Number of shards.

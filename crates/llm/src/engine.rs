@@ -166,14 +166,15 @@ impl SimLlm {
         for (i, request) in requests.iter().enumerate() {
             let mut response = self.generate(request)?;
             if i > 0 {
-                let discount = self.profile.request_overhead_us
-                    * (1.0 - Self::BATCH_MARGINAL_OVERHEAD);
+                let discount =
+                    self.profile.request_overhead_us * (1.0 - Self::BATCH_MARGINAL_OVERHEAD);
                 let discounted = response
                     .latency
                     .saturating_sub(std::time::Duration::from_micros(discount as u64));
                 // generate() already advanced the clock by the full
                 // latency; take the amortized part back.
-                self.clock.advance_signed_rollback(response.latency, discounted);
+                self.clock
+                    .advance_signed_rollback(response.latency, discounted);
                 response.latency = discounted;
             }
             out.push(response);
@@ -202,11 +203,7 @@ impl SimLlm {
     /// # Errors
     ///
     /// Propagates the failure of the earliest-submitted failing request.
-    pub fn submit_many(
-        &self,
-        requests: &[GenRequest],
-        workers: usize,
-    ) -> Result<Vec<GenResponse>> {
+    pub fn submit_many(&self, requests: &[GenRequest], workers: usize) -> Result<Vec<GenResponse>> {
         let n = requests.len();
         if n == 0 {
             return Ok(Vec::new());
@@ -400,10 +397,8 @@ mod tests {
         e.warm(&instruction);
         let mut rates = Vec::new();
         for tweet in ["great sunshine", "horrible exam", "boring meeting ugh"] {
-            let req = GenRequest::structured(
-                format!("{instruction}Tweet: {tweet}"),
-                "view:v@1#0/v1",
-            );
+            let req =
+                GenRequest::structured(format!("{instruction}Tweet: {tweet}"), "view:v@1#0/v1");
             rates.push(e.generate(&req).unwrap().usage.cache_hit_rate().unwrap());
         }
         assert!(rates.iter().all(|r| *r > 0.8), "{rates:?}");
@@ -414,11 +409,9 @@ mod tests {
         let e = engine();
         let req = GenRequest::opaque("Classify the sentiment.\nTweet: i hate rain");
         let resp = e.generate(&req).unwrap();
-        let expected = e.profile().latency_us(
-            resp.usage.prompt_tokens,
-            0,
-            resp.usage.completion_tokens,
-        );
+        let expected =
+            e.profile()
+                .latency_us(resp.usage.prompt_tokens, 0, resp.usage.completion_tokens);
         assert_eq!(resp.latency.as_micros() as u64, expected as u64);
         assert_eq!(e.clock().elapsed(), resp.latency);
     }
@@ -443,10 +436,8 @@ mod tests {
     #[test]
     fn clear_cache_resets_reuse() {
         let e = engine();
-        let req = GenRequest::structured(
-            format!("{}Tweet: x", long_instruction()),
-            "view:v@1#0/v1",
-        );
+        let req =
+            GenRequest::structured(format!("{}Tweet: x", long_instruction()), "view:v@1#0/v1");
         e.generate(&req).unwrap();
         e.clear_cache();
         let resp = e.generate(&req).unwrap();
@@ -473,14 +464,12 @@ mod tests {
 
         let batched = SimLlm::new(ModelProfile::qwen25_7b_instruct());
         let responses = batched.generate_batch(&requests).unwrap();
-        let batched_total: std::time::Duration =
-            responses.iter().map(|r| r.latency).sum();
+        let batched_total: std::time::Duration = responses.iter().map(|r| r.latency).sum();
 
         // 7 amortized overheads at 90% discount.
-        let expected_saving = 7.0
-            * batched.profile().request_overhead_us
-            * (1.0 - SimLlm::BATCH_MARGINAL_OVERHEAD)
-            / 1e6;
+        let expected_saving =
+            7.0 * batched.profile().request_overhead_us * (1.0 - SimLlm::BATCH_MARGINAL_OVERHEAD)
+                / 1e6;
         let saving = unbatched_total.as_secs_f64() - batched_total.as_secs_f64();
         assert!(
             (saving - expected_saving).abs() < 1e-3,

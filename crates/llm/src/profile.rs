@@ -195,9 +195,9 @@ impl ModelProfile {
         };
         let (sentiment, school) = by_model;
         match task {
-            TaskKind::ClassifySentiment
-            | TaskKind::FusedMapFilter
-            | TaskKind::FusedFilterMap => sentiment,
+            TaskKind::ClassifySentiment | TaskKind::FusedMapFilter | TaskKind::FusedFilterMap => {
+                sentiment
+            }
             TaskKind::ClassifySchoolNegative => school,
             // Non-classification tasks have no binary accuracy; give a
             // high nominal value used only for confidence shaping.
@@ -263,7 +263,10 @@ mod tests {
         );
         assert!(f.has_objective && f.has_specificity && f.has_hint);
         assert!(f.has_example && f.has_word_limit);
-        assert_eq!(PromptFeatures::detect("plain text"), PromptFeatures::default());
+        assert_eq!(
+            PromptFeatures::detect("plain text"),
+            PromptFeatures::default()
+        );
     }
 
     #[test]

@@ -97,7 +97,12 @@ pub fn extract_input(prompt: &str) -> &str {
             return prompt[pos + marker.len()..].trim();
         }
     }
-    prompt.lines().rev().find(|l| !l.trim().is_empty()).unwrap_or("").trim()
+    prompt
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .unwrap_or("")
+        .trim()
 }
 
 /// Parse a word limit from the prompt ("at most N words", "word limit of
@@ -127,9 +132,7 @@ fn hash01(x: u64) -> f64 {
 /// Strip social-media noise and enforce a word limit — the Map behaviour.
 fn clean(text: &str, word_limit: usize) -> String {
     text.split_whitespace()
-        .filter(|w| {
-            !w.starts_with('@') && !w.starts_with('#') && !w.starts_with("http")
-        })
+        .filter(|w| !w.starts_with('@') && !w.starts_with('#') && !w.starts_with("http"))
         .take(word_limit)
         .collect::<Vec<_>>()
         .join(" ")
@@ -168,8 +171,7 @@ fn correctness_probability(
 ) -> (f64, PromptFeatures) {
     let features = PromptFeatures::detect(prompt);
     let w = &params.profile.quality;
-    let mut p = params.profile.base_accuracy(kind)
-        + w.bonus(&features, params.structured_identity);
+    let mut p = params.profile.base_accuracy(kind) + w.bonus(&features, params.structured_identity);
     match kind {
         TaskKind::FusedMapFilter => p -= w.fused_map_filter_penalty,
         TaskKind::FusedFilterMap => p -= w.fused_filter_map_penalty,
@@ -234,7 +236,11 @@ fn classify(prompt: &str, params: &TaskParams<'_>, kind: TaskKind, school: bool)
             label.to_string()
         }
     } else {
-        let label = if decided_negative { "negative" } else { "positive" };
+        let label = if decided_negative {
+            "negative"
+        } else {
+            "positive"
+        };
         // Filters asked for a justification decode a sentence, not a word.
         if lower.contains("justification") {
             format!("{label} — clearly {label} wording about the main subject")
@@ -265,7 +271,11 @@ fn fused(prompt: &str, params: &TaskParams<'_>, kind: TaskKind) -> TaskOutcome {
     let (neg, strength) = lexicon_negative(item);
     let r = draw(item, &params.profile.name, features, params.seed, 0xF05E);
     let decided_negative = if r < p { neg } else { !neg };
-    let label = if decided_negative { "negative" } else { "positive" };
+    let label = if decided_negative {
+        "negative"
+    } else {
+        "positive"
+    };
     let tail = if prompt.to_lowercase().contains("justification") {
         " — checked"
     } else {
@@ -502,7 +512,10 @@ mod tests {
             TaskKind::FusedFilterMap
         );
         assert_eq!(
-            detect_task(None, "Classify whether the tweet is school related and negative."),
+            detect_task(
+                None,
+                "Classify whether the tweet is school related and negative."
+            ),
             TaskKind::ClassifySchoolNegative
         );
         assert_eq!(
@@ -541,7 +554,8 @@ mod tests {
 
     #[test]
     fn classify_is_deterministic_and_polarity_driven() {
-        let prompt = "Classify the sentiment. Respond with one word.\nTweet: i hate this awful rain";
+        let prompt =
+            "Classify the sentiment. Respond with one word.\nTweet: i hate this awful rain";
         let a = run_with(TaskKind::ClassifySentiment, prompt, false, 1);
         let b = run_with(TaskKind::ClassifySentiment, prompt, false, 1);
         assert_eq!(a, b);
@@ -562,9 +576,7 @@ mod tests {
             let negative = i % 2 == 0;
             let word = if negative { "awful" } else { "great" };
             let tweet = format!("what a {word} day number {i}");
-            for (prompt_text, counter) in
-                [(base, &mut plain_correct), (rich, &mut rich_correct)]
-            {
+            for (prompt_text, counter) in [(base, &mut plain_correct), (rich, &mut rich_correct)] {
                 let p = format!("{prompt_text}\nTweet: {tweet}");
                 let out = run_with(TaskKind::ClassifySentiment, &p, prompt_text == rich, 7);
                 if (out.text == "negative") == negative {
@@ -644,10 +656,7 @@ mod tests {
             .take_while(|(a, b)| a == b)
             .count();
         let frac = common as f64 / original.chars().count() as f64;
-        assert!(
-            (0.75..0.95).contains(&frac),
-            "prefix preservation {frac}"
-        );
+        assert!((0.75..0.95).contains(&frac), "prefix preservation {frac}");
         assert!(out.text.contains("school-related"));
     }
 
@@ -677,13 +686,21 @@ mod tests {
         assert!(a.text.contains("40 mg"));
         assert!(b.confidence > a.confidence);
 
-        let missing = run_with(TaskKind::Qa, "Highlight Enoxaparin.\nNotes: on aspirin", false, 1);
+        let missing = run_with(
+            TaskKind::Qa,
+            "Highlight Enoxaparin.\nNotes: on aspirin",
+            false,
+            1,
+        );
         assert!(missing.text.contains("No Enoxaparin"));
     }
 
     #[test]
     fn parse_fused_roundtrip() {
-        assert_eq!(parse_fused("negative :: short text"), Some((true, "short text")));
+        assert_eq!(
+            parse_fused("negative :: short text"),
+            Some((true, "short text"))
+        );
         assert_eq!(parse_fused("positive :: x"), Some((false, "x")));
         assert_eq!(parse_fused("garbage"), None);
     }

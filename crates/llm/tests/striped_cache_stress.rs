@@ -66,10 +66,7 @@ fn fresh_cache(warm: &[Vec<u64>]) -> StripedPrefixCache {
 }
 
 /// Apply each owner's request log on its own thread, all at once.
-fn run_concurrent(
-    warm: &[Vec<u64>],
-    logs: &[Vec<Request>],
-) -> (Vec<Vec<usize>>, CacheStats) {
+fn run_concurrent(warm: &[Vec<u64>], logs: &[Vec<Request>]) -> (Vec<Vec<usize>>, CacheStats) {
     let cache = Arc::new(fresh_cache(warm));
     let mut hits: Vec<Vec<usize>> = Vec::with_capacity(logs.len());
     std::thread::scope(|s| {
@@ -94,10 +91,7 @@ fn run_concurrent(
 }
 
 /// Apply the same logs owner-by-owner on one thread.
-fn run_sequential(
-    warm: &[Vec<u64>],
-    logs: &[Vec<Request>],
-) -> (Vec<Vec<usize>>, CacheStats) {
+fn run_sequential(warm: &[Vec<u64>], logs: &[Vec<Request>]) -> (Vec<Vec<usize>>, CacheStats) {
     let cache = fresh_cache(warm);
     let hits = logs
         .iter()

@@ -1,21 +1,33 @@
-//! Physical-plan executor: runs Map/Filter plans over item collections
-//! against any `LlmClient`.
+//! Physical-plan executor: runs Map/Filter plans over item collections.
 //!
-//! The executor realizes the behaviour the paper's fusion analysis depends
-//! on: in a **sequential** plan, items rejected by a Filter stage skip all
-//! later stages (the "predicate-pushdown effect" of §7), while a **fused**
-//! stage pays one call per item for all of its semantic ops. Prompt
-//! construction follows a fixed contract (instruction block, response
-//! format, `Tweet:` item marker) so that any backend — simulated or real —
-//! sees well-formed task prompts.
+//! This module no longer interprets plans itself — it lowers them through
+//! [`crate::lowering`] onto the core execution spine and runs them with
+//! [`spear_core::batch::BatchRunner`], one pipeline instance per item. The
+//! behaviour the paper's fusion analysis depends on is preserved by the
+//! lowering: in a **sequential** plan, items rejected by a Filter stage
+//! skip all later stages (the "predicate-pushdown effect" of §7, realized
+//! as a lowered CHECK jump), while a **fused** stage pays one call per item
+//! for all of its semantic ops. Budget enforcement, tracing, and token
+//! accounting all come from the core runtime; there is no LLM call in this
+//! file.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use spear_core::agent::FnAgent;
+use spear_core::batch::BatchRunner;
+use spear_core::context::Context;
 use spear_core::error::Result;
-use spear_core::llm::{GenOptions, GenRequest, LlmClient, PromptIdentity};
+use spear_core::llm::LlmClient;
 use spear_core::metadata::TokenUsage;
+use spear_core::runtime::{ExecState, Runtime, RuntimeConfig};
+use spear_core::trace::{Trace, TraceKind};
+use spear_core::value::Value;
 
-use crate::plan::{PhysicalPlan, PhysicalStage, SemanticOp};
+use crate::lowering::{
+    self, FILTER_VERDICT_AGENT, FUSED_TEXT_AGENT, FUSED_VERDICT_AGENT, ITEM_KEY,
+};
+use crate::plan::PhysicalPlan;
 
 /// Outcome for one input item.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,10 +50,13 @@ pub struct PlanRunReport {
     pub outcomes: Vec<ItemOutcome>,
     /// Total LLM calls.
     pub gen_calls: u64,
-    /// Total token usage.
+    /// Total token usage, summed from the per-item runtime traces.
     pub usage: TokenUsage,
-    /// Total (virtual) latency.
+    /// Total (virtual) latency, summed from the per-item runtime traces.
     pub latency: Duration,
+    /// Per-item execution traces, input order — the same instrumentation
+    /// every other pipeline gets from the core runtime.
+    pub traces: Vec<Trace>,
 }
 
 impl PlanRunReport {
@@ -58,6 +73,25 @@ impl PlanRunReport {
             None
         } else {
             Some(self.passed() as f64 / self.outcomes.len() as f64)
+        }
+    }
+}
+
+/// Knobs for [`run_plan_with`].
+#[derive(Debug, Clone)]
+pub struct PlanRunOptions {
+    /// Batch-runner worker threads (item results are independent of this).
+    pub workers: usize,
+    /// Runtime configuration; budgets apply **per item**, since each item
+    /// is one pipeline instance.
+    pub config: RuntimeConfig,
+}
+
+impl Default for PlanRunOptions {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            config: RuntimeConfig::default(),
         }
     }
 }
@@ -85,112 +119,143 @@ fn parse_fused_response(response: &str) -> (bool, String) {
     }
 }
 
-fn stage_prompt(stage: &PhysicalStage, item: &str) -> (String, Option<&'static str>) {
-    match stage {
-        PhysicalStage::Gen { op } => match op {
-            SemanticOp::Map { instruction } => (
-                format!("{instruction} Use at most 25 words.\nTweet: {item}"),
-                Some("summarize"),
-            ),
-            SemanticOp::Filter { instruction } => (
-                format!(
-                    "{instruction} Respond with the label followed by a \
-                     one-sentence justification.\nTweet: {item}"
-                ),
-                Some("classify_sentiment"),
-            ),
-        },
-        PhysicalStage::FusedGen { ops } => {
-            let directives: Vec<&str> = ops.iter().map(|o| o.instruction()).collect();
-            let map_first = matches!(ops.first(), Some(SemanticOp::Map { .. }));
-            let hint = if map_first {
-                "fused_map_filter"
-            } else {
-                "fused_filter_map"
-            };
-            (
-                format!(
-                    "{} In one pass. Respond in the format '<label> :: <cleaned \
-                     text>' with a short justification, using at most 25 words.\n\
-                     Tweet: {item}",
-                    directives.join(" Then ")
-                ),
-                Some(hint),
-            )
-        }
+/// Build the runtime the lowered plan executes on: the backend plus the
+/// response-parsing agents the lowering's DELEGATE ops name.
+fn plan_runtime(llm: Arc<dyn LlmClient>, config: RuntimeConfig) -> Runtime {
+    fn payload_text(payload: &Value) -> &str {
+        payload.as_str().unwrap_or_default()
     }
+    Runtime::builder()
+        .llm(llm)
+        .config(config)
+        .agent(
+            FILTER_VERDICT_AGENT,
+            Arc::new(FnAgent(|payload: &Value, _: &Context| {
+                Ok(Value::from(filter_passes(payload_text(payload))))
+            })),
+        )
+        .agent(
+            FUSED_VERDICT_AGENT,
+            Arc::new(FnAgent(|payload: &Value, _: &Context| {
+                Ok(Value::from(parse_fused_response(payload_text(payload)).0))
+            })),
+        )
+        .agent(
+            FUSED_TEXT_AGENT,
+            Arc::new(FnAgent(|payload: &Value, _: &Context| {
+                Ok(Value::from(parse_fused_response(payload_text(payload)).1))
+            })),
+        )
+        .build()
 }
 
-/// Run `plan` over `items`.
+/// Sum token usage and virtual latency from a trace's GEN events.
+fn trace_totals(trace: &Trace) -> (TokenUsage, Duration) {
+    let mut usage = TokenUsage::default();
+    let mut latency = Duration::ZERO;
+    for event in trace.of_kind(TraceKind::Gen) {
+        let field = |key: &str| -> u64 {
+            event
+                .detail
+                .as_map()
+                .and_then(|m| m.get(key))
+                .and_then(Value::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .unwrap_or(0)
+        };
+        usage.absorb(TokenUsage {
+            prompt_tokens: field("prompt_tokens"),
+            cached_tokens: field("cached_tokens"),
+            completion_tokens: field("completion_tokens"),
+        });
+        latency += Duration::from_micros(field("latency_us"));
+    }
+    (usage, latency)
+}
+
+/// Run `plan` over `items` with default options (one worker, default
+/// runtime budgets).
 ///
 /// # Errors
 ///
-/// Propagates the first backend failure.
+/// Propagates the first backend failure, in item order.
 pub fn run_plan(
-    llm: &dyn LlmClient,
+    llm: Arc<dyn LlmClient>,
     plan: &PhysicalPlan,
     items: &[String],
 ) -> Result<PlanRunReport> {
-    let mut outcomes = Vec::with_capacity(items.len());
-    let mut gen_calls = 0u64;
-    let mut usage = TokenUsage::default();
-    let mut latency = Duration::ZERO;
+    run_plan_with(llm, plan, items, &PlanRunOptions::default())
+}
 
-    for item in items {
-        let mut outcome = ItemOutcome {
-            text: item.clone(),
-            passed: true,
-            confidence: 1.0,
-            calls: 0,
-        };
-        for (stage_idx, stage) in plan.stages.iter().enumerate() {
-            if !outcome.passed {
-                break; // predicate pushdown: dropped items skip later stages
-            }
-            let (prompt, task_hint) = stage_prompt(stage, &outcome.text);
-            let identity = match &plan.identity {
-                Some(id) => PromptIdentity::Structured {
-                    id: format!("{id}/stage{stage_idx}"),
-                },
-                None => PromptIdentity::Opaque,
-            };
-            let response = llm.generate(&GenRequest {
-                text: prompt,
-                identity,
-                options: GenOptions {
-                    max_tokens: 64,
-                    temperature: 0.0,
-                    task: task_hint.map(str::to_string),
-                },
-            })?;
-            gen_calls += 1;
-            outcome.calls += 1;
-            usage.absorb(response.usage);
-            latency += response.latency;
-            outcome.confidence = response.confidence;
-            match stage {
-                PhysicalStage::Gen {
-                    op: SemanticOp::Map { .. },
-                } => outcome.text = response.text,
-                PhysicalStage::Gen {
-                    op: SemanticOp::Filter { .. },
-                } => outcome.passed = filter_passes(&response.text),
-                PhysicalStage::FusedGen { .. } => {
-                    let (passed, text) = parse_fused_response(&response.text);
-                    outcome.passed = passed;
-                    outcome.text = text;
-                }
-            }
-        }
-        outcomes.push(outcome);
+/// Run `plan` over `items`: lower to the core IR, execute every item as an
+/// independent pipeline instance on a [`BatchRunner`], and fold the
+/// per-item states back into a [`PlanRunReport`].
+///
+/// # Errors
+///
+/// Propagates the first failing item's error, in item order — including
+/// per-item budget violations configured via [`PlanRunOptions::config`].
+pub fn run_plan_with(
+    llm: Arc<dyn LlmClient>,
+    plan: &PhysicalPlan,
+    items: &[String],
+    options: &PlanRunOptions,
+) -> Result<PlanRunReport> {
+    let lowered = Arc::new(lowering::lower_physical(plan));
+    let runtime = plan_runtime(llm, options.config.clone());
+    let states: Vec<ExecState> = items
+        .iter()
+        .map(|item| {
+            let mut state = ExecState::new();
+            state.context.set(ITEM_KEY, item.clone());
+            state
+        })
+        .collect();
+    let results = BatchRunner::new(options.workers).run_lowered(&runtime, &lowered, states);
+
+    let chain = lowering::text_chain(plan);
+    let verdicts = lowering::verdict_keys(plan);
+    let mut report = PlanRunReport {
+        outcomes: Vec::with_capacity(items.len()),
+        gen_calls: 0,
+        usage: TokenUsage::default(),
+        latency: Duration::ZERO,
+        traces: Vec::with_capacity(items.len()),
+    };
+    for (item, result) in items.iter().zip(results) {
+        let outcome = result?;
+        let context = &outcome.state.context;
+        let text = chain
+            .iter()
+            .rev()
+            .find_map(|key| {
+                context
+                    .get(key)
+                    .and_then(|v| v.as_str().map(str::to_string))
+            })
+            .unwrap_or_else(|| item.clone());
+        let passed = verdicts
+            .iter()
+            .all(|key| context.get(key).is_none_or(|v| v.is_truthy()));
+        let confidence = outcome
+            .state
+            .metadata
+            .get("confidence")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(1.0);
+        let (usage, latency) = trace_totals(&outcome.state.trace);
+        report.gen_calls += outcome.report.gens;
+        report.usage.absorb(usage);
+        report.latency += latency;
+        report.outcomes.push(ItemOutcome {
+            text,
+            passed,
+            confidence,
+            calls: outcome.report.gens,
+        });
+        report.traces.push(outcome.state.trace);
     }
-
-    Ok(PlanRunReport {
-        outcomes,
-        gen_calls,
-        usage,
-        latency,
-    })
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -198,6 +263,10 @@ mod tests {
     use super::*;
     use crate::plan::SemanticPlan;
     use spear_llm::{ModelProfile, SimLlm};
+
+    fn llm() -> Arc<dyn LlmClient> {
+        Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct()))
+    }
 
     fn items() -> Vec<String> {
         vec![
@@ -225,22 +294,27 @@ mod tests {
 
     #[test]
     fn sequential_map_filter_runs_both_stages_on_all_items() {
-        let llm = SimLlm::new(ModelProfile::qwen25_7b_instruct());
         let (mf, _) = plans();
-        let report = run_plan(&llm, &PhysicalPlan::sequential(&mf), &items()).unwrap();
-        assert_eq!(report.gen_calls, 8, "2 stages × 4 items, regardless of outcome");
+        let report = run_plan(llm(), &PhysicalPlan::sequential(&mf), &items()).unwrap();
+        assert_eq!(
+            report.gen_calls, 8,
+            "2 stages × 4 items, regardless of outcome"
+        );
         assert_eq!(report.outcomes.len(), 4);
         // The task model draws per-item correctness, so with 4 items the
         // pass count is 2 ± 1; aggregate accuracy is asserted over large
         // corpora in the benchmark tests.
-        assert!((1..=3).contains(&report.passed()), "passed {}", report.passed());
+        assert!(
+            (1..=3).contains(&report.passed()),
+            "passed {}",
+            report.passed()
+        );
     }
 
     #[test]
     fn sequential_filter_map_skips_map_for_dropped_items() {
-        let llm = SimLlm::new(ModelProfile::qwen25_7b_instruct());
         let (_, fm) = plans();
-        let report = run_plan(&llm, &PhysicalPlan::sequential(&fm), &items()).unwrap();
+        let report = run_plan(llm(), &PhysicalPlan::sequential(&fm), &items()).unwrap();
         // Filter runs on all 4; Map only on survivors (predicate pushdown).
         assert_eq!(report.gen_calls, 4 + report.passed() as u64);
         for o in report.outcomes.iter().filter(|o| !o.passed) {
@@ -253,9 +327,8 @@ mod tests {
 
     #[test]
     fn fused_plan_uses_one_call_per_item() {
-        let llm = SimLlm::new(ModelProfile::qwen25_7b_instruct());
         let (mf, _) = plans();
-        let report = run_plan(&llm, &PhysicalPlan::fused(&mf), &items()).unwrap();
+        let report = run_plan(llm(), &PhysicalPlan::fused(&mf), &items()).unwrap();
         assert_eq!(report.gen_calls, 4);
         // Fused outputs are cleaned text, not the raw tweet.
         let kept: Vec<&ItemOutcome> = report.outcomes.iter().filter(|o| o.passed).collect();
@@ -265,16 +338,13 @@ mod tests {
     #[test]
     fn fused_is_faster_than_sequential_for_map_filter() {
         let (mf, _) = plans();
-        let llm_seq = SimLlm::new(ModelProfile::qwen25_7b_instruct());
-        let seq = run_plan(&llm_seq, &PhysicalPlan::sequential(&mf), &items()).unwrap();
-        let llm_fused = SimLlm::new(ModelProfile::qwen25_7b_instruct());
-        let fused = run_plan(&llm_fused, &PhysicalPlan::fused(&mf), &items()).unwrap();
+        let seq = run_plan(llm(), &PhysicalPlan::sequential(&mf), &items()).unwrap();
+        let fused = run_plan(llm(), &PhysicalPlan::fused(&mf), &items()).unwrap();
         assert!(fused.latency < seq.latency);
     }
 
     #[test]
     fn selectivity_matches_corpus_balance() {
-        let llm = SimLlm::new(ModelProfile::qwen25_7b_instruct());
         let (mf, _) = plans();
         // Use a larger, strongly polar corpus so observed selectivity
         // converges on the ground-truth 50% despite per-item error draws.
@@ -283,14 +353,55 @@ mod tests {
             let word = if i % 2 == 0 { "awful" } else { "wonderful" };
             corpus.push(format!("such a {word} day number {i}"));
         }
-        let report = run_plan(&llm, &PhysicalPlan::sequential(&mf), &corpus).unwrap();
+        let report = run_plan(llm(), &PhysicalPlan::sequential(&mf), &corpus).unwrap();
         assert!(
             (report.selectivity().unwrap() - 0.5).abs() < 0.1,
             "selectivity {:?}",
             report.selectivity()
         );
-        let empty = run_plan(&llm, &PhysicalPlan::sequential(&mf), &[]).unwrap();
+        let empty = run_plan(llm(), &PhysicalPlan::sequential(&mf), &[]).unwrap();
         assert_eq!(empty.selectivity(), None);
+    }
+
+    #[test]
+    fn report_totals_match_the_trace_totals() {
+        let (mf, _) = plans();
+        let report = run_plan(llm(), &PhysicalPlan::sequential(&mf), &items()).unwrap();
+        assert_eq!(report.traces.len(), report.outcomes.len());
+        let mut usage = TokenUsage::default();
+        let mut latency = Duration::ZERO;
+        let mut gen_events = 0;
+        for trace in &report.traces {
+            let (u, l) = trace_totals(trace);
+            usage.absorb(u);
+            latency += l;
+            gen_events += trace.count(TraceKind::Gen) as u64;
+        }
+        assert_eq!(report.usage, usage);
+        assert_eq!(report.latency, latency);
+        assert_eq!(report.gen_calls, gen_events);
+        assert!(usage.total() > 0, "the run generated tokens");
+        assert!(latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_plan_results() {
+        let (mf, _) = plans();
+        let plan = PhysicalPlan::sequential(&mf);
+        let run = |workers: usize| {
+            run_plan_with(
+                llm(),
+                &plan,
+                &items(),
+                &PlanRunOptions {
+                    workers,
+                    ..PlanRunOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(4));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::time::Duration;
 
 use spear_core::ops::{Op, PromptRef};
 use spear_core::pipeline::Pipeline;
+use spear_core::plan::{LoweredOp, LoweredPlan};
 
 use crate::cost::CostModel;
 use crate::gen_fusion;
@@ -53,9 +54,8 @@ pub struct PlanCost {
 impl PlanCost {
     fn add(&mut self, other: PlanCost, weight: f64) {
         self.expected_gen_calls += other.expected_gen_calls * weight;
-        self.expected_latency += Duration::from_secs_f64(
-            other.expected_latency.as_secs_f64() * weight,
-        );
+        self.expected_latency +=
+            Duration::from_secs_f64(other.expected_latency.as_secs_f64() * weight);
     }
 }
 
@@ -115,11 +115,59 @@ pub fn explain(
     (out, total)
 }
 
-fn gen_cost(
-    structured: bool,
-    model: &CostModel,
-    a: &ExplainAssumptions,
-) -> Duration {
+/// Render a lowered plan, one instruction per line with its slot index,
+/// explicit jump targets, and per-GEN cacheability annotations — the IR
+/// analogue of a physical `EXPLAIN` in a query engine.
+///
+/// Unlike [`explain`], which walks the operator *tree*, this shows exactly
+/// the program the runtime's dispatch loop steps through: CHECKs carry
+/// their `else -> slot` target and a branch's leaves carry its trigger, so
+/// predicate pushdown is visible as a jump past the guarded stages.
+#[must_use]
+pub fn explain_lowered(plan: &LoweredPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "EXPLAIN LOWERED PLAN {:?}  ({} source ops, {} slots)",
+        plan.name,
+        plan.source_size,
+        plan.ops.len()
+    );
+    for (pc, op) in plan.ops.iter().enumerate() {
+        match op {
+            LoweredOp::Leaf { op, trigger, .. } => {
+                let _ = write!(out, "  {pc:04}  {}", op.describe());
+                if let Some(trigger) = trigger {
+                    let _ = write!(out, "  (when {trigger})");
+                }
+                let _ = writeln!(out);
+                if let Op::Gen {
+                    prompt: PromptRef::Lowered { text, identity },
+                    ..
+                } = op
+                {
+                    let _ = writeln!(
+                        out,
+                        "        prompt: {text:?}  [{}]",
+                        match identity {
+                            Some(id) => format!("cacheable as {id:?}"),
+                            None => "opaque — no prefix reuse".to_string(),
+                        }
+                    );
+                }
+            }
+            LoweredOp::Check { cond, on_false, .. } => {
+                let _ = writeln!(out, "  {pc:04}  CHECK[{cond}]  else -> {on_false:04}");
+            }
+            LoweredOp::Jump { target } => {
+                let _ = writeln!(out, "  {pc:04}  JUMP -> {target:04}");
+            }
+        }
+    }
+    out
+}
+
+fn gen_cost(structured: bool, model: &CostModel, a: &ExplainAssumptions) -> Duration {
     let cached = if structured {
         a.prompt_tokens * a.cached_fraction
     } else {
@@ -142,7 +190,11 @@ fn render_ops(
     for op in ops {
         match op {
             Op::Gen { prompt, .. } => {
-                let structured = !matches!(prompt, PromptRef::Inline(_));
+                let structured = match prompt {
+                    PromptRef::Inline(_) => false,
+                    PromptRef::Lowered { identity, .. } => identity.is_some(),
+                    PromptRef::Key(_) | PromptRef::View { .. } => true,
+                };
                 let latency = gen_cost(structured, model, a);
                 total.add(
                     PlanCost {

@@ -70,11 +70,7 @@ pub struct FusionDecision {
 /// Estimated cost of the sequential physical form: each stage runs over
 /// the items surviving the previous filters.
 #[must_use]
-pub fn sequential_cost(
-    plan: &SemanticPlan,
-    est: &PlanEstimates,
-    model: &CostModel,
-) -> Duration {
+pub fn sequential_cost(plan: &SemanticPlan, est: &PlanEstimates, model: &CostModel) -> Duration {
     let physical = PhysicalPlan::sequential(plan);
     let call = est.per_stage.call_cost(model).as_secs_f64();
     let mut surviving = est.n_items;
@@ -148,7 +144,7 @@ pub fn classify_adjacent(a: &Op, b: &Op) -> GenRelation {
             Op::Gen { prompt, .. } => match prompt {
                 PromptRef::Key(k) => Some(format!("key:{k}")),
                 PromptRef::View { name, .. } => Some(format!("view:{name}")),
-                PromptRef::Inline(_) => None,
+                PromptRef::Inline(_) | PromptRef::Lowered { .. } => None,
             },
             _ => None,
         }

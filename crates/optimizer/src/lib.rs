@@ -2,8 +2,9 @@
 //!
 //! Implements the optimization strategies of the SPEAR paper's §5:
 //!
-//! - [`plan`] / [`exec`] — semantic Map/Filter plans over item collections,
-//!   with sequential (predicate-pushdown) and fused physical forms,
+//! - [`plan`] / [`lowering`] / [`exec`] — semantic Map/Filter plans over
+//!   item collections, lowered onto the core runtime's plan IR and executed
+//!   there, with sequential (predicate-pushdown) and fused physical forms,
 //! - [`fusion`] — **selectivity-aware operator fusion** decisions driven by
 //!   the cost model, plus shared-context vs independent GEN classification,
 //! - [`gen_fusion`] — fusing adjacent shared-context GENs in core pipelines
@@ -32,6 +33,7 @@ pub mod exec;
 pub mod explain;
 pub mod fusion;
 pub mod gen_fusion;
+pub mod lowering;
 pub mod meta_opt;
 pub mod plan;
 pub mod predictive;
@@ -40,10 +42,13 @@ pub mod refinement_planner;
 pub mod view_selector;
 
 pub use cost::{CostModel, CostObservation};
-pub use exec::{run_plan, ItemOutcome, PlanRunReport};
-pub use explain::{explain, ExplainAssumptions, PlanCost};
-pub use fusion::{classify_adjacent, decide, FusionDecision, GenRelation, PlanEstimates, StageEstimate};
+pub use exec::{run_plan, run_plan_with, ItemOutcome, PlanRunOptions, PlanRunReport};
+pub use explain::{explain, explain_lowered, ExplainAssumptions, PlanCost};
+pub use fusion::{
+    classify_adjacent, decide, FusionDecision, GenRelation, PlanEstimates, StageEstimate,
+};
 pub use gen_fusion::{find_opportunities, fuse_pipeline, GenFusionOpportunity};
+pub use lowering::{lower_physical, to_pipeline};
 pub use meta_opt::{replace_underperformers, AppliedSubstitution, MetaOptConfig, Substitute};
 pub use plan::{PhysicalPlan, PhysicalStage, SemanticOp, SemanticPlan};
 pub use predictive::{RiskModel, RiskSample, RiskWeights};

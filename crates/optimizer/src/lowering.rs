@@ -1,0 +1,324 @@
+//! Lowering of physical Map/Filter plans onto the core execution spine.
+//!
+//! Historically the optimizer had its own interpreter: `run_plan` walked
+//! [`PhysicalPlan`] stages and called the `LlmClient` directly, duplicating
+//! budget enforcement, tracing, and retry policy that the core runtime
+//! already owns. This module removes that second execution path: a physical
+//! plan lowers into an ordinary core [`Pipeline`] — GEN ops carrying
+//! pre-rendered [`PromptRef::Lowered`] templates, DELEGATE ops parsing
+//! stage responses, and CHECK ops realizing predicate pushdown — which the
+//! core then lowers into its flat [`spear_core::LoweredPlan`] IR and
+//! executes with the same per-operator executors as every other pipeline.
+//!
+//! ## Lowering rules
+//!
+//! Per stage `i` (with `cur` naming the context key holding the item's
+//! current text, starting at [`ITEM_KEY`]):
+//!
+//! - every stage emits `GEN[s{i}]` whose lowered prompt embeds
+//!   `{{ctx:cur}}` where the old interpreter interpolated the item, and
+//!   whose identity is `Some("{plan.identity}/stage{i}")` iff the plan has
+//!   a structured identity — preserving the structure-gates-caching rule;
+//! - a **Map** stage advances `cur` to `s{i}`;
+//! - a **Filter** stage emits `DELEGATE[plan_filter_verdict] -> pass{i}`
+//!   and wraps the remaining stages in `CHECK[truthy(C["pass{i}"])]`, so
+//!   dropped items skip all later stages (the paper's predicate-pushdown
+//!   effect) exactly as the old interpreter's `break` did;
+//! - a **FusedGen** stage emits two DELEGATEs — verdict into `pass{i}`,
+//!   extracted text into `t{i}` (which becomes `cur`) — and the same CHECK
+//!   wrapper.
+//!
+//! The prompt templates are byte-identical to the strings the old
+//! interpreter produced, so simulated backends observe the same requests.
+
+use spear_core::condition::{Cond, Operand};
+use spear_core::llm::GenOptions;
+use spear_core::ops::{Op, PayloadSpec, PromptRef};
+use spear_core::pipeline::Pipeline;
+use spear_core::plan::{lower, LoweredPlan};
+
+use crate::plan::{PhysicalPlan, PhysicalStage, SemanticOp};
+
+/// Context key the per-item input text is seeded under.
+pub const ITEM_KEY: &str = "item";
+
+/// Agent parsing a Filter stage's response into a boolean verdict.
+pub const FILTER_VERDICT_AGENT: &str = "plan_filter_verdict";
+
+/// Agent parsing a fused stage's `label :: text` response into a verdict.
+pub const FUSED_VERDICT_AGENT: &str = "plan_fused_verdict";
+
+/// Agent extracting the cleaned text from a fused `label :: text` response.
+pub const FUSED_TEXT_AGENT: &str = "plan_fused_text";
+
+/// Lower a physical plan into a core pipeline.
+///
+/// The result references the agents named by [`FILTER_VERDICT_AGENT`],
+/// [`FUSED_VERDICT_AGENT`], and [`FUSED_TEXT_AGENT`]; `run_plan` registers
+/// them on the runtime it builds.
+#[must_use]
+pub fn to_pipeline(plan: &PhysicalPlan) -> Pipeline {
+    Pipeline {
+        name: format!("physical({})", plan.shape()),
+        ops: lower_rest(plan, 0, ITEM_KEY.to_string()),
+    }
+}
+
+/// Lower a physical plan straight to the core IR — shorthand for
+/// `spear_core::lower(&to_pipeline(plan))`.
+#[must_use]
+pub fn lower_physical(plan: &PhysicalPlan) -> LoweredPlan {
+    lower(&to_pipeline(plan))
+}
+
+/// Context keys that hold the item's text as stages rewrite it, in order:
+/// the seed key, then one per Map / FusedGen stage. The item's final text
+/// is the last key of this chain present in its context.
+#[must_use]
+pub fn text_chain(plan: &PhysicalPlan) -> Vec<String> {
+    let mut chain = vec![ITEM_KEY.to_string()];
+    for (i, stage) in plan.stages.iter().enumerate() {
+        match stage {
+            PhysicalStage::Gen {
+                op: SemanticOp::Map { .. },
+            } => chain.push(format!("s{i}")),
+            PhysicalStage::Gen {
+                op: SemanticOp::Filter { .. },
+            } => {}
+            PhysicalStage::FusedGen { .. } => chain.push(format!("t{i}")),
+        }
+    }
+    chain
+}
+
+/// Context keys holding per-stage pass verdicts (one per Filter or fused
+/// stage). An item passed iff no present verdict is false — a missing
+/// verdict means an earlier filter already dropped the item.
+#[must_use]
+pub fn verdict_keys(plan: &PhysicalPlan) -> Vec<String> {
+    plan.stages
+        .iter()
+        .enumerate()
+        .filter_map(|(i, stage)| match stage {
+            PhysicalStage::Gen {
+                op: SemanticOp::Map { .. },
+            } => None,
+            PhysicalStage::Gen {
+                op: SemanticOp::Filter { .. },
+            }
+            | PhysicalStage::FusedGen { .. } => Some(format!("pass{i}")),
+        })
+        .collect()
+}
+
+/// The prompt template and task hint for one stage, with `{{ctx:cur}}`
+/// standing where the old interpreter spliced the item text. The rendered
+/// strings are byte-identical to the old `stage_prompt` output.
+fn stage_template(stage: &PhysicalStage, cur: &str) -> (String, Option<&'static str>) {
+    match stage {
+        PhysicalStage::Gen { op } => match op {
+            SemanticOp::Map { instruction } => (
+                format!("{instruction} Use at most 25 words.\nTweet: {{{{ctx:{cur}}}}}"),
+                Some("summarize"),
+            ),
+            SemanticOp::Filter { instruction } => (
+                format!(
+                    "{instruction} Respond with the label followed by a \
+                     one-sentence justification.\nTweet: {{{{ctx:{cur}}}}}"
+                ),
+                Some("classify_sentiment"),
+            ),
+        },
+        PhysicalStage::FusedGen { ops } => {
+            let directives: Vec<&str> = ops.iter().map(SemanticOp::instruction).collect();
+            let map_first = matches!(ops.first(), Some(SemanticOp::Map { .. }));
+            let hint = if map_first {
+                "fused_map_filter"
+            } else {
+                "fused_filter_map"
+            };
+            (
+                format!(
+                    "{} In one pass. Respond in the format '<label> :: <cleaned \
+                     text>' with a short justification, using at most 25 words.\n\
+                     Tweet: {{{{ctx:{cur}}}}}",
+                    directives.join(" Then ")
+                ),
+                Some(hint),
+            )
+        }
+    }
+}
+
+/// Lower stages `i..` given the current text key; filtering stages wrap
+/// the remainder in a CHECK so pushdown falls out of ordinary control flow.
+fn lower_rest(plan: &PhysicalPlan, i: usize, cur: String) -> Vec<Op> {
+    let Some(stage) = plan.stages.get(i) else {
+        return Vec::new();
+    };
+    let (template, task) = stage_template(stage, &cur);
+    let mut ops = vec![Op::Gen {
+        label: format!("s{i}"),
+        prompt: PromptRef::Lowered {
+            text: template,
+            identity: plan.identity.as_ref().map(|id| format!("{id}/stage{i}")),
+        },
+        options: GenOptions {
+            max_tokens: 64,
+            temperature: 0.0,
+            task: task.map(str::to_string),
+        },
+    }];
+    match stage {
+        PhysicalStage::Gen {
+            op: SemanticOp::Map { .. },
+        } => {
+            ops.extend(lower_rest(plan, i + 1, format!("s{i}")));
+        }
+        PhysicalStage::Gen {
+            op: SemanticOp::Filter { .. },
+        } => {
+            ops.push(Op::Delegate {
+                agent: FILTER_VERDICT_AGENT.to_string(),
+                payload: PayloadSpec::CtxKey(format!("s{i}")),
+                into: format!("pass{i}"),
+            });
+            guard_rest(&mut ops, i, lower_rest(plan, i + 1, cur));
+        }
+        PhysicalStage::FusedGen { .. } => {
+            ops.push(Op::Delegate {
+                agent: FUSED_VERDICT_AGENT.to_string(),
+                payload: PayloadSpec::CtxKey(format!("s{i}")),
+                into: format!("pass{i}"),
+            });
+            ops.push(Op::Delegate {
+                agent: FUSED_TEXT_AGENT.to_string(),
+                payload: PayloadSpec::CtxKey(format!("s{i}")),
+                into: format!("t{i}"),
+            });
+            guard_rest(&mut ops, i, lower_rest(plan, i + 1, format!("t{i}")));
+        }
+    }
+    ops
+}
+
+/// Wrap `rest` in `CHECK[truthy(C["pass{i}"])]`, or nothing when there is
+/// no downstream work to guard.
+fn guard_rest(ops: &mut Vec<Op>, i: usize, rest: Vec<Op>) {
+    if !rest.is_empty() {
+        ops.push(Op::Check {
+            cond: Cond::Truthy(Operand::Ctx(format!("pass{i}"))),
+            then_ops: rest,
+            else_ops: Vec::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SemanticPlan;
+    use spear_core::plan::LoweredOp;
+
+    fn mf() -> PhysicalPlan {
+        PhysicalPlan::sequential(
+            &SemanticPlan::map_then_filter("Clean.", "Keep negative.").with_identity("view:v@1"),
+        )
+    }
+
+    #[test]
+    fn map_filter_lowers_to_gen_gen_delegate() {
+        let p = to_pipeline(&mf());
+        assert_eq!(p.name, "physical([Map] [Filter])");
+        // Map → GEN; Filter → GEN + DELEGATE; trailing filter needs no CHECK.
+        assert_eq!(p.ops.len(), 3);
+        assert!(matches!(&p.ops[0], Op::Gen { label, .. } if label == "s0"));
+        assert!(matches!(&p.ops[2], Op::Delegate { into, .. } if into == "pass1"));
+    }
+
+    #[test]
+    fn filter_map_guards_downstream_stages() {
+        let plan =
+            PhysicalPlan::sequential(&SemanticPlan::filter_then_map("Keep negative.", "Clean."));
+        let p = to_pipeline(&plan);
+        // Filter GEN, verdict DELEGATE, CHECK guarding the Map GEN.
+        assert_eq!(p.ops.len(), 3);
+        let Op::Check {
+            cond,
+            then_ops,
+            else_ops,
+        } = &p.ops[2]
+        else {
+            panic!("expected CHECK, got {:?}", p.ops[2]);
+        };
+        assert_eq!(cond.to_string(), "truthy(C[\"pass0\"])");
+        assert_eq!(then_ops.len(), 1);
+        assert!(else_ops.is_empty());
+        assert!(matches!(&then_ops[0], Op::Gen { label, .. } if label == "s1"));
+    }
+
+    #[test]
+    fn prompts_render_like_the_old_interpreter() {
+        let p = to_pipeline(&mf());
+        let Op::Gen {
+            prompt: PromptRef::Lowered { text, identity },
+            ..
+        } = &p.ops[0]
+        else {
+            panic!("expected lowered prompt");
+        };
+        assert_eq!(text, "Clean. Use at most 25 words.\nTweet: {{ctx:item}}");
+        assert_eq!(identity.as_deref(), Some("view:v@1/stage0"));
+        // The filter stage reads the map's output.
+        let Op::Gen {
+            prompt: PromptRef::Lowered { text, .. },
+            ..
+        } = &p.ops[1]
+        else {
+            panic!("expected lowered prompt");
+        };
+        assert!(text.ends_with("Tweet: {{ctx:s0}}"), "{text}");
+    }
+
+    #[test]
+    fn identity_is_absent_when_the_plan_is_opaque() {
+        let plan = PhysicalPlan::sequential(&SemanticPlan::map_then_filter("m", "f"));
+        let p = to_pipeline(&plan);
+        for op in &p.ops {
+            if let Op::Gen {
+                prompt: PromptRef::Lowered { identity, .. },
+                ..
+            } = op
+            {
+                assert_eq!(identity, &None);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_stage_emits_both_parsers_and_text_chain_tracks_it() {
+        let sem = SemanticPlan::map_then_filter("m", "f");
+        let fused = PhysicalPlan::fused(&sem);
+        let p = to_pipeline(&fused);
+        assert_eq!(p.ops.len(), 3, "GEN + verdict + text extraction");
+        assert_eq!(text_chain(&fused), vec!["item", "t0"]);
+        assert_eq!(verdict_keys(&fused), vec!["pass0"]);
+
+        let seq = PhysicalPlan::sequential(&sem);
+        assert_eq!(text_chain(&seq), vec!["item", "s0"]);
+        assert_eq!(verdict_keys(&seq), vec!["pass1"]);
+    }
+
+    #[test]
+    fn lower_physical_produces_flat_ir_with_pushdown_jump() {
+        let plan =
+            PhysicalPlan::sequential(&SemanticPlan::filter_then_map("Keep negative.", "Clean."));
+        let ir = lower_physical(&plan);
+        // GEN, DELEGATE, CHECK, guarded GEN.
+        assert_eq!(ir.ops.len(), 4);
+        let LoweredOp::Check { on_false, .. } = &ir.ops[2] else {
+            panic!("expected lowered CHECK, got {:?}", ir.ops[2]);
+        };
+        assert_eq!(*on_false, 4, "dropped items jump past the map stage");
+    }
+}

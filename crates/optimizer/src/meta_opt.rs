@@ -91,9 +91,7 @@ fn best_substitute<'a>(
         .pool
         .iter()
         .filter(|s| s.refiner != exclude)
-        .filter_map(|s| {
-            measured_gain(stats, &s.refiner, config.min_measured).map(|g| (s, g))
-        })
+        .filter_map(|s| measured_gain(stats, &s.refiner, config.min_measured).map(|g| (s, g)))
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
 }
 
@@ -115,8 +113,7 @@ fn rewrite_ops(
                 let gain = measured_gain(stats, refiner, config.min_measured);
                 match gain {
                     Some(g) if g < config.underperformance_threshold => {
-                        if let Some((sub, sub_gain)) = best_substitute(stats, config, refiner)
-                        {
+                        if let Some((sub, sub_gain)) = best_substitute(stats, config, refiner) {
                             if sub_gain > g {
                                 applied.push(AppliedSubstitution {
                                     target: target.clone(),
@@ -253,7 +250,10 @@ mod tests {
             replace_underperformers(&pipeline_using("generic_rewriter"), &stats, &pool());
         assert_eq!(applied.len(), 2, "both REFs (incl. nested) rewritten");
         assert!(applied.iter().all(|a| a.from == "generic_rewriter"));
-        assert!(applied.iter().all(|a| a.to == "inject_example"), "best substitute wins");
+        assert!(
+            applied.iter().all(|a| a.to == "inject_example"),
+            "best substitute wins"
+        );
         // The rewritten pipeline contains no generic_rewriter anymore.
         let text = format!("{rewritten:?}");
         assert!(!text.contains("generic_rewriter"));
@@ -296,10 +296,7 @@ mod tests {
 
     #[test]
     fn substitution_report_carries_evidence() {
-        let stats = stats(&[
-            ("bad", 5, Some(-0.08)),
-            ("inject_example", 5, Some(0.2)),
-        ]);
+        let stats = stats(&[("bad", 5, Some(-0.08)), ("inject_example", 5, Some(0.2))]);
         let (_, applied) = replace_underperformers(&pipeline_using("bad"), &stats, &pool());
         let a = &applied[0];
         assert_eq!(a.target, "prompt");

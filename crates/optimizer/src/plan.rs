@@ -186,7 +186,10 @@ impl PhysicalPlan {
                 PhysicalStage::Gen { op } => format!("[{}]", op.label()),
                 PhysicalStage::FusedGen { ops } => format!(
                     "[{}]",
-                    ops.iter().map(SemanticOp::label).collect::<Vec<_>>().join("+")
+                    ops.iter()
+                        .map(SemanticOp::label)
+                        .collect::<Vec<_>>()
+                        .join("+")
                 ),
             })
             .collect::<Vec<_>>()

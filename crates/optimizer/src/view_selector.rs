@@ -78,7 +78,11 @@ pub fn rank_views(
             let effort = refinement_effort(task_description, &view.template);
             let warm = cache.is_some_and(|c| c.is_view_warm(&name));
             let cost = effort * weights.refinement_token_cost
-                - if warm { weights.warm_cache_discount } else { 0.0 };
+                - if warm {
+                    weights.warm_cache_discount
+                } else {
+                    0.0
+                };
             Some(ViewChoice {
                 view: name,
                 est_refinement_tokens: effort,
@@ -103,9 +107,14 @@ pub fn select_view(
     task_description: &str,
     cache: Option<&StructuredPromptCache>,
 ) -> Option<ViewChoice> {
-    rank_views(catalog, task_description, cache, &SelectorWeights::default())
-        .into_iter()
-        .next()
+    rank_views(
+        catalog,
+        task_description,
+        cache,
+        &SelectorWeights::default(),
+    )
+    .into_iter()
+    .next()
 }
 
 #[cfg(test)]

@@ -1,0 +1,57 @@
+//! Golden tests for the lowered-IR EXPLAIN renderer: the exact program the
+//! runtime's dispatch loop steps through, for the three physical shapes of
+//! the paper's sentiment workload. Any change to lowering rules, jump
+//! targets, or prompt templates shows up here as a readable diff.
+
+use spear_optimizer::plan::{PhysicalPlan, SemanticPlan};
+use spear_optimizer::{explain_lowered, lower_physical};
+
+fn map_filter() -> SemanticPlan {
+    SemanticPlan::map_then_filter("Clean up the tweet.", "Keep negative tweets.")
+        .with_identity("view:tweet_pipeline@1")
+}
+
+#[test]
+fn sequential_plan_explains_stage_per_gen() {
+    let lowered = lower_physical(&PhysicalPlan::sequential(&map_filter()));
+    let expected = "\
+EXPLAIN LOWERED PLAN \"physical([Map] [Filter])\"  (3 source ops, 3 slots)
+  0000  GEN[\"s0\"] using lowered prompt
+        prompt: \"Clean up the tweet. Use at most 25 words.\\nTweet: {{ctx:item}}\"  [cacheable as \"view:tweet_pipeline@1/stage0\"]
+  0001  GEN[\"s1\"] using lowered prompt
+        prompt: \"Keep negative tweets. Respond with the label followed by a one-sentence justification.\\nTweet: {{ctx:s0}}\"  [cacheable as \"view:tweet_pipeline@1/stage1\"]
+  0002  DELEGATE[\"plan_filter_verdict\"] -> C[\"pass1\"]
+";
+    assert_eq!(explain_lowered(&lowered), expected);
+}
+
+#[test]
+fn fused_plan_explains_one_gen_with_both_parsers() {
+    let lowered = lower_physical(&PhysicalPlan::fused(&map_filter()));
+    let expected = "\
+EXPLAIN LOWERED PLAN \"physical([Map+Filter])\"  (3 source ops, 3 slots)
+  0000  GEN[\"s0\"] using lowered prompt
+        prompt: \"Clean up the tweet. Then Keep negative tweets. In one pass. Respond in the format '<label> :: <cleaned text>' with a short justification, using at most 25 words.\\nTweet: {{ctx:item}}\"  [cacheable as \"view:tweet_pipeline@1/stage0\"]
+  0001  DELEGATE[\"plan_fused_verdict\"] -> C[\"pass0\"]
+  0002  DELEGATE[\"plan_fused_text\"] -> C[\"t0\"]
+";
+    assert_eq!(explain_lowered(&lowered), expected);
+}
+
+#[test]
+fn reordered_plan_explains_pushdown_as_a_jump() {
+    // Filter→Map: the reordered form where predicate pushdown pays — the
+    // CHECK's else target jumps clear past the guarded Map stage.
+    let plan = SemanticPlan::filter_then_map("Keep negative tweets.", "Clean up the tweet.");
+    let lowered = lower_physical(&PhysicalPlan::sequential(&plan));
+    let expected = "\
+EXPLAIN LOWERED PLAN \"physical([Filter] [Map])\"  (4 source ops, 4 slots)
+  0000  GEN[\"s0\"] using lowered prompt
+        prompt: \"Keep negative tweets. Respond with the label followed by a one-sentence justification.\\nTweet: {{ctx:item}}\"  [opaque — no prefix reuse]
+  0001  DELEGATE[\"plan_filter_verdict\"] -> C[\"pass0\"]
+  0002  CHECK[truthy(C[\"pass0\"])]  else -> 0004
+  0003  GEN[\"s1\"] using lowered prompt  (when truthy(C[\"pass0\"]))
+        prompt: \"Clean up the tweet. Use at most 25 words.\\nTweet: {{ctx:item}}\"  [opaque — no prefix reuse]
+";
+    assert_eq!(explain_lowered(&lowered), expected);
+}

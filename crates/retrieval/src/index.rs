@@ -47,7 +47,11 @@ impl InvertedIndex {
             len += 1;
         }
         for (term, count) in tf {
-            self.postings.entry(term).or_default().docs.push((id, count));
+            self.postings
+                .entry(term)
+                .or_default()
+                .docs
+                .push((id, count));
         }
         self.doc_lengths.push(len);
         self.total_len += u64::from(len);

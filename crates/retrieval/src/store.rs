@@ -108,9 +108,7 @@ impl DocStore {
         for (key, expected) in filters {
             if key == "max_age_hours" {
                 let bound = expected.as_f64().ok_or_else(|| {
-                    SpearError::Retrieval(format!(
-                        "max_age_hours must be numeric, got {expected}"
-                    ))
+                    SpearError::Retrieval(format!("max_age_hours must be numeric, got {expected}"))
                 })?;
                 let age = doc
                     .fields
@@ -172,7 +170,9 @@ impl Retriever for DocStore {
 
 impl std::fmt::Debug for DocStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DocStore").field("docs", &self.len()).finish()
+        f.debug_struct("DocStore")
+            .field("docs", &self.len())
+            .finish()
     }
 }
 

@@ -4,15 +4,12 @@
 /// English stopwords plus retrieval-prompt boilerplate ("retrieve",
 /// "find", …) that carries no content signal.
 const STOPWORDS: &[&str] = &[
-    "a", "about", "all", "an", "and", "any", "are", "as", "at", "be",
-    "but", "by", "fetch", "find", "for", "from", "get", "has", "have", "i",
-    "in", "into", "is", "it", "its", "last", "list", "look", "lookup",
-    "me", "my", "no", "not", "of", "on", "or", "our", "over", "past",
-    "please", "related", "relevant", "retrieve", "show", "that", "the",
-    "their", "them", "then", "there", "these", "they", "this", "to",
-    "under", "up", "us", "was", "we", "were", "what", "when", "where",
-    "which", "while", "who", "whose", "will", "with", "within", "you",
-    "your",
+    "a", "about", "all", "an", "and", "any", "are", "as", "at", "be", "but", "by", "fetch", "find",
+    "for", "from", "get", "has", "have", "i", "in", "into", "is", "it", "its", "last", "list",
+    "look", "lookup", "me", "my", "no", "not", "of", "on", "or", "our", "over", "past", "please",
+    "related", "relevant", "retrieve", "show", "that", "the", "their", "them", "then", "there",
+    "these", "they", "this", "to", "under", "up", "us", "was", "we", "were", "what", "when",
+    "where", "which", "while", "who", "whose", "will", "with", "within", "you", "your",
 ];
 
 /// Lowercased alphanumeric word stream.
@@ -61,7 +58,8 @@ mod tests {
 
     #[test]
     fn keywords_strip_boilerplate() {
-        let k = keywords("Retrieve all medication orders related to Enoxaparin from the last 72 hours");
+        let k =
+            keywords("Retrieve all medication orders related to Enoxaparin from the last 72 hours");
         assert_eq!(k, vec!["medication", "orders", "enoxaparin", "72", "hours"]);
     }
 

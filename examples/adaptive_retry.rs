@@ -69,7 +69,10 @@ fn main() -> Result<()> {
     // Replay and verify the history (paper §6 "refinement replay").
     replay::verify(&entry)?;
     let v2 = replay::replay_to(&entry, 2)?;
-    println!("\nreplayed v2 text starts: {:?}…", &v2.text[..60.min(v2.text.len())]);
+    println!(
+        "\nreplayed v2 text starts: {:?}…",
+        &v2.text[..60.min(v2.text.len())]
+    );
 
     // DIFF between versions (derived operator, Table 2).
     let d = state.prompts.diff_versions("qa_prompt", 1, entry.version)?;
@@ -96,7 +99,10 @@ fn main() -> Result<()> {
             "inject_example",
             map([
                 ("input", Value::from("enoxaparin 60 mg nightly")),
-                ("output", Value::from("Enoxaparin use documented: 60 mg nightly")),
+                (
+                    "output",
+                    Value::from("Enoxaparin use documented: 60 mg nightly"),
+                ),
             ]),
             RefinementMode::Manual,
         )
@@ -111,7 +117,10 @@ fn main() -> Result<()> {
         diff.changed_context_keys.len(),
         diff.confidence_delta
     );
-    assert!(!state.context.contains("shadow_answer"), "primary untouched");
+    assert!(
+        !state.context.contains("shadow_answer"),
+        "primary untouched"
+    );
 
     // Meta-analysis (paper §4.4): which refiners raise confidence?
     let stats = meta::analyze_refiners(&state.prompts);

@@ -71,7 +71,10 @@ fn main() -> Result<()> {
     // Structured retrieval: this patient's notes from the last 72 hours
     // (paper §2's `RET["order_lookup", patient_id, time_window]`).
     let mut filters = std::collections::BTreeMap::new();
-    filters.insert("patient_id".to_string(), Value::from(patient.patient_id.clone()));
+    filters.insert(
+        "patient_id".to_string(),
+        Value::from(patient.patient_id.clone()),
+    );
     filters.insert("max_age_hours".to_string(), Value::from(200));
 
     let pipeline = Pipeline::builder("enoxaparin_qa")
@@ -168,6 +171,9 @@ fn main() -> Result<()> {
     // would feed back to an LLM for meta-optimization (paper §4.4).
     let entry = state.prompts.get("qa_prompt")?;
     println!("\n--- meta prompt (paper §4.4) ---");
-    println!("{}", spear::core::meta::meta_prompt_for("qa_prompt", &entry));
+    println!(
+        "{}",
+        spear::core::meta::meta_prompt_for("qa_prompt", &entry)
+    );
     Ok(())
 }

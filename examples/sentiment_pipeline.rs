@@ -43,7 +43,9 @@ fn main() -> Result<()> {
             .into_iter()
             .collect(),
     )?;
-    let identity = entry.cache_identity().expect("view-derived prompts have identity");
+    let identity = entry
+        .cache_identity()
+        .expect("view-derived prompts have identity");
 
     let llm = SimLlm::new(ModelProfile::qwen25_7b_instruct());
     let mut context = Context::new();
@@ -58,8 +60,7 @@ fn main() -> Result<()> {
         if selected {
             kept += 1;
         }
-        let truth = tweet.label == Sentiment::Negative
-            && tweet.topic == spear::data::Topic::School;
+        let truth = tweet.label == Sentiment::Negative && tweet.topic == spear::data::Topic::School;
         if selected == truth {
             correct += 1;
         }
@@ -99,10 +100,10 @@ fn main() -> Result<()> {
             ),
         ),
     ] {
-        let seq_engine = SimLlm::new(ModelProfile::qwen25_7b_instruct());
-        let seq = run_plan(&seq_engine, &PhysicalPlan::sequential(&plan), &items)?;
-        let fused_engine = SimLlm::new(ModelProfile::qwen25_7b_instruct());
-        let fused = run_plan(&fused_engine, &PhysicalPlan::fused(&plan), &items)?;
+        let seq_engine = std::sync::Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct()));
+        let seq = run_plan(seq_engine, &PhysicalPlan::sequential(&plan), &items)?;
+        let fused_engine = std::sync::Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct()));
+        let fused = run_plan(fused_engine, &PhysicalPlan::fused(&plan), &items)?;
 
         // Ask the optimizer what it would have chosen, from the observed
         // token profile and selectivity.

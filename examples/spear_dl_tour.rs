@@ -86,10 +86,7 @@ fn main() -> Result<()> {
         report.gens,
         state.context.get("answer_0").unwrap_or_default().render()
     );
-    println!(
-        "fallback note: {}",
-        state.prompts.get("note")?.text
-    );
+    println!("fallback note: {}", state.prompts.get("note")?.text);
     println!(
         "self-diff similarity: {}",
         state

@@ -1,8 +1,12 @@
 # SPEAR task runner. `just check` is the tier-1 gate (see README).
 
-# Run everything CI gates on: release build, tests, strict clippy.
+# Run everything CI gates on: release build, tests, strict clippy, fmt.
 check:
     sh scripts/check.sh
+
+# Reformat the workspace in place (the gate only checks).
+fmt:
+    cargo fmt --all
 
 # Fast feedback loop: debug tests only.
 test:

@@ -7,3 +7,4 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all -- --check

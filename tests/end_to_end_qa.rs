@@ -54,7 +54,12 @@ fn clinical_pipeline_answers_with_grounded_evidence() {
     let mut state = ExecState::new();
     // Stage 1: retrieve and flatten this patient's notes.
     let fetch = Pipeline::builder("fetch")
-        .ret_structured("clinical_notes", patient_filters(&on_drug.patient_id), "notes", 10)
+        .ret_structured(
+            "clinical_notes",
+            patient_filters(&on_drug.patient_id),
+            "notes",
+            10,
+        )
         .build();
     runtime.execute(&fetch, &mut state).unwrap();
     let notes = state.context.get("notes").unwrap();
@@ -103,7 +108,12 @@ fn clinical_pipeline_answers_with_grounded_evidence() {
         answer
     );
     // Delegated evidence check scores high (the answer is extractive).
-    let score = state.context.get("evidence_score").unwrap().as_f64().unwrap();
+    let score = state
+        .context
+        .get("evidence_score")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     assert!(score > 0.8, "evidence score {score}");
     assert!(report.gens >= 1);
 
@@ -173,7 +183,9 @@ fn shadow_execution_keeps_the_primary_clean_across_crates() {
     );
     runtime
         .execute(
-            &Pipeline::builder("base").gen("answer_0", "qa_prompt").build(),
+            &Pipeline::builder("base")
+                .gen("answer_0", "qa_prompt")
+                .build(),
             &mut primary,
         )
         .unwrap();
@@ -213,7 +225,10 @@ fn prompt_based_retrieval_is_refinable_at_runtime() {
             RefAction::Update,
             "replace",
             map([
-                ("find", Value::from("radiology impression pulmonary embolism")),
+                (
+                    "find",
+                    Value::from("radiology impression pulmonary embolism"),
+                ),
                 ("with", Value::from("nursing administered enoxaparin 2100")),
             ]),
             RefinementMode::Manual,

@@ -39,10 +39,10 @@ fn fusion_decision_agrees_with_measured_latency_on_both_sides_of_the_crossover()
     );
     for (selectivity, expect_fuse) in [(0.1, false), (1.0, true)] {
         let corpus = items(120, selectivity);
-        let seq_llm = SimLlm::new(ModelProfile::qwen25_7b_instruct());
-        let seq = run_plan(&seq_llm, &PhysicalPlan::sequential(&plan), &corpus).unwrap();
-        let fused_llm = SimLlm::new(ModelProfile::qwen25_7b_instruct());
-        let fused = run_plan(&fused_llm, &PhysicalPlan::fused(&plan), &corpus).unwrap();
+        let seq_llm = std::sync::Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct()));
+        let seq = run_plan(seq_llm, &PhysicalPlan::sequential(&plan), &corpus).unwrap();
+        let fused_llm = std::sync::Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct()));
+        let fused = run_plan(fused_llm, &PhysicalPlan::fused(&plan), &corpus).unwrap();
 
         let measured_fuse_wins = fused.latency < seq.latency;
         assert_eq!(
@@ -69,6 +69,109 @@ fn fusion_decision_agrees_with_measured_latency_on_both_sides_of_the_crossover()
             decision.fuse, expect_fuse,
             "optimizer decision at selectivity {selectivity}: {}",
             decision.reason
+        );
+    }
+}
+
+#[test]
+fn token_budget_aborts_optimized_plans_with_the_same_error_as_the_tree_walk() {
+    use spear::optimizer::{run_plan_with, to_pipeline, PlanRunOptions};
+    use std::sync::Arc;
+
+    let plan = SemanticPlan::map_then_filter(
+        "Clean up the tweet.",
+        "Classify the sentiment as positive or negative; keep negative.",
+    );
+    let physical = PhysicalPlan::sequential(&plan);
+    let corpus = items(4, 0.5);
+    let config = RuntimeConfig {
+        max_tokens: Some(10),
+        ..RuntimeConfig::default()
+    };
+
+    // The optimized path: run_plan over the lowered IR. The first GEN
+    // crosses the 10-token line, so the gate before the second stage
+    // aborts the item mid-plan.
+    let err = run_plan_with(
+        Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct())),
+        &physical,
+        &corpus,
+        &PlanRunOptions {
+            workers: 1,
+            config: config.clone(),
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, SpearError::TokenBudgetExceeded { .. }),
+        "optimized plan aborts on the runtime's budget: {err}"
+    );
+
+    // The tree-walk path over the same lowered pipeline hits the identical
+    // variant — there is no budget bypass left in the optimizer executor.
+    let rt = Runtime::builder()
+        .llm(Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct())))
+        .config(config)
+        .build();
+    let mut state = ExecState::new();
+    state.context.set("item", corpus[0].clone());
+    let tree_err = rt
+        .execute_tree(&to_pipeline(&physical), &mut state)
+        .unwrap_err();
+    assert!(
+        matches!(tree_err, SpearError::TokenBudgetExceeded { .. }),
+        "tree walk reports the same variant: {tree_err}"
+    );
+}
+
+#[test]
+fn sentiment_workload_traces_are_byte_identical_across_both_executors() {
+    use spear::core::agent::FnAgent;
+    use std::sync::Arc;
+
+    // The paper's sentiment workload, lowered once; each executor gets its
+    // own identically-seeded engine so backend state cannot leak between
+    // the two paths.
+    let plan = SemanticPlan::map_then_filter(
+        "Clean up the tweet.",
+        "Classify the sentiment as positive or negative; keep negative.",
+    )
+    .with_identity("view:tweet_pipeline@1");
+    let pipeline = spear::optimizer::to_pipeline(&PhysicalPlan::sequential(&plan));
+    let lowered = spear::core::lower(&pipeline);
+
+    let verdict = |payload: &Value, _: &Context| {
+        Ok(Value::from(
+            payload
+                .as_str()
+                .unwrap_or_default()
+                .to_lowercase()
+                .starts_with("negative"),
+        ))
+    };
+    let runtime = || {
+        Runtime::builder()
+            .llm(Arc::new(SimLlm::new(ModelProfile::qwen25_7b_instruct())))
+            .agent("plan_filter_verdict", Arc::new(FnAgent(verdict)))
+            .build()
+    };
+    let tree_rt = runtime();
+    let ir_rt = runtime();
+
+    for tweet in items(6, 0.5) {
+        let mut tree_state = ExecState::new();
+        tree_state.context.set("item", tweet.clone());
+        let mut ir_state = ExecState::new();
+        ir_state.context.set("item", tweet.clone());
+
+        let tree_report = tree_rt.execute_tree(&pipeline, &mut tree_state).unwrap();
+        let ir_report = ir_rt.execute_lowered(&lowered, &mut ir_state).unwrap();
+
+        assert_eq!(tree_report, ir_report, "reports diverge on {tweet:?}");
+        assert_eq!(
+            tree_state.trace.to_jsonl().unwrap(),
+            ir_state.trace.to_jsonl().unwrap(),
+            "traces diverge on {tweet:?}"
         );
     }
 }
@@ -217,7 +320,12 @@ fn structured_prompt_cache_warms_the_serving_cache() {
     let rendered_prefix = entry.text.replace("{{ctx:tweet}}", "");
 
     let cache = StructuredPromptCache::new();
-    cache.insert(Some("scaffold"), param_hash(&args), entry.version, rendered_prefix);
+    cache.insert(
+        Some("scaffold"),
+        param_hash(&args),
+        entry.version,
+        rendered_prefix,
+    );
 
     // "Restart": fresh engine, warmed from the structured cache.
     let llm = SimLlm::new(ModelProfile::qwen25_7b_instruct());
@@ -278,7 +386,13 @@ fn meta_optimization_closes_the_loop_end_to_end() {
                 RefinementMode::Manual,
             )
             .gen("answer_0", "qa_prompt")
-            .refine("qa_prompt", RefAction::Update, refiner, args, RefinementMode::Auto)
+            .refine(
+                "qa_prompt",
+                RefAction::Update,
+                refiner,
+                args,
+                RefinementMode::Auto,
+            )
             .gen("answer_1", "qa_prompt")
             // Closing no-op refinement: its ref_log record snapshots the
             // post-regeneration confidence, which is what the miner reads
@@ -296,7 +410,9 @@ fn meta_optimization_closes_the_loop_end_to_end() {
     // Round 1: the harmful refiner runs and the logs record its effect.
     let rt = build_runtime();
     let mut state = ExecState::new();
-    state.context.set("notes", "enoxaparin 40 mg SC daily at 2100");
+    state
+        .context
+        .set("notes", "enoxaparin 40 mg SC daily at 2100");
     rt.execute(&pipeline("hint_stripper", Value::Null), &mut state)
         .unwrap();
     let conf_after_bad = state
@@ -319,20 +435,27 @@ fn meta_optimization_closes_the_loop_end_to_end() {
     }
     let stats = spear::core::meta::analyze_refiners(&state.prompts);
     let stripper = stats.iter().find(|s| s.f_name == "hint_stripper").unwrap();
-    assert!(stripper.avg_gain.unwrap() < 0.0, "logs show the refiner hurts");
+    assert!(
+        stripper.avg_gain.unwrap() < 0.0,
+        "logs show the refiner hurts"
+    );
 
     // Also measure the substitute once so the optimizer has evidence for it.
     let mut s3 = ExecState::new();
     s3.context.set("notes", "enoxaparin 40 mg SC daily at 2100");
     rt.execute(
-        &pipeline("append", Value::from("Think step by step about the timing.")),
+        &pipeline(
+            "append",
+            Value::from("Think step by step about the timing."),
+        ),
         &mut s3,
     )
     .unwrap();
     for i in 0..2 {
-        state
-            .prompts
-            .insert(format!("append-run-{i}"), s3.prompts.get("qa_prompt").unwrap());
+        state.prompts.insert(
+            format!("append-run-{i}"),
+            s3.prompts.get("qa_prompt").unwrap(),
+        );
     }
     let stats = spear::core::meta::analyze_refiners(&state.prompts);
 
@@ -345,17 +468,16 @@ fn meta_optimization_closes_the_loop_end_to_end() {
             args: Value::from("Think step by step about the timing."),
         }],
     };
-    let (better, applied) = meta_opt::replace_underperformers(
-        &pipeline("hint_stripper", Value::Null),
-        &stats,
-        &config,
-    );
+    let (better, applied) =
+        meta_opt::replace_underperformers(&pipeline("hint_stripper", Value::Null), &stats, &config);
     assert_eq!(applied.len(), 1);
     assert_eq!(applied[0].to, "append");
 
     let rt2 = build_runtime();
     let mut state2 = ExecState::new();
-    state2.context.set("notes", "enoxaparin 40 mg SC daily at 2100");
+    state2
+        .context
+        .set("notes", "enoxaparin 40 mg SC daily at 2100");
     rt2.execute(&better, &mut state2).unwrap();
     let conf_after_good = state2
         .metadata

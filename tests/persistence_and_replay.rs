@@ -140,7 +140,10 @@ fn rollback_then_replay_is_consistent() {
     assert_eq!(entry.version, 3, "rollback appends rather than erases");
     replay::verify(&entry).unwrap();
     // The regressed state is still replayable for post-mortems.
-    assert_eq!(replay::replay_to(&entry, 2).unwrap().text, "regressed version");
+    assert_eq!(
+        replay::replay_to(&entry, 2).unwrap().text,
+        "regressed version"
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! line-accurate diagnostics) and `ExecState::deep_clone` independence.
 
 use spear::core::prelude::*;
-use spear::core::SpearError;
 use spear::core::trace::Trace;
+use spear::core::SpearError;
 
 fn sample_trace() -> Trace {
     let mut t = Trace::new();
@@ -22,7 +22,12 @@ fn sample_trace() -> Trace {
             ("latency_us", Value::from(1500)),
         ]),
     );
-    t.record(2, TraceKind::PipelineEnd, "pipeline \"p\"".into(), Value::Null);
+    t.record(
+        2,
+        TraceKind::PipelineEnd,
+        "pipeline \"p\"".into(),
+        Value::Null,
+    );
     t
 }
 
@@ -130,7 +135,10 @@ fn deep_clone_is_fully_independent() {
     assert!(original.context.get("extra").is_none());
     let entry = original.prompts.get("p").unwrap();
     assert_eq!(entry.text, "original prompt text");
-    assert_eq!(entry.version, 1, "clone's refine must not bump the original");
+    assert_eq!(
+        entry.version, 1,
+        "clone's refine must not bump the original"
+    );
     assert_eq!(
         original.metadata.get("confidence:answer"),
         Some(Value::from(0.9))

@@ -54,10 +54,7 @@ pub mod test_runner {
         }
 
         pub fn next_u64(&mut self) -> u64 {
-            let result = self.s[1]
-                .wrapping_mul(5)
-                .rotate_left(7)
-                .wrapping_mul(9);
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
@@ -198,10 +195,7 @@ pub mod strategy {
                 let leaf_weight = 1 + level;
                 cur = BoxedStrategy {
                     inner: Rc::new(WeightedUnion {
-                        options: vec![
-                            (leaf_weight, cur.clone()),
-                            (1, recurse(cur).boxed()),
-                        ],
+                        options: vec![(leaf_weight, cur.clone()), (1, recurse(cur).boxed())],
                     }),
                 };
             }
@@ -417,9 +411,16 @@ mod pattern {
     enum Node {
         Literal(char),
         /// Sorted candidate set (positive classes) or excluded set (negated).
-        Class { chars: Vec<char>, negated: bool },
+        Class {
+            chars: Vec<char>,
+            negated: bool,
+        },
         Group(Vec<Node>),
-        Repeat { node: Box<Node>, min: u32, max: u32 },
+        Repeat {
+            node: Box<Node>,
+            min: u32,
+            max: u32,
+        },
     }
 
     /// Printable ASCII universe used for negated classes and `.`.
@@ -609,8 +610,7 @@ mod pattern {
             Node::Literal(c) => out.push(*c),
             Node::Class { chars, negated } => {
                 if *negated {
-                    let candidates: Vec<char> =
-                        universe().filter(|c| !chars.contains(c)).collect();
+                    let candidates: Vec<char> = universe().filter(|c| !chars.contains(c)).collect();
                     let i = rng.below(candidates.len() as u64) as usize;
                     out.push(candidates[i]);
                 } else {

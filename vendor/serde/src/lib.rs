@@ -154,13 +154,11 @@ pub mod ser {
 ///
 /// Propagates field deserialization errors; absent fields go through
 /// [`Deserialize::deserialize_missing`].
-pub fn __field<T: Deserialize>(
-    entries: &[(String, Content)],
-    name: &str,
-) -> Result<T, DeError> {
+pub fn __field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Result<T, DeError> {
     match entries.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => T::deserialize_content(v)
-            .map_err(|e| DeError::custom(format!("field `{name}`: {e}"))),
+        Some((_, v)) => {
+            T::deserialize_content(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+        }
         None => T::deserialize_missing(name),
     }
 }
@@ -374,7 +372,10 @@ impl Serialize for std::time::Duration {
         // Mirrors upstream serde's {secs, nanos} struct representation.
         Content::Map(vec![
             ("secs".to_string(), Content::U64(self.as_secs())),
-            ("nanos".to_string(), Content::U64(self.subsec_nanos() as u64)),
+            (
+                "nanos".to_string(),
+                Content::U64(self.subsec_nanos() as u64),
+            ),
         ])
     }
 }

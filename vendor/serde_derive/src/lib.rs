@@ -22,7 +22,10 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match Item::parse(input) {
-        Ok(item) => item.serialize_impl().parse().expect("generated code parses"),
+        Ok(item) => item
+            .serialize_impl()
+            .parse()
+            .expect("generated code parses"),
         Err(msg) => compile_error(&msg),
     }
 }
@@ -31,13 +34,18 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match Item::parse(input) {
-        Ok(item) => item.deserialize_impl().parse().expect("generated code parses"),
+        Ok(item) => item
+            .deserialize_impl()
+            .parse()
+            .expect("generated code parses"),
         Err(msg) => compile_error(&msg),
     }
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("literal parses")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -294,8 +302,7 @@ impl Item {
                     payload_arms.push_str(&format!("{vname:?} => {expr},\n"));
                 }
                 VariantShape::Struct(fields) => {
-                    let inner =
-                        de_named_fields_from(ty, fields, &format!("Self::{vname}"), "__v");
+                    let inner = de_named_fields_from(ty, fields, &format!("Self::{vname}"), "__v");
                     payload_arms.push_str(&format!("{vname:?} => {{ {inner} }}\n"));
                 }
             }
@@ -344,8 +351,7 @@ impl Item {
                     ));
                 }
                 VariantShape::Struct(fields) => {
-                    let inner =
-                        de_named_fields_from(ty, fields, &format!("Self::{vname}"), "__c");
+                    let inner = de_named_fields_from(ty, fields, &format!("Self::{vname}"), "__c");
                     tries.push_str(&format!(
                         "if let ::std::result::Result::Ok(__ok) = \
                              (|| -> ::std::result::Result<Self, ::serde::DeError> {{ {inner} }})() {{\n\
@@ -365,9 +371,7 @@ impl Item {
 
 /// `Content::Map(vec![("Tag", inner)])`.
 fn tag_map(tag: &str, inner: &str) -> String {
-    format!(
-        "::serde::Content::Map(::std::vec![(::std::string::String::from({tag:?}), {inner})])"
-    )
+    format!("::serde::Content::Map(::std::vec![(::std::string::String::from({tag:?}), {inner})])")
 }
 
 /// Serialize named fields (struct body or struct-variant body).
@@ -382,10 +386,7 @@ fn ser_named_fields_body(fields: &[String], access: &str, _unused: &str) -> Stri
             )
         })
         .collect();
-    format!(
-        "::serde::Content::Map(::std::vec![{}])",
-        entries.join(", ")
-    )
+    format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
 }
 
 /// Deserialize named fields from the top-level content `__c`.
@@ -483,8 +484,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             continue; // trailing comma
         }
         // Visibility.
-        if matches!(&field_tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub")
-        {
+        if matches!(&field_tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
             i += 1;
             if matches!(&field_tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
             {

@@ -56,7 +56,11 @@ impl fmt::Display for Error {
         if self.line == 0 {
             write!(f, "{}", self.msg)
         } else {
-            write!(f, "{} at line {} column {}", self.msg, self.line, self.column)
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.msg, self.line, self.column
+            )
         }
     }
 }
@@ -219,10 +223,7 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(other) => Err(self.error(format!(
-                "unexpected character `{}`",
-                other as char
-            ))),
+            Some(other) => Err(self.error(format!("unexpected character `{}`", other as char))),
             None => Err(self.error("unexpected end of input")),
         }
     }
@@ -318,13 +319,9 @@ impl<'a> Parser<'a> {
                                     self.expect(b'u')?;
                                     let low = self.hex4()?;
                                     if !(0xDC00..0xE000).contains(&low) {
-                                        return Err(
-                                            self.error("invalid low surrogate")
-                                        );
+                                        return Err(self.error("invalid low surrogate"));
                                     }
-                                    let c = 0x10000
-                                        + ((cp - 0xD800) << 10)
-                                        + (low - 0xDC00);
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                     char::from_u32(c)
                                         .ok_or_else(|| self.error("invalid codepoint"))?
                                 } else {
@@ -333,8 +330,7 @@ impl<'a> Parser<'a> {
                             } else if (0xDC00..0xE000).contains(&cp) {
                                 return Err(self.error("unpaired surrogate"));
                             } else {
-                                char::from_u32(cp)
-                                    .ok_or_else(|| self.error("invalid codepoint"))?
+                                char::from_u32(cp).ok_or_else(|| self.error("invalid codepoint"))?
                             };
                             out.push(ch);
                             continue; // hex4 advanced past the digits
@@ -343,9 +339,7 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(b) if b < 0x20 => {
-                    return Err(self.error("control character in string"))
-                }
+                Some(b) if b < 0x20 => return Err(self.error("control character in string")),
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so the
                     // bytes are valid UTF-8).
@@ -366,8 +360,7 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.error("invalid \\u escape"))?;
-        let cp = u32::from_str_radix(hex, 16)
-            .map_err(|_| self.error("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
         self.pos = end;
         Ok(cp)
     }
@@ -410,8 +403,7 @@ impl<'a> Parser<'a> {
                 return Err(self.error("expected exponent digits"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits are ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
         if is_float {
             text.parse::<f64>()
                 .map(Content::F64)
