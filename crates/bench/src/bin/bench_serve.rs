@@ -1,0 +1,99 @@
+//! Serving-layer affinity sweep, emitting `BENCH_serve.json`.
+//!
+//! Usage:
+//! `cargo run --release -p spear-bench --bin bench_serve [-- --n 384 --seed 140 --families 6 --out BENCH_serve.json]`
+//!
+//! Serves the same seeded open-loop workload with cache-affinity routing
+//! on and off at each lane count. Acceptance: affinity routing must lift
+//! the prefix-cache hit rate, and traces must be identical across lane
+//! counts for a fixed affinity setting.
+
+use spear_bench::report::{f, Table};
+use spear_bench::serve_bench::{run, ServeBenchConfig};
+
+fn arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let mut config = ServeBenchConfig::default();
+    config.load.requests = arg("--n", config.load.requests as u64) as usize;
+    config.load.seed = arg("--seed", config.load.seed);
+    config.load.families = arg("--families", config.load.families as u64) as usize;
+    let out_path = arg_str("--out", "BENCH_serve.json");
+    eprintln!(
+        "bench_serve: {} requests, {} families, seed {}, lanes {:?}, model {} (simulated)",
+        config.load.requests,
+        config.load.families,
+        config.load.seed,
+        config.lane_counts,
+        config.profile.name
+    );
+    let report = run(&config);
+
+    let mut table = Table::new(&[
+        "Lanes",
+        "Affinity",
+        "Completed",
+        "Rejected",
+        "Hit (%)",
+        "Int Hit (%)",
+        "Batch Hit (%)",
+        "Int p99 (ms)",
+        "Makespan (s)",
+        "Fingerprint",
+    ]);
+    for r in &report.rows {
+        table.row(vec![
+            r.lanes.to_string(),
+            if r.affinity { "on" } else { "off" }.to_string(),
+            r.completed.to_string(),
+            r.rejected.to_string(),
+            f(r.cache_hit_pct, 1),
+            f(r.interactive_hit_pct, 1),
+            f(r.batch_hit_pct, 1),
+            f(r.interactive_p99_ms, 1),
+            f(r.makespan_s, 2),
+            r.trace_fingerprint.clone(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "affinity hit-rate lift: {:+.1} points (mean over lane counts); \
+         deterministic across lane counts: {}",
+        report.affinity_lift_pct, report.deterministic
+    );
+
+    let json = serde_json::to_string(&report).expect("serializable report");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+
+    if !report.deterministic {
+        eprintln!(
+            "FAIL: trace fingerprints differ across lane counts — determinism invariant violated"
+        );
+        std::process::exit(1);
+    }
+    if report.affinity_lift_pct <= 0.0 {
+        eprintln!(
+            "FAIL: acceptance requires a higher cache hit rate with affinity \
+             routing on than off, got {:+.1} points",
+            report.affinity_lift_pct
+        );
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,7 @@
 //! | `ablation_views` | view-guided refinement vs from-scratch prompts |
 //! | `ablation_predictive` | predictive vs reactive refinement |
 //! | `bench_batch` | concurrent batch-executor throughput sweep (`BENCH_batch.json`) |
+//! | `bench_serve` | serving-layer affinity-routing sweep (`BENCH_serve.json`) |
 //!
 //! All runs are deterministic (seeded corpus, seeded task model, virtual
 //! clock); re-running a binary reproduces the numbers bit-for-bit.
@@ -25,5 +26,6 @@ pub mod ablations;
 pub mod batch_bench;
 pub mod fusion_exp;
 pub mod report;
+pub mod serve_bench;
 pub mod table3;
 pub mod workload;

@@ -1,0 +1,227 @@
+//! Serving-layer benchmark (`bench_serve`): cache-affinity routing on vs
+//! off under the same seeded open-loop workload.
+//!
+//! For each lane count the same generated request stream is served twice —
+//! once with affinity routing (same prompt family ⇒ same cache owner and
+//! lane) and once with isolated round-robin placement — on a fresh engine
+//! each time. The contrast the acceptance gate checks: affinity routing
+//! must convert the workload's shared instruction prefixes into a higher
+//! prefix-cache hit rate. The trace fingerprint column additionally
+//! witnesses the determinism invariant: for a fixed affinity setting, the
+//! fingerprint is identical at every lane count.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use spear_core::llm::LlmClient;
+use spear_core::runtime::Runtime;
+use spear_llm::{EngineConfig, ModelProfile, SimLlm};
+use spear_serve::prelude::*;
+
+/// Configuration for the serving benchmark.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Workload shape (seed, request count, families, arrival process).
+    pub load: LoadGenConfig,
+    /// Engine seed and model.
+    pub profile: ModelProfile,
+    /// Lane counts to sweep.
+    pub lane_counts: Vec<usize>,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        Self {
+            load: LoadGenConfig {
+                seed: 140,
+                requests: 384,
+                families: 6,
+                mean_interarrival_us: 30_000,
+                interactive_fraction: 0.6,
+                interactive_deadline_us: None,
+            },
+            profile: ModelProfile::qwen25_7b_instruct(),
+            lane_counts: vec![1, 4, 8],
+        }
+    }
+}
+
+/// One served configuration.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServeRow {
+    /// Worker lanes.
+    pub lanes: usize,
+    /// Whether affinity routing was on.
+    pub affinity: bool,
+    /// Requests completed (all classes).
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Prompt-token cache hit rate, percent (completed requests).
+    pub cache_hit_pct: f64,
+    /// Interactive-class hit rate, percent.
+    pub interactive_hit_pct: f64,
+    /// Batch-class hit rate, percent.
+    pub batch_hit_pct: f64,
+    /// Interactive p99 end-to-end virtual latency, ms.
+    pub interactive_p99_ms: f64,
+    /// Virtual makespan, seconds.
+    pub makespan_s: f64,
+    /// Host-side elapsed seconds (informational, machine-dependent).
+    pub host_wall_s: f64,
+    /// Order-canonical fingerprint over statuses and trace digests.
+    pub trace_fingerprint: String,
+    /// Full metrics snapshot.
+    pub report: ServeReport,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServeBenchReport {
+    /// Workload description.
+    pub workload: String,
+    /// Requests per configuration.
+    pub requests: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Whether, per affinity setting, every lane count produced the same
+    /// trace fingerprint.
+    pub deterministic: bool,
+    /// Mean hit-rate lift of affinity routing over isolated placement,
+    /// in percentage points, averaged over lane counts.
+    pub affinity_lift_pct: f64,
+    /// One row per (lane count, affinity setting).
+    pub rows: Vec<ServeRow>,
+}
+
+fn serve_once(config: &ServeBenchConfig, lanes: usize, affinity: bool) -> ServeRow {
+    let workload = spear_serve::generate(&config.load);
+    let engine = Arc::new(SimLlm::with_config(
+        config.profile.clone(),
+        EngineConfig {
+            seed: config.load.seed,
+            ..EngineConfig::default()
+        },
+    ));
+    let runtime = Runtime::builder()
+        .llm(Arc::clone(&engine) as Arc<dyn LlmClient>)
+        .views(workload.views.clone())
+        .build();
+    let node = ServeNode::new(ServeConfig {
+        lanes,
+        quantum: 4,
+        affinity_routing: affinity,
+        admission: AdmissionConfig::default(),
+    });
+    let started = Instant::now();
+    let run = node.run(&runtime, Some(&engine), workload.requests);
+    let host_wall_s = started.elapsed().as_secs_f64();
+    let report = run.report;
+    ServeRow {
+        lanes,
+        affinity,
+        completed: report.interactive.completed + report.batch.completed,
+        rejected: report.interactive.rejected + report.batch.rejected,
+        cache_hit_pct: report.cache_hit_rate().unwrap_or(0.0) * 100.0,
+        interactive_hit_pct: report.interactive.cache_hit_rate().unwrap_or(0.0) * 100.0,
+        batch_hit_pct: report.batch.cache_hit_rate().unwrap_or(0.0) * 100.0,
+        interactive_p99_ms: report.interactive.e2e_us.p99.unwrap_or(0) as f64 / 1_000.0,
+        makespan_s: report.makespan_us as f64 / 1e6,
+        host_wall_s,
+        trace_fingerprint: format!("{:016x}", report.trace_fingerprint),
+        report,
+    }
+}
+
+/// Run the sweep: every lane count, affinity on and off.
+#[must_use]
+pub fn run(config: &ServeBenchConfig) -> ServeBenchReport {
+    let mut rows = Vec::with_capacity(config.lane_counts.len() * 2);
+    for &lanes in &config.lane_counts {
+        for affinity in [true, false] {
+            rows.push(serve_once(config, lanes, affinity));
+        }
+    }
+
+    let fingerprint_invariant = |affinity: bool| -> bool {
+        let mut prints = rows
+            .iter()
+            .filter(|r| r.affinity == affinity)
+            .map(|r| &r.trace_fingerprint);
+        match prints.next() {
+            Some(first) => prints.all(|p| p == first),
+            None => true,
+        }
+    };
+    let deterministic = fingerprint_invariant(true) && fingerprint_invariant(false);
+
+    let lifts: Vec<f64> = config
+        .lane_counts
+        .iter()
+        .filter_map(|&lanes| {
+            let on = rows.iter().find(|r| r.lanes == lanes && r.affinity)?;
+            let off = rows.iter().find(|r| r.lanes == lanes && !r.affinity)?;
+            Some(on.cache_hit_pct - off.cache_hit_pct)
+        })
+        .collect();
+    let affinity_lift_pct = if lifts.is_empty() {
+        0.0
+    } else {
+        lifts.iter().sum::<f64>() / lifts.len() as f64
+    };
+
+    ServeBenchReport {
+        workload: format!(
+            "open-loop Poisson arrivals, {} requests over {} prompt families",
+            config.load.requests, config.load.families
+        ),
+        requests: config.load.requests,
+        seed: config.load.seed,
+        deterministic,
+        affinity_lift_pct,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ServeBenchConfig {
+        ServeBenchConfig {
+            load: LoadGenConfig {
+                requests: 48,
+                families: 3,
+                ..ServeBenchConfig::default().load
+            },
+            lane_counts: vec![1, 4],
+            ..ServeBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn affinity_lifts_hit_rate_and_fingerprints_are_lane_invariant() {
+        let report = run(&small());
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.deterministic, "fingerprints must match across lanes");
+        assert!(
+            report.affinity_lift_pct > 20.0,
+            "affinity routing should lift hit rate by >20 points, got {:.1}",
+            report.affinity_lift_pct
+        );
+        for row in &report.rows {
+            assert_eq!(row.completed, 48, "no shedding at this load");
+        }
+    }
+
+    #[test]
+    fn rerunning_reproduces_the_report() {
+        let a = run(&small());
+        let b = run(&small());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.trace_fingerprint, y.trace_fingerprint);
+            assert_eq!(x.makespan_s, y.makespan_s);
+            assert_eq!(x.cache_hit_pct, y.cache_hit_pct);
+        }
+    }
+}

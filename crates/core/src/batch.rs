@@ -82,6 +82,24 @@ impl HasState for (Arc<LoweredPlan>, ExecState) {
     }
 }
 
+/// A batch job with explicit placement: which worker lane runs it and
+/// which cache-owner group it charges its prefix-cache state to. Built by
+/// schedulers (e.g. `spear-serve`) that route jobs for cache affinity
+/// instead of round-robin striping.
+#[derive(Debug)]
+pub struct AssignedJob {
+    /// Worker lane (wraps modulo the runner's worker count). All jobs of
+    /// one owner group must share a lane for deterministic cache reuse.
+    pub lane: usize,
+    /// Cache-owner id (see [`crate::scope`]). Jobs sharing an owner see
+    /// each other's prefix-cache insertions.
+    pub owner: u64,
+    /// The lowered plan to execute.
+    pub plan: Arc<LoweredPlan>,
+    /// The job's private execution state.
+    pub state: ExecState,
+}
+
 /// Executes batches of independent pipeline instances on a worker pool.
 #[derive(Debug)]
 pub struct BatchRunner {
@@ -180,6 +198,73 @@ impl BatchRunner {
                 .collect();
             for handle in handles {
                 let produced = handle.join().expect("batch worker panicked");
+                for (index, result) in produced {
+                    slots[index] = Some(result);
+                }
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job index is assigned exactly once"))
+            .collect()
+    }
+
+    /// Execute lowered-plan jobs with **caller-chosen lane and owner
+    /// placement** — the serving layer's entry point for cache-affinity
+    /// routing.
+    ///
+    /// Where [`BatchRunner::run`] stripes jobs round-robin and allocates a
+    /// fresh owner per job (full isolation), `run_assigned` lets the caller
+    /// pin each job to a worker lane and cache-owner group: jobs that share
+    /// an owner *and* a lane execute sequentially in submission order on
+    /// one thread, so they observe each other's prefix-cache insertions
+    /// deterministically — the mechanism behind affinity routing
+    /// (`spear-serve`). The caller owns the invariant that same-owner jobs
+    /// share a lane; violating it forfeits determinism, not safety.
+    ///
+    /// One scoped thread is spawned per distinct lane in use (never more
+    /// than the runner's worker count; lanes wrap modulo it). Outcomes come
+    /// back in submission order. Empty input returns immediately without
+    /// spawning any threads.
+    pub fn run_assigned(
+        &self,
+        runtime: &Runtime,
+        jobs: Vec<AssignedJob>,
+    ) -> Vec<Result<BatchOutcome>> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let lanes = self.workers;
+        let mut per_lane: Vec<Vec<(usize, AssignedJob)>> = (0..lanes).map(|_| Vec::new()).collect();
+        for (index, job) in jobs.into_iter().enumerate() {
+            per_lane[job.lane % lanes].push((index, job));
+        }
+
+        let mut slots: Vec<Option<Result<BatchOutcome>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = per_lane
+                .into_iter()
+                .enumerate()
+                .filter(|(_, assigned)| !assigned.is_empty())
+                .map(|(lane, assigned)| {
+                    s.spawn(move || {
+                        let mut produced = Vec::with_capacity(assigned.len());
+                        for (index, mut job) in assigned {
+                            let _scope = scope::enter(job.owner, lane);
+                            let mut state = std::mem::take(&mut job.state);
+                            let result = runtime
+                                .execute_lowered(&job.plan, &mut state)
+                                .map(|report| BatchOutcome { report, state });
+                            produced.push((index, result));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let produced = handle.join().expect("assigned worker panicked");
                 for (index, result) in produced {
                     slots[index] = Some(result);
                 }
@@ -302,6 +387,71 @@ mod tests {
         let rt = runtime();
         let runner = BatchRunner::new(8);
         assert!(runner.run(&rt, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn empty_input_does_no_work_on_any_entry_point() {
+        // Regression: an empty submission must return an empty result
+        // before any owner allocation or thread spawn. The owner counter
+        // staying untouched is the observable witness that the early
+        // return fired.
+        let rt = runtime();
+        let runner = BatchRunner::new(8);
+        let before = runner.next_owner.load(Ordering::Relaxed);
+        assert!(runner.run(&rt, Vec::new()).is_empty());
+        assert!(runner.run_states(&rt, &pipeline(), Vec::new()).is_empty());
+        let plan = Arc::new(crate::plan::lower(&pipeline()));
+        assert!(runner.run_lowered(&rt, &plan, Vec::new()).is_empty());
+        assert!(runner.run_assigned(&rt, Vec::new()).is_empty());
+        assert_eq!(
+            runner.next_owner.load(Ordering::Relaxed),
+            before,
+            "empty batches must not consume owner ids"
+        );
+    }
+
+    #[test]
+    fn assigned_jobs_share_lanes_and_keep_submission_order() {
+        let rt = runtime();
+        let plan = Arc::new(crate::plan::lower(&pipeline()));
+        let runner = BatchRunner::new(4);
+        let jobs: Vec<AssignedJob> = (0..9)
+            .map(|i| AssignedJob {
+                lane: i % 3,
+                owner: 1000 + (i % 3) as u64,
+                plan: Arc::clone(&plan),
+                state: state(i),
+            })
+            .collect();
+        let outcomes = runner.run_assigned(&rt, jobs);
+        assert_eq!(outcomes.len(), 9);
+        for (i, o) in outcomes.iter().enumerate() {
+            let o = o.as_ref().expect("job succeeds");
+            let Value::Str(text) = o.state.context.get("a").expect("generated") else {
+                panic!("string answer")
+            };
+            assert!(
+                text.contains(&format!("question number {i}")),
+                "slot {i} holds its own job's output: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn assigned_lanes_wrap_modulo_worker_count() {
+        let rt = runtime();
+        let plan = Arc::new(crate::plan::lower(&pipeline()));
+        let runner = BatchRunner::new(2);
+        let jobs: Vec<AssignedJob> = (0..4)
+            .map(|i| AssignedJob {
+                lane: 7, // all wrap onto lane 7 % 2 == 1
+                owner: 50,
+                plan: Arc::clone(&plan),
+                state: state(i),
+            })
+            .collect();
+        let outcomes = runner.run_assigned(&rt, jobs);
+        assert!(outcomes.iter().all(std::result::Result::is_ok));
     }
 
     #[test]

@@ -90,6 +90,16 @@ pub enum SpearError {
         /// Accumulated latency when the budget tripped, µs.
         used_us: u64,
     },
+    /// Execution was cooperatively cancelled between operators — either an
+    /// external [`crate::cancel::CancelToken`] tripped, or the state's
+    /// per-request virtual deadline passed (serving-layer timeouts).
+    Cancelled {
+        /// Why the execution was cancelled (e.g. `"deadline"`).
+        reason: String,
+        /// Accumulated virtual latency (µs) when the cancellation was
+        /// observed.
+        after_us: u64,
+    },
     /// Replay input was inconsistent with the recorded history.
     Replay(String),
     /// A persisted trace (JSON Lines) failed to parse.
@@ -154,6 +164,11 @@ impl fmt::Display for SpearError {
                 "latency budget exceeded: used {:.1} ms of {:.1} ms",
                 *used_us as f64 / 1e3,
                 *limit_us as f64 / 1e3
+            ),
+            SpearError::Cancelled { reason, after_us } => write!(
+                f,
+                "execution cancelled ({reason}) after {:.1} ms of virtual time",
+                *after_us as f64 / 1e3
             ),
             SpearError::Replay(e) => write!(f, "replay error: {e}"),
             SpearError::TraceParse { line, reason } => {

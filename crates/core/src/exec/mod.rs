@@ -96,6 +96,30 @@ impl CallLimits {
     }
 }
 
+/// Per-state cancellation signals, checked between operators (cooperative
+/// cancellation): an external [`crate::cancel::CancelToken`] and the
+/// state's virtual deadline. Both depend only on the job's own state —
+/// never on wall time — so cancellation points are deterministic.
+fn check_cancelled(state: &ExecState) -> Result<()> {
+    if let Some(token) = &state.cancel {
+        if token.is_cancelled() {
+            return Err(SpearError::Cancelled {
+                reason: token.reason().to_string(),
+                after_us: state.metadata.latency_us,
+            });
+        }
+    }
+    if let Some(deadline_us) = state.deadline_us {
+        if state.metadata.latency_us > deadline_us {
+            return Err(SpearError::Cancelled {
+                reason: "deadline".to_string(),
+                after_us: state.metadata.latency_us,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// The pre-operator gate: op budget, call limits, step advance. Gate
 /// failures are *not* recorded against the operator (it never ran) — only
 /// enclosing CHECK frames log them during unwind.
@@ -105,6 +129,7 @@ fn gate(rt: &Runtime, state: &mut ExecState, budget: &mut u64, limits: &CallLimi
             limit: rt.config.max_ops,
         });
     }
+    check_cancelled(state)?;
     limits.check(state)?;
     *budget -= 1;
     state.step += 1;

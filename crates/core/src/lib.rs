@@ -75,6 +75,7 @@
 
 pub mod agent;
 pub mod batch;
+pub mod cancel;
 pub mod condition;
 pub mod context;
 pub mod diff;
@@ -102,7 +103,8 @@ pub mod validate;
 pub mod value;
 pub mod view;
 
-pub use batch::{BatchJob, BatchOutcome, BatchRunner};
+pub use batch::{AssignedJob, BatchJob, BatchOutcome, BatchRunner};
+pub use cancel::CancelToken;
 pub use condition::{CmpOp, Cond, Operand};
 pub use context::Context;
 pub use error::{Result, SpearError};
@@ -123,7 +125,8 @@ pub use view::{ParamSpec, ViewCatalog, ViewDef};
 /// Convenient glob-import of the most-used types.
 pub mod prelude {
     pub use crate::agent::{Agent, AgentRegistry, FnAgent};
-    pub use crate::batch::{BatchJob, BatchOutcome, BatchRunner};
+    pub use crate::batch::{AssignedJob, BatchJob, BatchOutcome, BatchRunner};
+    pub use crate::cancel::CancelToken;
     pub use crate::condition::{CmpOp, Cond, Operand};
     pub use crate::context::Context;
     pub use crate::error::{Result, SpearError};

@@ -28,8 +28,10 @@
 use serde::{Deserialize, Serialize};
 
 use crate::condition::Cond;
-use crate::ops::Op;
+use crate::history::RefAction;
+use crate::ops::{Op, PromptRef};
 use crate::pipeline::Pipeline;
+use crate::value::Value;
 
 /// One instruction of the lowered IR.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -99,6 +101,77 @@ impl LoweredPlan {
             out.push_str(&format!("  {pc:04}  {}\n", op.describe()));
         }
         out
+    }
+
+    /// The plan's **cache-affinity key**: a stable identity for the prompt
+    /// prefix its first generation will prefill, or `None` when the plan
+    /// only uses opaque ad-hoc prompts.
+    ///
+    /// Two plans with equal affinity keys render prompts that share a
+    /// prefix (same view + parameters, or same base text), so a serving
+    /// layer that routes them to the same cache stripe and worker lane
+    /// maximizes radix-tree prefix reuse — the scheduling analogue of the
+    /// engine's "structure gates caching" rule. The key is derived from the
+    /// same structured identities the prefix cache keys on
+    /// ([`crate::prompt::PromptEntry::cache_identity`]):
+    ///
+    /// - the first `REF[CREATE, from_view]` instruction →
+    ///   `view:{name}#{param_hash:x}`,
+    /// - else the first GEN over an inline view or an identity-carrying
+    ///   lowered template → that identity,
+    /// - else the first `REF[CREATE, set_text]` → `text:{fnv1a(text):x}`
+    ///   (identical base texts share a prefix even without a view),
+    /// - else `None`: nothing about the plan predicts prefix reuse.
+    #[must_use]
+    pub fn affinity_key(&self) -> Option<String> {
+        for instr in &self.ops {
+            let LoweredOp::Leaf { op, .. } = instr else {
+                continue;
+            };
+            match op {
+                Op::Ref {
+                    action: RefAction::Create,
+                    refiner,
+                    args,
+                    ..
+                } if refiner == "from_view" => {
+                    let name = args.path("view")?.as_str()?.to_string();
+                    let params = match args.path("args") {
+                        Some(Value::Map(m)) => crate::view::param_hash(m),
+                        _ => crate::view::param_hash(&std::collections::BTreeMap::new()),
+                    };
+                    return Some(format!("view:{name}#{params:x}"));
+                }
+                Op::Ref {
+                    action: RefAction::Create,
+                    refiner,
+                    args,
+                    ..
+                } if refiner == "set_text" => {
+                    let text = args.as_str()?;
+                    return Some(format!(
+                        "text:{:x}",
+                        spear_kv::shard::fnv1a(text.as_bytes())
+                    ));
+                }
+                Op::Gen { prompt, .. } => match prompt {
+                    PromptRef::View { name, args } => {
+                        return Some(format!("view:{name}#{:x}", crate::view::param_hash(args)));
+                    }
+                    PromptRef::Lowered {
+                        identity: Some(id), ..
+                    } => return Some(id.clone()),
+                    PromptRef::Lowered { identity: None, .. } | PromptRef::Inline(_) => {
+                        return None;
+                    }
+                    // A key reference resolves to whatever an earlier REF
+                    // created; keep scanning (the creating REF precedes it).
+                    PromptRef::Key(_) => {}
+                },
+                _ => {}
+            }
+        }
+        None
     }
 }
 
@@ -259,6 +332,106 @@ mod tests {
             panic!("inner check at 1")
         };
         assert_eq!(frames, &["CHECK[true]".to_string()]);
+    }
+
+    #[test]
+    fn affinity_key_comes_from_the_creating_view() {
+        let args: std::collections::BTreeMap<String, Value> =
+            [("topic".to_string(), Value::from("school"))]
+                .into_iter()
+                .collect();
+        let p = Pipeline::builder("aff")
+            .create_from_view("p", "tweet_filter", args.clone())
+            .gen("a", "p")
+            .build();
+        let key = lower(&p)
+            .affinity_key()
+            .expect("view-derived plans have a key");
+        assert_eq!(
+            key,
+            format!("view:tweet_filter#{:x}", crate::view::param_hash(&args))
+        );
+
+        // Same view, same params, different per-request context => same key.
+        let q = Pipeline::builder("aff2")
+            .create_from_view("p", "tweet_filter", args.clone())
+            .gen("a", "p")
+            .build();
+        assert_eq!(lower(&q).affinity_key().as_deref(), Some(key.as_str()));
+
+        // Different params land in a different affinity group.
+        let other: std::collections::BTreeMap<String, Value> =
+            [("topic".to_string(), Value::from("weather"))]
+                .into_iter()
+                .collect();
+        let r = Pipeline::builder("aff3")
+            .create_from_view("p", "tweet_filter", other)
+            .gen("a", "p")
+            .build();
+        assert_ne!(lower(&r).affinity_key(), Some(key));
+    }
+
+    #[test]
+    fn affinity_key_falls_back_to_base_text_and_opaque_is_none() {
+        let a = Pipeline::builder("t1")
+            .create_text("p", "shared base text", RefinementMode::Manual)
+            .gen("a", "p")
+            .build();
+        let b = Pipeline::builder("t2")
+            .create_text("p", "shared base text", RefinementMode::Manual)
+            .gen("a", "p")
+            .build();
+        let c = Pipeline::builder("t3")
+            .create_text("p", "a different base", RefinementMode::Manual)
+            .gen("a", "p")
+            .build();
+        let ka = lower(&a).affinity_key().unwrap();
+        assert!(ka.starts_with("text:"));
+        assert_eq!(lower(&b).affinity_key().unwrap(), ka);
+        assert_ne!(lower(&c).affinity_key().unwrap(), ka);
+
+        // A purely inline GEN has no structured identity: no key.
+        let opaque = Pipeline::builder("op")
+            .gen_with(
+                "a",
+                PromptRef::Inline("ad hoc {{ctx:q}}".into()),
+                crate::llm::GenOptions::default(),
+            )
+            .build();
+        assert_eq!(lower(&opaque).affinity_key(), None);
+    }
+
+    #[test]
+    fn affinity_key_reads_inline_views_and_lowered_identities() {
+        let v = Pipeline::builder("iv")
+            .gen_with(
+                "a",
+                PromptRef::View {
+                    name: "summary".into(),
+                    args: std::collections::BTreeMap::new(),
+                },
+                crate::llm::GenOptions::default(),
+            )
+            .build();
+        assert!(lower(&v)
+            .affinity_key()
+            .unwrap()
+            .starts_with("view:summary#"));
+
+        let l = Pipeline::builder("low")
+            .gen_with(
+                "a",
+                PromptRef::Lowered {
+                    text: "fused template".into(),
+                    identity: Some("view:fused@1#0/v1".into()),
+                },
+                crate::llm::GenOptions::default(),
+            )
+            .build();
+        assert_eq!(
+            lower(&l).affinity_key().as_deref(),
+            Some("view:fused@1#0/v1")
+        );
     }
 
     #[test]

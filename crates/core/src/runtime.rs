@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::agent::AgentRegistry;
+use crate::cancel::CancelToken;
 use crate::context::Context;
 use crate::error::Result;
 use crate::exec::{self, CallLimits};
@@ -66,6 +67,15 @@ pub struct ExecState {
     pub trace: Trace,
     /// Current executor step (monotonic across pipelines run on this state).
     pub step: u64,
+    /// Optional cooperative cancellation token, checked between operators
+    /// (see [`crate::cancel`]).
+    pub cancel: Option<CancelToken>,
+    /// Optional virtual deadline: executions abort with
+    /// [`crate::error::SpearError::Cancelled`] once the state's accumulated
+    /// virtual latency (`metadata.latency_us`) exceeds this bound. Used by
+    /// the serving layer for per-request timeouts; deterministic because it
+    /// never consults wall time.
+    pub deadline_us: Option<u64>,
 }
 
 impl ExecState {
@@ -86,6 +96,10 @@ impl ExecState {
             metadata: self.metadata.clone(),
             trace: self.trace.clone(),
             step: self.step,
+            // A shadow run shares the cancellation signals: cancelling the
+            // primary should stop its shadows too.
+            cancel: self.cancel.clone(),
+            deadline_us: self.deadline_us,
         }
     }
 }

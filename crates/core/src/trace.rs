@@ -105,6 +105,28 @@ impl Trace {
         Ok(out)
     }
 
+    /// FNV-1a digest of the JSONL rendering — a compact fingerprint for
+    /// determinism checks: two traces digest equal iff their serialized
+    /// events are byte-identical. Used by the batch and serve benchmarks
+    /// to witness the "same seed ⇒ same traces at any worker count"
+    /// invariant without holding every trace in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures, as [`Trace::to_jsonl`] does.
+    pub fn digest(&self) -> Result<u64, serde_json::Error> {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for e in &self.events {
+            for byte in serde_json::to_string(e)?.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= u64::from(b'\n');
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(hash)
+    }
+
     /// Parse a JSON-Lines trace produced by [`Trace::to_jsonl`].
     ///
     /// # Errors
@@ -179,6 +201,22 @@ mod tests {
         assert_eq!(jsonl.lines().count(), 5);
         let back = Trace::from_jsonl(&jsonl).unwrap();
         assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn digest_distinguishes_traces_and_matches_jsonl() {
+        let t = sample();
+        assert_eq!(t.digest().unwrap(), sample().digest().unwrap());
+        let mut other = sample();
+        other.record(5, TraceKind::Gen, "GEN[\"extra\"]".into(), Value::Null);
+        assert_ne!(t.digest().unwrap(), other.digest().unwrap());
+        // The digest is exactly FNV-1a over the JSONL bytes.
+        let mut expected = 0xcbf2_9ce4_8422_2325u64;
+        for b in t.to_jsonl().unwrap().bytes() {
+            expected ^= u64::from(b);
+            expected = expected.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(t.digest().unwrap(), expected);
     }
 
     #[test]

@@ -27,8 +27,13 @@ pub const DEFAULT_NUM_SHARDS: usize = 16;
 /// prefixes and all ambient single-threaded inserts).
 pub const SHARED_OWNER: u64 = 0;
 
-/// Cache statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Prefix-cache hit/miss/eviction counters.
+///
+/// Public and cloneable (`Copy`, serializable) so observers outside the
+/// engine — the serving layer's scheduler, benchmark reports — can
+/// snapshot them, diff snapshots ([`CacheStats::delta_since`]), and
+/// attribute hit rates to scheduling decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Number of lookups performed.
     pub lookups: u64,
@@ -50,6 +55,28 @@ impl CacheStats {
             None
         } else {
             Some(self.hit_tokens as f64 / self.lookup_tokens as f64)
+        }
+    }
+
+    /// Tokens that missed the cache across all lookups (the prefill the
+    /// engine actually had to pay for).
+    #[must_use]
+    pub fn miss_tokens(&self) -> u64 {
+        self.lookup_tokens - self.hit_tokens
+    }
+
+    /// Counter-wise difference `self - earlier` — the activity between two
+    /// snapshots of the same cache. All counters are monotonic, so the
+    /// delta of a later snapshot against an earlier one is itself a valid
+    /// `CacheStats` (saturating, in case snapshots are misordered).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.saturating_sub(earlier.lookups),
+            lookup_tokens: self.lookup_tokens.saturating_sub(earlier.lookup_tokens),
+            hit_tokens: self.hit_tokens.saturating_sub(earlier.hit_tokens),
+            inserted_blocks: self.inserted_blocks.saturating_sub(earlier.inserted_blocks),
+            evicted_blocks: self.evicted_blocks.saturating_sub(earlier.evicted_blocks),
         }
     }
 }
@@ -610,6 +637,70 @@ mod tests {
         assert_eq!(c.lookup_insert(&t, 1), 0);
         assert_eq!(c.len_blocks(), 0);
         assert_eq!(c.stats().lookups, 1);
+    }
+
+    #[test]
+    fn counters_match_a_hand_computed_trace() {
+        // Walk a scripted lookup/insert/evict sequence and check every
+        // counter against values computed by hand. Block size 4, capacity
+        // 3 blocks.
+        let mut c = PrefixCache::new(4, 3);
+        let a = toks(8, 1); // 2 full blocks
+        let b = toks(8, 2); // 2 full blocks, disjoint from a
+
+        // (1) cold lookup of a: 1 lookup, 8 tokens, 0 hit.
+        assert_eq!(c.lookup(&a), 0);
+        // (2) insert a: +2 blocks, no eviction (2 ≤ 3).
+        c.insert(&a);
+        // (3) warm lookup of a: 8/8 tokens hit.
+        assert_eq!(c.lookup(&a), 8);
+        // (4) insert b: b's first block fits (2 -> 3 resident), b's second
+        //     block hits capacity, so the LRU *leaf* — a's tail block — is
+        //     evicted. a's root block has a child at eviction time and
+        //     stays. Net: +2 inserted, +1 evicted.
+        c.insert(&b);
+        // (5) lookup b: fully resident, 8/8 hit.
+        assert_eq!(c.lookup(&b), 8);
+
+        let s = c.stats();
+        assert_eq!(s.lookups, 3, "steps 1, 3, 5");
+        assert_eq!(s.lookup_tokens, 24, "3 lookups x 8 tokens");
+        assert_eq!(s.hit_tokens, 16, "steps 3 and 5");
+        assert_eq!(s.miss_tokens(), 8, "only the cold lookup missed");
+        assert_eq!(s.inserted_blocks, 4, "2 for a + 2 for b");
+        assert_eq!(s.evicted_blocks, 1, "a's leaf displaced by b's tail");
+        assert!((s.hit_rate().unwrap() - 16.0 / 24.0).abs() < 1e-12);
+        assert_eq!(c.len_blocks(), 3, "b's two blocks + a's orphaned root");
+    }
+
+    #[test]
+    fn delta_since_isolates_activity_between_snapshots() {
+        let mut c = PrefixCache::new(4, 1024);
+        let t = toks(8, 0);
+        c.lookup(&t);
+        c.insert(&t);
+        let before = c.stats();
+        c.lookup(&t);
+        c.lookup(&t);
+        let delta = c.stats().delta_since(&before);
+        assert_eq!(delta.lookups, 2);
+        assert_eq!(delta.lookup_tokens, 16);
+        assert_eq!(delta.hit_tokens, 16);
+        assert_eq!(delta.inserted_blocks, 0);
+        assert_eq!(delta.miss_tokens(), 0);
+        // Misordered snapshots saturate instead of wrapping.
+        assert_eq!(before.delta_since(&c.stats()).lookups, 0);
+    }
+
+    #[test]
+    fn stats_serialize_for_reports() {
+        let mut c = PrefixCache::new(4, 1024);
+        c.insert(&toks(8, 0));
+        c.lookup(&toks(8, 0));
+        let s = c.stats();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CacheStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

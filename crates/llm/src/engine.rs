@@ -570,6 +570,20 @@ mod tests {
     }
 
     #[test]
+    fn submit_many_on_empty_input_is_a_no_op() {
+        // Regression: an empty submission must return an empty result
+        // without spawning workers, burning owner ids, or touching the
+        // clock or cache.
+        let e = engine();
+        for workers in [0, 1, 4] {
+            let responses = e.submit_many(&[], workers).unwrap();
+            assert!(responses.is_empty());
+        }
+        assert_eq!(e.clock().elapsed(), std::time::Duration::ZERO);
+        assert_eq!(e.cache_stats().lookups, 0);
+    }
+
+    #[test]
     fn submit_many_splits_clock_lanes() {
         let e = engine();
         let responses = e.submit_many(&batch_requests(8), 4).unwrap();

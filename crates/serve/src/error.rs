@@ -1,0 +1,81 @@
+//! Typed serving-layer errors — load shedding is explicit, never a silent
+//! drop.
+
+use crate::request::Priority;
+
+/// Why the serving layer refused or abandoned a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control shed the request: either its class queue is at
+    /// capacity or the token bucket cannot cover its estimated cost.
+    /// The request was **not** executed and the caller should back off.
+    Overloaded {
+        /// Class whose limit was hit.
+        priority: Priority,
+        /// Depth of that class's queue at rejection time.
+        queue_depth: usize,
+        /// Virtual µs until the token bucket will have refilled enough to
+        /// admit a request of this size (0 when shed on queue depth).
+        retry_after_us: u64,
+    },
+    /// The request's service deadline expired; execution was cancelled
+    /// cooperatively between plan slots.
+    DeadlineExceeded {
+        /// Virtual service time accumulated when the deadline tripped.
+        after_us: u64,
+    },
+    /// The request's [`spear_core::cancel::CancelToken`] was tripped.
+    Cancelled {
+        /// Reason carried by the token.
+        reason: String,
+    },
+    /// The pipeline itself failed (propagated runtime error).
+    Exec {
+        /// Rendered runtime error.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                priority,
+                queue_depth,
+                retry_after_us,
+            } => write!(
+                f,
+                "overloaded: {} queue at depth {queue_depth}, retry after {retry_after_us} us",
+                priority.label()
+            ),
+            ServeError::DeadlineExceeded { after_us } => {
+                write!(f, "deadline exceeded after {after_us} us of service")
+            }
+            ServeError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
+            ServeError::Exec { error } => write!(f, "execution failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = ServeError::Overloaded {
+            priority: Priority::Batch,
+            queue_depth: 32,
+            retry_after_us: 1500,
+        };
+        let s = e.to_string();
+        assert!(s.contains("batch"), "{s}");
+        assert!(s.contains("32"), "{s}");
+        assert!(s.contains("1500"), "{s}");
+        assert!(ServeError::DeadlineExceeded { after_us: 9 }
+            .to_string()
+            .contains("9 us"));
+    }
+}

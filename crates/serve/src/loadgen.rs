@@ -1,0 +1,276 @@
+//! Deterministic seeded open-loop load generator.
+//!
+//! Produces a serving workload — registered prompt-family views, shared
+//! lowered plans, and a timestamped request stream — as a pure function of
+//! [`LoadGenConfig`]. Two calls with the same config yield byte-identical
+//! workloads, which is what lets the benchmarks compare scheduler
+//! configurations (affinity on vs off, 1 vs 8 lanes) under *the same*
+//! offered load.
+//!
+//! The stream is **open-loop**: arrival timestamps follow a seeded
+//! exponential (Poisson) process that does not react to scheduler
+//! progress, so queueing behaviour under overload is actually exercised
+//! instead of being throttled away by the generator.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::prelude::*;
+
+use spear_core::pipeline::Pipeline;
+use spear_core::plan::{lower, LoweredPlan};
+use spear_core::runtime::ExecState;
+use spear_core::view::{ViewCatalog, ViewDef};
+use spear_llm::Tokenizer;
+
+use crate::request::{Priority, ServeRequest};
+
+/// Shape of a generated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGenConfig {
+    /// RNG seed; the workload is a pure function of this config.
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct prompt families (views). Requests in one family
+    /// share a long instruction prefix — the reuse affinity routing
+    /// exploits.
+    pub families: usize,
+    /// Mean virtual µs between arrivals (exponential inter-arrival).
+    pub mean_interarrival_us: u64,
+    /// Probability a request is [`Priority::Interactive`].
+    pub interactive_fraction: f64,
+    /// Optional service deadline stamped on interactive requests.
+    pub interactive_deadline_us: Option<u64>,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            requests: 64,
+            families: 4,
+            mean_interarrival_us: 20_000,
+            interactive_fraction: 0.6,
+            interactive_deadline_us: None,
+        }
+    }
+}
+
+/// A generated workload: the view catalog the runtime needs, the shared
+/// per-family plans, and the timestamped request stream (sorted by
+/// arrival).
+#[derive(Debug)]
+pub struct GeneratedWorkload {
+    /// Views referenced by the plans (hand to `Runtime::builder().views`).
+    pub views: ViewCatalog,
+    /// One shared lowered plan per family; requests hold clones of these
+    /// `Arc`s, so affinity grouping is visible through pointer-independent
+    /// [`LoweredPlan::affinity_key`]s.
+    pub plans: Vec<Arc<LoweredPlan>>,
+    /// The request stream, sorted by non-decreasing `arrival_us` with ids
+    /// `0..requests`.
+    pub requests: Vec<ServeRequest>,
+}
+
+/// Family topics: first line of each family's instruction, so different
+/// families diverge at the very first token block (no cross-family prefix
+/// sharing muddying the affinity measurement).
+const TOPICS: &[&str] = &[
+    "support tickets about account access",
+    "product reviews of kitchen appliances",
+    "incident reports from the payments service",
+    "meeting notes from the design team",
+    "bug reports filed against the mobile app",
+    "customer emails about delivery delays",
+    "forum posts discussing firmware updates",
+    "survey answers on commute patterns",
+];
+
+/// Filler vocabulary for unique per-request payload text.
+const WORDS: &[&str] = &[
+    "ledger", "gasket", "thread", "signal", "carton", "branch", "kernel", "saddle", "lantern",
+    "mortar", "pulley", "quartz", "ribbon", "socket", "tunnel", "valley", "walnut", "zephyr",
+    "anchor", "bobbin",
+];
+
+/// Render one family's instruction text: a topic-first header plus a long
+/// shared guideline block and a trailing context slot. Long enough
+/// (hundreds of tokens) that prefix reuse is worth routing for.
+#[must_use]
+pub fn family_instruction(family: usize) -> String {
+    let topic = TOPICS[family % TOPICS.len()];
+    let mut text = format!(
+        "You are processing {topic}. Summarize the item below and flag \
+         anything requiring follow-up.\nGuidelines for every item:\n"
+    );
+    for i in 1..=10 {
+        text.push_str(&format!(
+            "{i}. Read the full item before answering; weigh wording about \
+             {topic} over incidental detail, keep the summary faithful to \
+             the original claims, and never invent facts the item does not \
+             state.\n"
+        ));
+    }
+    text.push_str("Item: {{ctx:item}}\nAnswer with a word limit of 50.");
+    text
+}
+
+/// The registered view name for a family.
+#[must_use]
+pub fn family_view_name(family: usize) -> String {
+    format!("serve_family_{family}")
+}
+
+/// Generate a workload from `config`. Deterministic: same config, same
+/// workload.
+#[must_use]
+pub fn generate(config: &LoadGenConfig) -> GeneratedWorkload {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let tokenizer = Tokenizer::new();
+    let families = config.families.max(1);
+
+    let views = ViewCatalog::new();
+    let mut plans = Vec::with_capacity(families);
+    let mut instruction_tokens = Vec::with_capacity(families);
+    for family in 0..families {
+        let text = family_instruction(family);
+        instruction_tokens.push(tokenizer.count(&text) as u64);
+        views.register(ViewDef::new(family_view_name(family), text).with_tag("serve-load"));
+        let pipeline = Pipeline::builder(format!("serve_{family}"))
+            .create_from_view("p", &family_view_name(family), BTreeMap::new())
+            .gen("answer", "p")
+            .build();
+        plans.push(Arc::new(lower(&pipeline)));
+    }
+
+    let mut requests = Vec::with_capacity(config.requests);
+    let mut arrival_us = 0u64;
+    for id in 0..config.requests as u64 {
+        // Exponential inter-arrival on the virtual clock.
+        let unit: f64 = rng.gen_unit();
+        let dt = (-(1.0 - unit).ln() * config.mean_interarrival_us as f64).round() as u64;
+        arrival_us += dt.max(1);
+
+        let family = rng.gen_range(0..families);
+        let interactive = rng.gen_bool(config.interactive_fraction);
+        let priority = if interactive {
+            Priority::Interactive
+        } else {
+            Priority::Batch
+        };
+
+        // Unique per-request payload: same family => shared instruction
+        // prefix, distinct suffix.
+        let mut item = format!("case {id}:");
+        for _ in 0..12 {
+            item.push(' ');
+            item.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+        }
+        let mut state = ExecState::new();
+        state.context.set("item", item.as_str());
+
+        let est_tokens = instruction_tokens[family] + tokenizer.count(&item) as u64 + 50;
+        let mut request =
+            ServeRequest::new(id, priority, Arc::clone(&plans[family]), state, arrival_us)
+                .with_est_tokens(est_tokens);
+        if interactive {
+            if let Some(deadline) = config.interactive_deadline_us {
+                request = request.with_deadline_us(deadline);
+            }
+        }
+        requests.push(request);
+    }
+
+    GeneratedWorkload {
+        views,
+        plans,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = LoadGenConfig::default();
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.requests.len(), b.requests.len());
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.priority, y.priority);
+            assert_eq!(x.arrival_us, y.arrival_us);
+            assert_eq!(x.est_tokens, y.est_tokens);
+            assert_eq!(x.affinity_key(), y.affinity_key());
+        }
+        let c = generate(&LoadGenConfig { seed: 43, ..config });
+        let arrivals_a: Vec<u64> = a.requests.iter().map(|r| r.arrival_us).collect();
+        let arrivals_c: Vec<u64> = c.requests.iter().map(|r| r.arrival_us).collect();
+        assert_ne!(arrivals_a, arrivals_c, "different seeds differ");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_ids_unique() {
+        let w = generate(&LoadGenConfig {
+            requests: 100,
+            ..LoadGenConfig::default()
+        });
+        assert!(w
+            .requests
+            .windows(2)
+            .all(|p| p[0].arrival_us <= p[1].arrival_us));
+        let ids: Vec<u64> = w.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn families_share_affinity_keys_and_differ_across_families() {
+        let w = generate(&LoadGenConfig {
+            requests: 40,
+            families: 3,
+            ..LoadGenConfig::default()
+        });
+        let mut keys = std::collections::BTreeSet::new();
+        for r in &w.requests {
+            let key = r.affinity_key().expect("view-backed plans have keys");
+            keys.insert(key);
+        }
+        assert_eq!(keys.len(), 3, "one key per family");
+        // Instructions diverge at the first line.
+        let a = family_instruction(0);
+        let b = family_instruction(1);
+        assert_ne!(a.lines().next(), b.lines().next());
+    }
+
+    #[test]
+    fn interactive_deadlines_are_stamped() {
+        let w = generate(&LoadGenConfig {
+            requests: 50,
+            interactive_deadline_us: Some(9_000),
+            ..LoadGenConfig::default()
+        });
+        for r in &w.requests {
+            match r.priority {
+                Priority::Interactive => assert_eq!(r.deadline_us, Some(9_000)),
+                Priority::Batch => assert_eq!(r.deadline_us, None),
+            }
+        }
+        assert!(w.requests.iter().any(|r| r.priority == Priority::Batch));
+        assert!(w
+            .requests
+            .iter()
+            .any(|r| r.priority == Priority::Interactive));
+    }
+
+    #[test]
+    fn instructions_are_long_enough_to_cache() {
+        let tokens = Tokenizer::new().count(&family_instruction(0));
+        assert!(
+            tokens > 200,
+            "family instruction should be hundreds of tokens, got {tokens}"
+        );
+    }
+}

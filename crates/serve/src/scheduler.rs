@@ -1,0 +1,655 @@
+//! The serving scheduler: virtual-time dispatch of admitted requests onto
+//! [`BatchRunner`] lanes, with cache-affinity routing.
+//!
+//! ## Execution model
+//!
+//! [`ServeNode::run`] is a discrete-event loop over the workload's virtual
+//! clock. Each round it (1) admits every request whose arrival timestamp
+//! has been reached, (2) pops up to `lanes × quantum` requests from the
+//! priority queue, (3) executes them as one assigned batch, charging each
+//! job's virtual service time to its lane's clock, and (4) advances the
+//! clock to the earliest moment a lane frees up (or to the next arrival
+//! when idle). Real threads do the work — one per active lane via
+//! [`BatchRunner::run_assigned`] — but all *timing* is virtual, so a run
+//! is reproducible regardless of the host machine.
+//!
+//! ## Cache-affinity routing
+//!
+//! With `affinity_routing` on, requests whose lowered plans share an
+//! [`affinity key`](spear_core::plan::LoweredPlan::affinity_key) — i.e.
+//! whose prompts share a structured prefix — are mapped to the same cache
+//! owner and the same lane. Same-owner jobs execute sequentially in
+//! arrival order on one thread, so each sees its predecessors' prefix
+//! insertions deterministically; the owner-aware cache in `spear-llm`
+//! turns that into real hit-rate, as `BENCH_serve.json` witnesses. With
+//! affinity off, every request gets a fresh owner (full isolation, no
+//! cross-request reuse) and lanes are assigned round-robin.
+//!
+//! ## Determinism across lane counts
+//!
+//! For a fixed workload, per-request **traces** are byte-identical at any
+//! lane count (pinned by proptest), because every input to an execution
+//! is lane-count-invariant: token-bucket admission is a function of
+//! arrival timestamps only; an owner group's members are dispatched in
+//! arrival order (per-class FIFO) whatever the interleaving; deadlines
+//! bound the job's *own* accumulated service time, not wall or queue
+//! time. Queue waits, end-to-end latencies, and depth-based shedding do
+//! scale with capacity — that is the point of adding lanes — so the
+//! *report* is per-configuration while the *traces* are not.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spear_core::batch::{AssignedJob, BatchRunner};
+use spear_core::error::SpearError;
+use spear_core::metadata::TokenUsage;
+use spear_core::runtime::Runtime;
+use spear_kv::shard::fnv1a;
+use spear_llm::SimLlm;
+
+use crate::error::ServeError;
+use crate::metrics::{ClassReport, Histogram, ServeReport};
+use crate::queue::{AdmissionConfig, AdmissionQueue};
+use crate::request::{Priority, ServeRequest};
+
+/// Owner-id namespace for serve-assigned cache groups: disjoint from
+/// `BatchRunner`'s small sequential ids and from `SimLlm::submit_many`'s
+/// `1 << 63` namespace.
+const SERVE_OWNER_BASE: u64 = 1 << 62;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker lanes to dispatch onto (also the `BatchRunner` pool size).
+    pub lanes: usize,
+    /// Maximum requests dispatched per lane per round.
+    pub quantum: usize,
+    /// Route same-affinity-key requests to a shared cache owner and lane.
+    pub affinity_routing: bool,
+    /// Admission-control limits.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            lanes: 4,
+            quantum: 4,
+            affinity_routing: true,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// Terminal status of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeStatus {
+    /// Ran to completion.
+    Completed,
+    /// Shed by admission control (never executed).
+    Rejected {
+        /// The typed overload error.
+        error: ServeError,
+    },
+    /// Cancelled by its service deadline between plan slots.
+    DeadlineExceeded {
+        /// Virtual service time accumulated when cancelled.
+        after_us: u64,
+    },
+    /// Cancelled via its [`spear_core::cancel::CancelToken`].
+    Cancelled {
+        /// Reason carried by the token.
+        reason: String,
+    },
+    /// The pipeline failed with a runtime error.
+    Failed {
+        /// Rendered error.
+        error: String,
+    },
+}
+
+/// Per-request result of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Request id.
+    pub id: u64,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Terminal status.
+    pub status: ServeStatus,
+    /// Virtual µs spent queued (0 unless dispatched).
+    pub queue_wait_us: u64,
+    /// Virtual µs of execution time (partial time for cancelled runs).
+    pub service_us: u64,
+    /// Virtual completion timestamp (0 for rejected requests).
+    pub finish_us: u64,
+    /// Trace digest of the completed execution (`None` unless completed).
+    pub trace_digest: Option<u64>,
+    /// Token usage of the completed execution (zero unless completed).
+    pub usage: TokenUsage,
+}
+
+/// Everything a serving run produced: per-request outcomes (in request-id
+/// order) and the aggregate report.
+#[derive(Debug)]
+pub struct ServeRun {
+    /// One outcome per submitted request, sorted by id.
+    pub outcomes: Vec<ServeOutcome>,
+    /// Aggregate metrics snapshot.
+    pub report: ServeReport,
+}
+
+impl ServeRun {
+    /// The outcome for a request id, if it was part of the run.
+    #[must_use]
+    pub fn outcome(&self, id: u64) -> Option<&ServeOutcome> {
+        self.outcomes
+            .binary_search_by_key(&id, |o| o.id)
+            .ok()
+            .map(|i| &self.outcomes[i])
+    }
+}
+
+/// Aggregation scratch for one priority class.
+#[derive(Debug, Default)]
+struct ClassAccum {
+    report: ClassReport,
+    queue_depth: Histogram,
+    queue_wait_us: Histogram,
+    service_us: Histogram,
+    e2e_us: Histogram,
+}
+
+impl ClassAccum {
+    fn finish(mut self) -> ClassReport {
+        self.report.queue_depth = self.queue_depth.summary();
+        self.report.queue_wait_us = self.queue_wait_us.summary();
+        self.report.service_us = self.service_us.summary();
+        self.report.e2e_us = self.e2e_us.summary();
+        self.report
+    }
+}
+
+/// The long-lived serving node: a scheduler plus its worker-lane pool.
+/// One node can serve many successive [`ServeNode::run`] calls; owner ids
+/// never alias across runs.
+#[derive(Debug)]
+pub struct ServeNode {
+    config: ServeConfig,
+    runner: BatchRunner,
+    run_seq: AtomicU64,
+}
+
+impl ServeNode {
+    /// A node with `config.lanes` worker lanes.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        let lanes = config.lanes.max(1);
+        Self {
+            config: ServeConfig { lanes, ..config },
+            runner: BatchRunner::new(lanes),
+            run_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serve a workload to completion and return per-request outcomes
+    /// plus the aggregate report.
+    ///
+    /// `requests` must be sorted by non-decreasing `arrival_us` with
+    /// unique ids (the load generator produces exactly this shape); the
+    /// engine reference, when given, lets the report include engine-level
+    /// cache counters for the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is not sorted by arrival time or contains
+    /// duplicate ids — both are harness bugs, not load conditions.
+    pub fn run(
+        &self,
+        runtime: &Runtime,
+        engine: Option<&SimLlm>,
+        mut requests: Vec<ServeRequest>,
+    ) -> ServeRun {
+        assert!(
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_us <= w[1].arrival_us),
+            "requests must arrive in non-decreasing virtual-time order"
+        );
+        let cache_before = engine.map(|e| e.cache_stats());
+        let run_nonce = self.run_seq.fetch_add(1, Ordering::Relaxed);
+        let owner_base = SERVE_OWNER_BASE | (run_nonce << 32);
+
+        let lanes = self.config.lanes;
+        let round_size = lanes * self.config.quantum.max(1);
+        let mut queue = AdmissionQueue::new(self.config.admission.clone());
+        let mut accum: HashMap<Priority, ClassAccum> = HashMap::new();
+        let mut outcomes: Vec<ServeOutcome> = Vec::with_capacity(requests.len());
+        // Affinity-group bookkeeping: key -> (owner id, pinned lane).
+        let mut groups: HashMap<(Priority, String), (u64, usize)> = HashMap::new();
+        let mut next_owner = 0u64;
+        let mut round_robin = 0usize;
+        let mut lane_clock = vec![0u64; lanes];
+        let mut now = 0u64;
+
+        requests.reverse(); // pop() takes the earliest arrival
+        for r in &requests {
+            accum.entry(r.priority).or_default().report.submitted += 1;
+        }
+
+        loop {
+            // (1) Admit everything that has arrived by `now`.
+            while requests.last().is_some_and(|r| r.arrival_us <= now) {
+                let request = requests.pop().expect("peeked");
+                let class = request.priority;
+                let entry = accum.entry(class).or_default();
+                match queue.offer(request) {
+                    Ok(()) => {
+                        entry.report.admitted += 1;
+                        entry.queue_depth.record(queue.depth(class) as u64);
+                    }
+                    Err(shed) => {
+                        let (rejected, error) = *shed;
+                        entry.report.rejected += 1;
+                        outcomes.push(ServeOutcome {
+                            id: rejected.id,
+                            priority: class,
+                            status: ServeStatus::Rejected { error },
+                            queue_wait_us: 0,
+                            service_us: 0,
+                            finish_us: 0,
+                            trace_digest: None,
+                            usage: TokenUsage::default(),
+                        });
+                    }
+                }
+            }
+
+            // (2) Pop a dispatch round.
+            let popped = queue.pop_batch(round_size);
+            if popped.is_empty() {
+                match requests.last() {
+                    Some(r) => {
+                        now = now.max(r.arrival_us);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // (3) Place each popped request on a lane with an owner group.
+            let mut jobs = Vec::with_capacity(popped.len());
+            let mut meta = Vec::with_capacity(popped.len());
+            for mut request in popped {
+                let (owner, lane) = if self.config.affinity_routing {
+                    match request.affinity_key() {
+                        Some(key) => {
+                            let slot = groups.entry((request.priority, key)).or_insert_with_key(
+                                |(_, key)| {
+                                    let owner = owner_base + next_owner;
+                                    next_owner += 1;
+                                    (owner, (fnv1a(key.as_bytes()) % lanes as u64) as usize)
+                                },
+                            );
+                            *slot
+                        }
+                        None => {
+                            Self::isolated(owner_base, &mut next_owner, &mut round_robin, lanes)
+                        }
+                    }
+                } else {
+                    Self::isolated(owner_base, &mut next_owner, &mut round_robin, lanes)
+                };
+                request.state.deadline_us = request.deadline_us;
+                request.state.cancel = Some(request.cancel.clone());
+                meta.push((request.id, request.priority, request.arrival_us, lane));
+                jobs.push(AssignedJob {
+                    lane,
+                    owner,
+                    plan: Arc::clone(&request.plan),
+                    state: std::mem::take(&mut request.state),
+                });
+            }
+            let results = self.runner.run_assigned(runtime, jobs);
+
+            // (4) Charge virtual time and record outcomes, in dispatch
+            // order (same-lane jobs queue behind each other).
+            for ((id, priority, arrival_us, lane), result) in meta.into_iter().zip(results) {
+                let start_us = lane_clock[lane].max(now);
+                let entry = accum.entry(priority).or_default();
+                let (status, service_us, digest, usage) = match result {
+                    Ok(outcome) => {
+                        let service = outcome.state.metadata.latency_us;
+                        let digest = outcome.state.trace.digest().ok();
+                        entry.report.completed += 1;
+                        entry.report.prompt_tokens += outcome.state.metadata.usage.prompt_tokens;
+                        entry.report.cached_tokens += outcome.state.metadata.usage.cached_tokens;
+                        (
+                            ServeStatus::Completed,
+                            service,
+                            digest,
+                            outcome.state.metadata.usage,
+                        )
+                    }
+                    Err(SpearError::Cancelled { reason, after_us }) => {
+                        let status = if reason == "deadline" {
+                            entry.report.deadline_exceeded += 1;
+                            ServeStatus::DeadlineExceeded { after_us }
+                        } else {
+                            entry.report.cancelled += 1;
+                            ServeStatus::Cancelled { reason }
+                        };
+                        (status, after_us, None, TokenUsage::default())
+                    }
+                    Err(error) => {
+                        entry.report.failed += 1;
+                        (
+                            ServeStatus::Failed {
+                                error: error.to_string(),
+                            },
+                            0,
+                            None,
+                            TokenUsage::default(),
+                        )
+                    }
+                };
+                let finish_us = start_us + service_us;
+                lane_clock[lane] = finish_us;
+                let queue_wait_us = start_us.saturating_sub(arrival_us);
+                entry.queue_wait_us.record(queue_wait_us);
+                entry.service_us.record(service_us);
+                entry.e2e_us.record(finish_us.saturating_sub(arrival_us));
+                outcomes.push(ServeOutcome {
+                    id,
+                    priority,
+                    status,
+                    queue_wait_us,
+                    service_us,
+                    finish_us,
+                    trace_digest: digest,
+                    usage,
+                });
+            }
+
+            // (5) Advance to the earliest time a lane frees up.
+            let earliest_free = lane_clock.iter().copied().min().unwrap_or(now);
+            now = now.max(earliest_free);
+        }
+
+        outcomes.sort_by_key(|o| o.id);
+        assert!(
+            outcomes.windows(2).all(|w| w[0].id < w[1].id),
+            "request ids must be unique"
+        );
+
+        let mut report = ServeReport {
+            lanes,
+            affinity_routing: self.config.affinity_routing,
+            makespan_us: lane_clock.iter().copied().max().unwrap_or(0),
+            trace_fingerprint: Self::fingerprint(&outcomes),
+            interactive: accum
+                .remove(&Priority::Interactive)
+                .unwrap_or_default()
+                .finish(),
+            batch: accum.remove(&Priority::Batch).unwrap_or_default().finish(),
+            cache: Default::default(),
+        };
+        if let (Some(engine), Some(before)) = (engine, cache_before) {
+            report.cache = engine.cache_stats().delta_since(&before);
+        }
+        ServeRun { outcomes, report }
+    }
+
+    /// Fresh-owner, round-robin-lane placement (no affinity).
+    fn isolated(
+        owner_base: u64,
+        next_owner: &mut u64,
+        round_robin: &mut usize,
+        lanes: usize,
+    ) -> (u64, usize) {
+        let owner = owner_base + *next_owner;
+        *next_owner += 1;
+        let lane = *round_robin % lanes;
+        *round_robin += 1;
+        (owner, lane)
+    }
+
+    /// Order-canonical fold of statuses and trace digests, keyed by id.
+    fn fingerprint(outcomes: &[ServeOutcome]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for o in outcomes {
+            mix(o.id);
+            let tag = match &o.status {
+                ServeStatus::Completed => 1,
+                ServeStatus::Rejected { .. } => 2,
+                ServeStatus::DeadlineExceeded { .. } => 3,
+                ServeStatus::Cancelled { .. } => 4,
+                ServeStatus::Failed { .. } => 5,
+            };
+            mix(tag);
+            mix(o.trace_digest.unwrap_or(0));
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_core::history::RefinementMode;
+    use spear_core::llm::EchoLlm;
+    use spear_core::pipeline::Pipeline;
+    use spear_core::plan::{lower, LoweredPlan};
+    use spear_core::runtime::ExecState;
+
+    fn runtime() -> Runtime {
+        Runtime::builder().llm(Arc::new(EchoLlm::default())).build()
+    }
+
+    fn plan(gens: usize) -> Arc<LoweredPlan> {
+        let mut b = Pipeline::builder("serve_test").create_text(
+            "p",
+            "Answer briefly: {{ctx:q}}",
+            RefinementMode::Manual,
+        );
+        for i in 0..gens {
+            b = b.gen(&format!("a{i}"), "p");
+        }
+        Arc::new(lower(&b.build()))
+    }
+
+    fn request(id: u64, class: Priority, arrival_us: u64) -> ServeRequest {
+        let mut state = ExecState::new();
+        state.context.set("q", format!("question {id}"));
+        ServeRequest::new(id, class, plan(1), state, arrival_us)
+    }
+
+    #[test]
+    fn all_requests_get_exactly_one_outcome() {
+        let node = ServeNode::new(ServeConfig::default());
+        let rt = runtime();
+        let requests: Vec<_> = (0..20)
+            .map(|i| {
+                request(
+                    i,
+                    if i % 3 == 0 {
+                        Priority::Batch
+                    } else {
+                        Priority::Interactive
+                    },
+                    i * 10,
+                )
+            })
+            .collect();
+        let run = node.run(&rt, None, requests);
+        assert_eq!(run.outcomes.len(), 20);
+        assert!(run
+            .outcomes
+            .iter()
+            .all(|o| o.status == ServeStatus::Completed));
+        let ids: Vec<u64> = run.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+        assert_eq!(
+            run.report.interactive.completed + run.report.batch.completed,
+            20
+        );
+        assert!(run.report.makespan_us > 0);
+        assert!(run.outcome(7).is_some());
+        assert!(run.outcome(99).is_none());
+    }
+
+    #[test]
+    fn service_deadline_produces_deadline_exceeded() {
+        let node = ServeNode::new(ServeConfig::default());
+        let rt = runtime();
+        let mut state = ExecState::new();
+        state.context.set("q", "slow question");
+        // Two GEN slots with a 1us budget: the first completes (crossing
+        // the line), the gate cancels before the second.
+        let r = ServeRequest::new(1, Priority::Interactive, plan(2), state, 0).with_deadline_us(1);
+        let run = node.run(&rt, None, vec![r]);
+        let o = run.outcome(1).unwrap();
+        assert!(
+            matches!(o.status, ServeStatus::DeadlineExceeded { after_us } if after_us > 1),
+            "{:?}",
+            o.status
+        );
+        assert!(o.service_us > 0, "partial service time is charged");
+        assert_eq!(run.report.interactive.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn tripped_token_cancels_without_execution_effects() {
+        let node = ServeNode::new(ServeConfig::default());
+        let rt = runtime();
+        let r = request(5, Priority::Batch, 0);
+        r.cancel_handle().cancel();
+        let run = node.run(&rt, None, vec![r]);
+        let o = run.outcome(5).unwrap();
+        assert!(
+            matches!(&o.status, ServeStatus::Cancelled { reason } if reason == "cancelled"),
+            "{:?}",
+            o.status
+        );
+        assert_eq!(o.service_us, 0);
+        assert_eq!(run.report.batch.cancelled, 1);
+    }
+
+    #[test]
+    fn depth_overload_sheds_explicitly() {
+        let node = ServeNode::new(ServeConfig {
+            lanes: 1,
+            quantum: 1,
+            admission: AdmissionConfig {
+                max_depth: 2,
+                ..AdmissionConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        let rt = runtime();
+        // All arrive at t=0: one is dispatched per round; with depth 2,
+        // later arrivals shed.
+        let requests: Vec<_> = (0..6)
+            .map(|i| request(i, Priority::Interactive, 0))
+            .collect();
+        let run = node.run(&rt, None, requests);
+        let rejected = run
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.status, ServeStatus::Rejected { .. }))
+            .count();
+        assert!(rejected > 0, "overflow must shed");
+        assert_eq!(run.report.interactive.rejected, rejected as u64);
+        assert_eq!(
+            run.report.interactive.admitted + run.report.interactive.rejected,
+            6
+        );
+        for o in &run.outcomes {
+            if let ServeStatus::Rejected { error } = &o.status {
+                assert!(matches!(error, ServeError::Overloaded { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_failures_are_contained() {
+        let node = ServeNode::new(ServeConfig::default());
+        let rt = runtime();
+        let bad = Arc::new(lower(
+            &Pipeline::builder("bad").gen("a", "missing_prompt").build(),
+        ));
+        let requests = vec![
+            request(1, Priority::Interactive, 0),
+            ServeRequest::new(2, Priority::Interactive, bad, ExecState::new(), 0),
+            request(3, Priority::Interactive, 0),
+        ];
+        let run = node.run(&rt, None, requests);
+        assert_eq!(run.outcome(1).unwrap().status, ServeStatus::Completed);
+        assert!(matches!(
+            run.outcome(2).unwrap().status,
+            ServeStatus::Failed { .. }
+        ));
+        assert_eq!(run.outcome(3).unwrap().status, ServeStatus::Completed);
+        assert_eq!(run.report.interactive.failed, 1);
+    }
+
+    #[test]
+    fn virtual_queueing_orders_lane_time() {
+        // One lane: three simultaneous arrivals queue behind each other,
+        // so finish times strictly increase and waits accumulate.
+        let node = ServeNode::new(ServeConfig {
+            lanes: 1,
+            quantum: 8,
+            affinity_routing: false,
+            ..ServeConfig::default()
+        });
+        let rt = runtime();
+        let requests: Vec<_> = (0..3)
+            .map(|i| request(i, Priority::Interactive, 0))
+            .collect();
+        let run = node.run(&rt, None, requests);
+        let finishes: Vec<u64> = run.outcomes.iter().map(|o| o.finish_us).collect();
+        assert!(finishes[0] < finishes[1] && finishes[1] < finishes[2]);
+        assert_eq!(run.outcomes[0].queue_wait_us, 0);
+        assert!(run.outcomes[2].queue_wait_us > run.outcomes[1].queue_wait_us);
+        assert_eq!(run.report.makespan_us, finishes[2]);
+    }
+
+    #[test]
+    fn affinity_groups_share_lanes_and_owners_deterministically() {
+        // Same plan (same affinity key) => same lane; report identical
+        // across repeated runs of a fresh node.
+        let config = ServeConfig {
+            lanes: 4,
+            ..ServeConfig::default()
+        };
+        let rt = runtime();
+        let make = || {
+            let shared = plan(1);
+            (0..8)
+                .map(|i| {
+                    let mut state = ExecState::new();
+                    state.context.set("q", format!("question {i}"));
+                    ServeRequest::new(i, Priority::Interactive, Arc::clone(&shared), state, i * 5)
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = ServeNode::new(config.clone()).run(&rt, None, make());
+        let b = ServeNode::new(config).run(&rt, None, make());
+        assert_eq!(a.report.trace_fingerprint, b.report.trace_fingerprint);
+        assert_eq!(a.report.makespan_us, b.report.makespan_us);
+    }
+}

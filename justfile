@@ -18,3 +18,4 @@ bench:
     cargo run --release -p spear-bench --bin table4
     cargo run --release -p spear-bench --bin figure1
     cargo run --release -p spear-bench --bin bench_batch
+    cargo run --release -p spear-bench --bin bench_serve

@@ -18,6 +18,9 @@
 //! - [`optimizer`] — operator fusion, the structured prompt cache,
 //!   cost-based refinement planning, predictive refinement, and view
 //!   selection,
+//! - [`serve`] — an admission-controlled serving layer scheduling request
+//!   streams onto executor lanes with cache-affinity routing, priority
+//!   classes, deadlines, and a seeded open-loop load generator,
 //! - [`dl`] — SPEAR-DL, the declarative language for views and pipelines,
 //! - [`data`] — synthetic datasets and metrics used by the benchmarks.
 //!
@@ -75,3 +78,4 @@ pub use spear_kv as kv;
 pub use spear_llm as llm;
 pub use spear_optimizer as optimizer;
 pub use spear_retrieval as retrieval;
+pub use spear_serve as serve;
