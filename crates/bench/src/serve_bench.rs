@@ -112,6 +112,7 @@ fn serve_once(config: &ServeBenchConfig, lanes: usize, affinity: bool) -> ServeR
         quantum: 4,
         affinity_routing: affinity,
         admission: AdmissionConfig::default(),
+        verify_admission: true,
     });
     let started = Instant::now();
     let run = node.run(&runtime, Some(&engine), workload.requests);

@@ -26,11 +26,23 @@
 //! Worker threads are scoped (`std::thread::scope`), so the runner borrows
 //! the runtime without requiring `'static` lifetimes or reference counting
 //! at the call site.
+//!
+//! ## Failure containment
+//!
+//! A panicking job must not poison the batch: each job body runs under
+//! `catch_unwind`, so a panic surfaces as
+//! [`crate::error::SpearError::WorkerPanicked`] in that job's slot while
+//! the rest of the lane keeps running. The spine itself is panic-free
+//! (`clippy::unwrap_used` / `clippy::expect_used` are denied here, in
+//! `exec/`, and in `runtime.rs`).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::error::Result;
+use crate::error::{Result, SpearError};
 use crate::pipeline::Pipeline;
 use crate::plan::LoweredPlan;
 use crate::runtime::{ExecReport, ExecState, Runtime};
@@ -182,32 +194,27 @@ impl BatchRunner {
                 .into_iter()
                 .enumerate()
                 .map(|(lane, assigned)| {
-                    s.spawn(move || {
+                    let indices: Vec<usize> = assigned.iter().map(|(i, _)| *i).collect();
+                    let handle = s.spawn(move || {
                         let mut produced = Vec::with_capacity(assigned.len());
                         for (index, mut job) in assigned {
                             let owner = owner_base + index as u64;
                             let _scope = scope::enter(owner, lane);
-                            let mut state = job.take_state();
-                            let result =
-                                exec(&job, &mut state).map(|report| BatchOutcome { report, state });
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                let mut state = job.take_state();
+                                exec(&job, &mut state).map(|report| BatchOutcome { report, state })
+                            }))
+                            .unwrap_or(Err(SpearError::WorkerPanicked { lane }));
                             produced.push((index, result));
                         }
                         produced
-                    })
+                    });
+                    (lane, indices, handle)
                 })
                 .collect();
-            for handle in handles {
-                let produced = handle.join().expect("batch worker panicked");
-                for (index, result) in produced {
-                    slots[index] = Some(result);
-                }
-            }
+            collect_outcomes(&mut slots, handles);
         });
-
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every job index is assigned exactly once"))
-            .collect()
+        seal_slots(slots)
     }
 
     /// Execute lowered-plan jobs with **caller-chosen lane and owner
@@ -249,32 +256,28 @@ impl BatchRunner {
                 .enumerate()
                 .filter(|(_, assigned)| !assigned.is_empty())
                 .map(|(lane, assigned)| {
-                    s.spawn(move || {
+                    let indices: Vec<usize> = assigned.iter().map(|(i, _)| *i).collect();
+                    let handle = s.spawn(move || {
                         let mut produced = Vec::with_capacity(assigned.len());
                         for (index, mut job) in assigned {
                             let _scope = scope::enter(job.owner, lane);
-                            let mut state = std::mem::take(&mut job.state);
-                            let result = runtime
-                                .execute_lowered(&job.plan, &mut state)
-                                .map(|report| BatchOutcome { report, state });
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                let mut state = std::mem::take(&mut job.state);
+                                runtime
+                                    .execute_lowered(&job.plan, &mut state)
+                                    .map(|report| BatchOutcome { report, state })
+                            }))
+                            .unwrap_or(Err(SpearError::WorkerPanicked { lane }));
                             produced.push((index, result));
                         }
                         produced
-                    })
+                    });
+                    (lane, indices, handle)
                 })
                 .collect();
-            for handle in handles {
-                let produced = handle.join().expect("assigned worker panicked");
-                for (index, result) in produced {
-                    slots[index] = Some(result);
-                }
-            }
+            collect_outcomes(&mut slots, handles);
         });
-
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every job index is assigned exactly once"))
-            .collect()
+        seal_slots(slots)
     }
 
     /// Common case: run the *same* pipeline over many per-job states.
@@ -294,7 +297,47 @@ impl BatchRunner {
     }
 }
 
+/// One spawned worker: its lane, the job indices it owns, and its handle.
+type WorkerHandle<'scope> = (
+    usize,
+    Vec<usize>,
+    std::thread::ScopedJoinHandle<'scope, Vec<(usize, Result<BatchOutcome>)>>,
+);
+
+/// Join every worker and place its results; a worker whose thread died
+/// despite per-job `catch_unwind` marks all of its assigned slots with
+/// [`SpearError::WorkerPanicked`] instead of poisoning the batch.
+fn collect_outcomes(slots: &mut [Option<Result<BatchOutcome>>], handles: Vec<WorkerHandle<'_>>) {
+    for (lane, indices, handle) in handles {
+        match handle.join() {
+            Ok(produced) => {
+                for (index, result) in produced {
+                    slots[index] = Some(result);
+                }
+            }
+            Err(_) => {
+                for index in indices {
+                    slots[index] = Some(Err(SpearError::WorkerPanicked { lane }));
+                }
+            }
+        }
+    }
+}
+
+/// Turn the slot table into the final outcome vector. Every index is
+/// assigned to exactly one worker, so an unfilled slot is a bug in this
+/// module — reported as a typed error, not a panic.
+fn seal_slots(slots: Vec<Option<Result<BatchOutcome>>>) -> Vec<Result<BatchOutcome>> {
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| Err(SpearError::Internal("job slot never filled".into())))
+        })
+        .collect()
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::history::RefinementMode;
@@ -383,6 +426,44 @@ mod tests {
     }
 
     #[test]
+    fn panicking_jobs_are_contained_to_their_slot() {
+        let rt = Runtime::builder()
+            .llm(Arc::new(EchoLlm::default()))
+            .agent(
+                "bomb",
+                Arc::new(crate::agent::FnAgent(
+                    |_: &Value, _: &crate::context::Context| -> Result<Value> {
+                        panic!("intentional test panic")
+                    },
+                )),
+            )
+            .build();
+        let good = pipeline();
+        let bad = Arc::new(
+            Pipeline::builder("bomb")
+                .delegate("bomb", crate::ops::PayloadSpec::Lit(Value::Null), "out")
+                .build(),
+        );
+        let runner = BatchRunner::new(2);
+        let jobs = vec![
+            BatchJob::new(Arc::clone(&good), state(0)),
+            BatchJob::new(bad, state(1)),
+            BatchJob::new(good, state(2)),
+        ];
+        // Silence the default panic hook for the intentional panic.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcomes = runner.run(&rt, jobs);
+        std::panic::set_hook(hook);
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(
+            outcomes[1].as_ref().unwrap_err(),
+            SpearError::WorkerPanicked { .. }
+        ));
+        assert!(outcomes[2].is_ok(), "later jobs on the lane keep running");
+    }
+
+    #[test]
     fn empty_batch_is_empty() {
         let rt = runtime();
         let runner = BatchRunner::new(8);
@@ -400,7 +481,7 @@ mod tests {
         let before = runner.next_owner.load(Ordering::Relaxed);
         assert!(runner.run(&rt, Vec::new()).is_empty());
         assert!(runner.run_states(&rt, &pipeline(), Vec::new()).is_empty());
-        let plan = Arc::new(crate::plan::lower(&pipeline()));
+        let plan = Arc::new(crate::plan::lower(&pipeline()).expect("lowers"));
         assert!(runner.run_lowered(&rt, &plan, Vec::new()).is_empty());
         assert!(runner.run_assigned(&rt, Vec::new()).is_empty());
         assert_eq!(
@@ -413,7 +494,7 @@ mod tests {
     #[test]
     fn assigned_jobs_share_lanes_and_keep_submission_order() {
         let rt = runtime();
-        let plan = Arc::new(crate::plan::lower(&pipeline()));
+        let plan = Arc::new(crate::plan::lower(&pipeline()).expect("lowers"));
         let runner = BatchRunner::new(4);
         let jobs: Vec<AssignedJob> = (0..9)
             .map(|i| AssignedJob {
@@ -440,7 +521,7 @@ mod tests {
     #[test]
     fn assigned_lanes_wrap_modulo_worker_count() {
         let rt = runtime();
-        let plan = Arc::new(crate::plan::lower(&pipeline()));
+        let plan = Arc::new(crate::plan::lower(&pipeline()).expect("lowers"));
         let runner = BatchRunner::new(2);
         let jobs: Vec<AssignedJob> = (0..4)
             .map(|i| AssignedJob {

@@ -113,6 +113,24 @@ pub enum SpearError {
     Kv(spear_kv::KvError),
     /// Catch-all for invalid pipeline construction.
     InvalidPipeline(String),
+    /// A lowered plan failed static verification (see [`crate::analysis`]).
+    /// Carries the verifier's diagnostics so callers can render them.
+    InvalidPlan {
+        /// Name of the rejected plan.
+        plan: String,
+        /// The diagnostics that caused the rejection (at least one of them
+        /// is an error).
+        diagnostics: Vec<crate::analysis::Diagnostic>,
+    },
+    /// A batch worker thread panicked; the jobs it was assigned report
+    /// this instead of poisoning the whole batch.
+    WorkerPanicked {
+        /// The worker lane that panicked.
+        lane: usize,
+    },
+    /// An internal invariant was violated (a bug in this crate, not in the
+    /// caller's pipeline).
+    Internal(String),
 }
 
 impl fmt::Display for SpearError {
@@ -176,6 +194,21 @@ impl fmt::Display for SpearError {
             }
             SpearError::Kv(e) => write!(f, "kv substrate error: {e}"),
             SpearError::InvalidPipeline(e) => write!(f, "invalid pipeline: {e}"),
+            SpearError::InvalidPlan { plan, diagnostics } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == crate::analysis::Severity::Error)
+                    .count();
+                write!(f, "invalid plan {plan:?}: {errors} error(s)")?;
+                if let Some(first) = diagnostics.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+            SpearError::WorkerPanicked { lane } => {
+                write!(f, "batch worker on lane {lane} panicked")
+            }
+            SpearError::Internal(e) => write!(f, "internal error: {e}"),
         }
     }
 }

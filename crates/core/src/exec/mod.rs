@@ -14,6 +14,12 @@
 //!
 //! Both produce byte-identical traces for any pipeline, including error
 //! paths (see `tests/trace_equivalence.rs`).
+//!
+//! The spine must never panic on user input — failures are typed
+//! [`SpearError`]s — so `unwrap()`/`expect()` are denied throughout the
+//! executor tree.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub(crate) mod check;
 pub(crate) mod delegate;

@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod analysis;
 pub mod batch;
 pub mod cancel;
 pub mod condition;
@@ -103,6 +104,7 @@ pub mod validate;
 pub mod value;
 pub mod view;
 
+pub use analysis::{Diagnostic, Lint, LintPass, Severity, Verifier};
 pub use batch::{AssignedJob, BatchJob, BatchOutcome, BatchRunner};
 pub use cancel::CancelToken;
 pub use condition::{CmpOp, Cond, Operand};
@@ -125,6 +127,7 @@ pub use view::{ParamSpec, ViewCatalog, ViewDef};
 /// Convenient glob-import of the most-used types.
 pub mod prelude {
     pub use crate::agent::{Agent, AgentRegistry, FnAgent};
+    pub use crate::analysis::{Diagnostic, Lint, LintPass, Severity, Verifier};
     pub use crate::batch::{AssignedJob, BatchJob, BatchOutcome, BatchRunner};
     pub use crate::cancel::CancelToken;
     pub use crate::condition::{CmpOp, Cond, Operand};

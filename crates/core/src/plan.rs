@@ -176,15 +176,41 @@ impl LoweredPlan {
 }
 
 /// Lower a pipeline into the flat IR.
-#[must_use]
-pub fn lower(pipeline: &Pipeline) -> LoweredPlan {
+///
+/// Lowering fails closed: before a plan is released it passes the
+/// structural self-check of [`crate::analysis::verify_structural`], so a
+/// malformed branch shape can never leak an unpatched
+/// `Jump { target: usize::MAX }` placeholder (or any other bad target)
+/// into the executor.
+///
+/// # Errors
+///
+/// Returns [`crate::error::SpearError::InvalidPlan`] carrying the
+/// structural diagnostics when the emitted slot program is malformed.
+pub fn lower(pipeline: &Pipeline) -> crate::error::Result<LoweredPlan> {
     let mut ops = Vec::new();
     lower_ops(&pipeline.ops, None, &mut Vec::new(), &mut ops);
-    LoweredPlan {
+    release(LoweredPlan {
         name: pipeline.name.clone(),
         source_size: pipeline.size(),
         ops,
+    })
+}
+
+/// The fail-closed gate between emitting instructions and handing the
+/// plan to callers.
+fn release(plan: LoweredPlan) -> crate::error::Result<LoweredPlan> {
+    let diagnostics = crate::analysis::verify_structural(&plan);
+    if diagnostics
+        .iter()
+        .any(crate::analysis::Diagnostic::is_error)
+    {
+        return Err(crate::error::SpearError::InvalidPlan {
+            plan: plan.name,
+            diagnostics,
+        });
     }
+    Ok(plan)
 }
 
 fn lower_ops(
@@ -222,10 +248,12 @@ fn lower_ops(
                     else_start
                 };
                 frames.pop();
-                let LoweredOp::Check { on_false: slot, .. } = &mut out[check_at] else {
-                    unreachable!("check_at indexes the Check pushed above")
-                };
-                *slot = on_false;
+                // A non-Check here would mean the branch shape went wrong;
+                // leave the placeholder in place and let `release()` turn
+                // it into an `InvalidPlan` error instead of panicking.
+                if let LoweredOp::Check { on_false: slot, .. } = &mut out[check_at] {
+                    *slot = on_false;
+                }
             }
             other => out.push(LoweredOp::Leaf {
                 op: other.clone(),
@@ -247,7 +275,7 @@ mod tests {
             .create_text("p", "base", RefinementMode::Manual)
             .gen("a", "p")
             .build();
-        let lowered = lower(&p);
+        let lowered = lower(&p).unwrap();
         assert_eq!(lowered.name, "flat");
         assert_eq!(lowered.source_size, 2);
         assert_eq!(lowered.ops.len(), 2);
@@ -263,7 +291,7 @@ mod tests {
             .check(Cond::Always, |b| b.expand("p", "more").expand("p", "more"))
             .gen("a", "p")
             .build();
-        let lowered = lower(&p);
+        let lowered = lower(&p).unwrap();
         // create, check, expand, expand, gen
         assert_eq!(lowered.ops.len(), 5);
         let LoweredOp::Check { on_false, .. } = &lowered.ops[1] else {
@@ -299,7 +327,7 @@ mod tests {
                 |b| b.expand("p", "else"),
             )
             .build();
-        let lowered = lower(&p);
+        let lowered = lower(&p).unwrap();
         // create, check, then-expand, jump, else-expand
         assert_eq!(lowered.ops.len(), 5);
         let LoweredOp::Check { on_false, .. } = &lowered.ops[1] else {
@@ -320,7 +348,7 @@ mod tests {
                 b.check(Cond::Never, |b| b.expand("p", "x"))
             })
             .build();
-        let lowered = lower(&p);
+        let lowered = lower(&p).unwrap();
         let LoweredOp::Leaf { frames, .. } = &lowered.ops[2] else {
             panic!("innermost leaf at 2: {}", lowered.describe())
         };
@@ -345,6 +373,7 @@ mod tests {
             .gen("a", "p")
             .build();
         let key = lower(&p)
+            .unwrap()
             .affinity_key()
             .expect("view-derived plans have a key");
         assert_eq!(
@@ -357,7 +386,10 @@ mod tests {
             .create_from_view("p", "tweet_filter", args.clone())
             .gen("a", "p")
             .build();
-        assert_eq!(lower(&q).affinity_key().as_deref(), Some(key.as_str()));
+        assert_eq!(
+            lower(&q).unwrap().affinity_key().as_deref(),
+            Some(key.as_str())
+        );
 
         // Different params land in a different affinity group.
         let other: std::collections::BTreeMap<String, Value> =
@@ -368,7 +400,7 @@ mod tests {
             .create_from_view("p", "tweet_filter", other)
             .gen("a", "p")
             .build();
-        assert_ne!(lower(&r).affinity_key(), Some(key));
+        assert_ne!(lower(&r).unwrap().affinity_key(), Some(key));
     }
 
     #[test]
@@ -385,10 +417,10 @@ mod tests {
             .create_text("p", "a different base", RefinementMode::Manual)
             .gen("a", "p")
             .build();
-        let ka = lower(&a).affinity_key().unwrap();
+        let ka = lower(&a).unwrap().affinity_key().unwrap();
         assert!(ka.starts_with("text:"));
-        assert_eq!(lower(&b).affinity_key().unwrap(), ka);
-        assert_ne!(lower(&c).affinity_key().unwrap(), ka);
+        assert_eq!(lower(&b).unwrap().affinity_key().unwrap(), ka);
+        assert_ne!(lower(&c).unwrap().affinity_key().unwrap(), ka);
 
         // A purely inline GEN has no structured identity: no key.
         let opaque = Pipeline::builder("op")
@@ -398,7 +430,7 @@ mod tests {
                 crate::llm::GenOptions::default(),
             )
             .build();
-        assert_eq!(lower(&opaque).affinity_key(), None);
+        assert_eq!(lower(&opaque).unwrap().affinity_key(), None);
     }
 
     #[test]
@@ -414,6 +446,7 @@ mod tests {
             )
             .build();
         assert!(lower(&v)
+            .unwrap()
             .affinity_key()
             .unwrap()
             .starts_with("view:summary#"));
@@ -429,9 +462,54 @@ mod tests {
             )
             .build();
         assert_eq!(
-            lower(&l).affinity_key().as_deref(),
+            lower(&l).unwrap().affinity_key().as_deref(),
             Some("view:fused@1#0/v1")
         );
+    }
+
+    #[test]
+    fn release_rejects_leaked_placeholders() {
+        // Regression for the fail-closed gate: if a malformed branch shape
+        // ever leaves an unpatched placeholder behind, `lower()` must
+        // return Err instead of releasing the plan to the executor.
+        let leaked = LoweredPlan {
+            name: "leaky".into(),
+            source_size: 1,
+            ops: vec![LoweredOp::Jump { target: usize::MAX }],
+        };
+        let err = release(leaked).unwrap_err();
+        let crate::error::SpearError::InvalidPlan { plan, diagnostics } = err else {
+            panic!("expected InvalidPlan")
+        };
+        assert_eq!(plan, "leaky");
+        assert_eq!(diagnostics.len(), 1);
+        assert_eq!(diagnostics[0].code, "SPEAR-E003");
+        assert_eq!(diagnostics[0].slot, Some(0));
+    }
+
+    #[test]
+    fn lowering_never_emits_placeholder_targets() {
+        // Deeply nested and else-carrying branch shapes all patch their
+        // placeholders before release.
+        let p = Pipeline::builder("deep")
+            .check_else(
+                Cond::Always,
+                |b| {
+                    b.check(Cond::Never, |b| {
+                        b.check_else(Cond::Always, |b| b.expand("p", "a"), |b| b.expand("p", "b"))
+                    })
+                },
+                |b| b.check(Cond::Always, |b| b.expand("p", "c")),
+            )
+            .build();
+        let lowered = lower(&p).unwrap();
+        for op in &lowered.ops {
+            match op {
+                LoweredOp::Jump { target } => assert_ne!(*target, usize::MAX),
+                LoweredOp::Check { on_false, .. } => assert_ne!(*on_false, usize::MAX),
+                LoweredOp::Leaf { .. } => {}
+            }
+        }
     }
 
     #[test]
@@ -440,7 +518,7 @@ mod tests {
             .create_text("p", "base", RefinementMode::Manual)
             .check(Cond::low_confidence(0.5), |b| b.expand("p", "x"))
             .build();
-        let lowered = lower(&p);
+        let lowered = lower(&p).unwrap();
         let json = serde_json::to_string(&lowered).unwrap();
         let back: LoweredPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(lowered, back);

@@ -9,6 +9,8 @@
 //! so the two paths can be differentially tested for byte-identical
 //! traces.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,6 +44,13 @@ pub struct RuntimeConfig {
     /// Latency budget per `execute` call (accumulated virtual latency);
     /// `None` = unbounded.
     pub max_latency: Option<Duration>,
+    /// Default-on structural verify gate: before stepping a lowered plan,
+    /// reject it with [`crate::error::SpearError::InvalidPlan`] if
+    /// [`crate::analysis::verify_structural`] finds errors (malformed
+    /// targets, leaked lowering placeholders, backward jumps). Plans from
+    /// [`crate::plan::lower`] never trip it; plans of unknown provenance
+    /// (deserialized, hand-built) do before any LLM call.
+    pub verify: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -50,6 +59,7 @@ impl Default for RuntimeConfig {
             max_ops: 10_000,
             max_tokens: None,
             max_latency: None,
+            verify: true,
         }
     }
 }
@@ -275,7 +285,7 @@ impl Runtime {
     /// trace) and [`crate::error::SpearError::OpBudgetExceeded`] if the op
     /// cap is hit.
     pub fn execute(&self, pipeline: &Pipeline, state: &mut ExecState) -> Result<ExecReport> {
-        let lowered = plan::lower(pipeline);
+        let lowered = plan::lower(pipeline)?;
         self.execute_lowered(&lowered, state)
     }
 
@@ -291,12 +301,34 @@ impl Runtime {
         lowered: &LoweredPlan,
         state: &mut ExecState,
     ) -> Result<ExecReport> {
+        if self.config.verify {
+            let diagnostics = crate::analysis::verify_structural(lowered);
+            if diagnostics
+                .iter()
+                .any(crate::analysis::Diagnostic::is_error)
+            {
+                return Err(crate::error::SpearError::InvalidPlan {
+                    plan: lowered.name.clone(),
+                    diagnostics,
+                });
+            }
+        }
         self.traced_run(
             &lowered.name,
             lowered.source_size,
             state,
             |rt, st, budget, limits| exec::run_lowered(rt, lowered, st, budget, limits),
         )
+    }
+
+    /// Run the full static verifier over `lowered` against this runtime's
+    /// registries — shorthand for
+    /// `analysis::Verifier::with_runtime(self).verify(lowered)`. Unlike
+    /// the structural gate in [`Runtime::execute_lowered`], this includes
+    /// def-use, registry resolution, and affinity checks.
+    #[must_use]
+    pub fn verify_lowered(&self, lowered: &LoweredPlan) -> Vec<crate::analysis::Diagnostic> {
+        crate::analysis::Verifier::with_runtime(self).verify(lowered)
     }
 
     /// Execute `pipeline` via the reference recursive tree walk. Kept for

@@ -2,7 +2,7 @@
 //!
 //! Pipelines are data, so they can be checked before execution — the
 //! prompt-level analogue of semantic analysis in a query compiler. The
-//! validator walks a pipeline against a runtime's registries and reports:
+//! validator reports:
 //!
 //! - references to unregistered refiners, views, retrievers, or agents,
 //! - operators reading prompt keys that no reachable path has created,
@@ -14,11 +14,20 @@
 //! mistakes, not conservative may-issues — runtime errors still catch the
 //! rest. Keys already present in a caller-provided starting state can be
 //! declared via [`Validator::assume_prompt`].
+//!
+//! Since the IR-level verifier landed ([`crate::analysis`]), this module
+//! is a thin wrapper: the pipeline is lowered and the checks run as
+//! dataflow passes over the slot program (where the union join at branch
+//! merges *is* the optimistic semantics). Tree-facing callers keep the
+//! same API and the same messages in the same program order; IR-facing
+//! callers (optimizer plans, serve admission) use
+//! [`crate::analysis::Verifier`] directly and additionally get the
+//! structural, budget, and affinity lints.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::ops::{Op, PayloadSpec, PromptRef};
+use crate::analysis::Verifier;
 use crate::pipeline::Pipeline;
 use crate::runtime::Runtime;
 
@@ -62,145 +71,46 @@ impl<'a> Validator<'a> {
 
     /// Run validation; an empty result means the pipeline is statically
     /// sound against this runtime.
+    ///
+    /// Lowers the pipeline and runs the IR verifier's error-severity
+    /// passes; because lowering emits then-branches before else-branches,
+    /// slot order is program order and the issues come back in the same
+    /// order the old tree walk produced.
     #[must_use]
     pub fn validate(&self, pipeline: &Pipeline) -> Vec<ValidationIssue> {
-        let mut issues = Vec::new();
-        let mut prompts = self.assumed_prompts.clone();
-        self.walk(&pipeline.ops, &mut prompts, &mut issues);
-        issues
-    }
-
-    fn check_view(&self, op: &Op, name: &str, issues: &mut Vec<ValidationIssue>) {
-        if !self.runtime.views().contains(name) {
-            issues.push(ValidationIssue {
-                op: op.describe(),
-                message: format!("view {name:?} is not registered"),
-            });
-        }
-    }
-
-    fn walk(&self, ops: &[Op], prompts: &mut BTreeSet<String>, issues: &mut Vec<ValidationIssue>) {
-        for op in ops {
-            match op {
-                Op::Ret { source, prompt, .. } => {
-                    if self
-                        .runtime
-                        .retriever_sources()
-                        .binary_search(source)
-                        .is_err()
-                    {
-                        issues.push(ValidationIssue {
-                            op: op.describe(),
-                            message: format!("retriever source {source:?} is not registered"),
-                        });
-                    }
-                    if let Some(key) = prompt {
-                        if !prompts.contains(key) {
-                            issues.push(ValidationIssue {
-                                op: op.describe(),
-                                message: format!(
-                                    "retrieval prompt P[{key:?}] is never created before this RET"
-                                ),
-                            });
-                        }
-                    }
-                }
-                Op::Gen { prompt, .. } => {
-                    if self.runtime.llm().is_none() {
-                        issues.push(ValidationIssue {
-                            op: op.describe(),
-                            message: "runtime has no LLM configured".to_string(),
-                        });
-                    }
-                    match prompt {
-                        PromptRef::Key(key) => {
-                            if !prompts.contains(key) {
-                                issues.push(ValidationIssue {
-                                    op: op.describe(),
-                                    message: format!("P[{key:?}] is never created before this GEN"),
-                                });
-                            }
-                        }
-                        PromptRef::View { name, .. } => self.check_view(op, name, issues),
-                        PromptRef::Inline(_) | PromptRef::Lowered { .. } => {}
-                    }
-                }
-                Op::Ref {
-                    target,
-                    action,
-                    refiner,
-                    args,
-                    ..
-                } => {
-                    if self.runtime.refiner_names().binary_search(refiner).is_err() {
-                        issues.push(ValidationIssue {
-                            op: op.describe(),
-                            message: format!("refiner {refiner:?} is not registered"),
-                        });
-                    }
-                    if refiner == "from_view" {
-                        if let Some(name) = args
-                            .as_map()
-                            .and_then(|m| m.get("view"))
-                            .and_then(|v| v.as_str())
-                        {
-                            self.check_view(op, name, issues);
-                        }
-                    }
-                    let creates = *action == crate::history::RefAction::Create;
-                    if !creates && !prompts.contains(target) {
-                        issues.push(ValidationIssue {
-                            op: op.describe(),
-                            message: format!(
-                                "P[{target:?}] is refined ({action}) before any CREATE"
-                            ),
-                        });
-                    }
-                    prompts.insert(target.clone());
-                }
-                Op::Check {
-                    then_ops, else_ops, ..
-                } => {
-                    // Optimistic branch semantics: a key defined in either
-                    // branch counts as defined afterwards.
-                    let mut then_prompts = prompts.clone();
-                    self.walk(then_ops, &mut then_prompts, issues);
-                    let mut else_prompts = prompts.clone();
-                    self.walk(else_ops, &mut else_prompts, issues);
-                    prompts.extend(then_prompts);
-                    prompts.extend(else_prompts);
-                }
-                Op::Merge {
-                    left, right, into, ..
-                } => {
-                    for side in [left, right] {
-                        if !prompts.contains(side) {
-                            issues.push(ValidationIssue {
-                                op: op.describe(),
-                                message: format!("MERGE source P[{side:?}] is never created"),
-                            });
-                        }
-                    }
-                    prompts.insert(into.clone());
-                }
-                Op::Delegate { agent, payload, .. } => {
-                    if self.runtime.agent_names().binary_search(agent).is_err() {
-                        issues.push(ValidationIssue {
-                            op: op.describe(),
-                            message: format!("agent {agent:?} is not registered"),
-                        });
-                    }
-                    if let PayloadSpec::PromptKey(key) = payload {
-                        if !prompts.contains(key) {
-                            issues.push(ValidationIssue {
-                                op: op.describe(),
-                                message: format!("payload prompt P[{key:?}] is never created"),
-                            });
-                        }
-                    }
-                }
+        let plan = match crate::plan::lower(pipeline) {
+            Ok(plan) => plan,
+            // Lowering itself fails closed; report its diagnostics the
+            // same way instead of panicking in a diagnostics API.
+            Err(crate::error::SpearError::InvalidPlan { diagnostics, .. }) => {
+                return diagnostics
+                    .into_iter()
+                    .map(|d| ValidationIssue {
+                        op: d.op,
+                        message: d.message,
+                    })
+                    .collect();
             }
+            Err(e) => {
+                return vec![ValidationIssue {
+                    op: String::new(),
+                    message: e.to_string(),
+                }];
+            }
+        };
+        let mut verifier = Verifier::with_runtime(self.runtime);
+        for key in &self.assumed_prompts {
+            verifier = verifier.assume_prompt(key.clone());
         }
+        verifier
+            .verify(&plan)
+            .into_iter()
+            .filter(crate::analysis::Diagnostic::is_error)
+            .map(|d| ValidationIssue {
+                op: d.op,
+                message: d.message,
+            })
+            .collect()
     }
 }
 
@@ -220,7 +130,7 @@ mod tests {
     use crate::condition::Cond;
     use crate::history::{RefAction, RefinementMode};
     use crate::llm::EchoLlm;
-    use crate::ops::MergePolicy;
+    use crate::ops::{MergePolicy, PayloadSpec};
     use crate::retriever::InMemoryRetriever;
     use crate::value::Value;
     use crate::view::ViewDef;

@@ -1,0 +1,264 @@
+//! Golden tests for the IR verifier's diagnostics: one hand-built plan per
+//! seeded defect class, with the *rendered* diagnostic pinned byte-for-byte.
+//! Lint codes are a stable interface — tools and serve-layer clients match
+//! on them — so any drift in code, severity, anchoring, or message shows
+//! up here as a readable diff.
+
+use spear_core::analysis::{render_diagnostics, Verifier};
+use spear_core::condition::Cond;
+use spear_core::history::RefinementMode;
+use spear_core::llm::GenOptions;
+use spear_core::ops::{Op, PromptRef};
+use spear_core::pipeline::Pipeline;
+use spear_core::plan::{lower, LoweredOp, LoweredPlan};
+
+fn leaf(op: Op) -> LoweredOp {
+    LoweredOp::Leaf {
+        op,
+        trigger: None,
+        frames: Vec::new(),
+    }
+}
+
+fn gen(label: &str, prompt: PromptRef) -> Op {
+    Op::Gen {
+        label: label.into(),
+        prompt,
+        options: GenOptions::default(),
+    }
+}
+
+fn create(target: &str) -> Op {
+    Op::Ref {
+        target: target.into(),
+        action: spear_core::history::RefAction::Create,
+        refiner: "set_text".into(),
+        args: spear_core::value::Value::from("base"),
+        mode: RefinementMode::Manual,
+    }
+}
+
+fn plan(name: &str, ops: Vec<LoweredOp>) -> LoweredPlan {
+    LoweredPlan {
+        name: name.into(),
+        source_size: ops.len() as u64,
+        ops,
+    }
+}
+
+/// Verify `plan` and return the rendered diagnostics.
+fn rendered(verifier: &Verifier<'_>, plan: &LoweredPlan) -> String {
+    render_diagnostics(plan, &verifier.verify(plan))
+}
+
+#[test]
+fn golden_e001_bad_jump_target() {
+    let p = plan(
+        "bad_jump",
+        vec![leaf(create("p")), LoweredOp::Jump { target: 9 }],
+    );
+    assert_eq!(
+        rendered(&Verifier::new(), &p),
+        "error[SPEAR-E001] in plan \"bad_jump\": jump target 9 is out of bounds (2 slots)\n\
+         \x20 0001  JUMP -> 0009\n"
+    );
+}
+
+#[test]
+fn golden_e002_check_target_escapes() {
+    let p = plan(
+        "bad_else",
+        vec![
+            leaf(create("p")),
+            LoweredOp::Check {
+                cond: Cond::Always,
+                on_false: 7,
+                frames: Vec::new(),
+            },
+            leaf(gen("a", PromptRef::key("p"))),
+        ],
+    );
+    assert_eq!(
+        rendered(&Verifier::new(), &p),
+        "error[SPEAR-E002] in plan \"bad_else\": CHECK else-target 7 escapes the plan (3 slots)\n\
+         \x20 0001  CHECK[true] else -> 0007\n"
+    );
+}
+
+#[test]
+fn golden_e003_placeholder_leak() {
+    let p = plan("leaked", vec![LoweredOp::Jump { target: usize::MAX }]);
+    let diags = Verifier::new().verify(&p);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "SPEAR-E003");
+    let text = render_diagnostics(&p, &diags);
+    assert!(
+        text.starts_with(
+            "error[SPEAR-E003] in plan \"leaked\": JUMP at slot 0000 kept the usize::MAX \
+             lowering placeholder\n"
+        ),
+        "{text}"
+    );
+}
+
+#[test]
+fn golden_e004_undefined_prompt_key() {
+    let p = lower(&Pipeline::builder("bad").gen("answer", "ghost").build()).expect("lowers");
+    assert_eq!(
+        rendered(&Verifier::new(), &p),
+        "error[SPEAR-E004] in plan \"bad\": P[\"ghost\"] is never created before this GEN\n\
+         \x20 0000  GEN[\"answer\"] using P[\"ghost\"]\n"
+    );
+}
+
+#[test]
+fn golden_e005_budget_infeasible_deadline() {
+    let p = lower(
+        &Pipeline::builder("rushed")
+            .create_text("p", "base", RefinementMode::Manual)
+            .gen("a", "p")
+            .gen("b", "p")
+            .build(),
+    )
+    .expect("lowers");
+    // Two unconditional GENs at >= 100 virtual µs each vs a 150 µs deadline.
+    assert_eq!(
+        rendered(&Verifier::new().deadline_us(150), &p),
+        "error[SPEAR-E005] in plan \"rushed\": every path needs at least 200 µs of generation \
+         but the deadline is 150 µs\n"
+    );
+}
+
+#[test]
+fn golden_e006_backward_jump() {
+    let p = plan(
+        "looping",
+        vec![leaf(create("p")), LoweredOp::Jump { target: 0 }],
+    );
+    assert_eq!(
+        rendered(&Verifier::new(), &p),
+        "error[SPEAR-E006] in plan \"looping\": slot 0001 jumps backwards to 0000; lowered \
+         plans must move strictly forward to guarantee termination\n\
+         \x20 0001  JUMP -> 0000\n"
+    );
+}
+
+#[test]
+fn golden_w001_unreachable_slot() {
+    let p = plan(
+        "dead_code",
+        vec![
+            LoweredOp::Jump { target: 2 },
+            leaf(create("orphan")),
+            leaf(create("p")),
+        ],
+    );
+    assert_eq!(
+        rendered(&Verifier::new(), &p),
+        "warning[SPEAR-W001] in plan \"dead_code\": slot 0001 can never be reached from entry\n\
+         \x20 0001  REF[CREATE, set_text] on P[\"orphan\"]\n"
+    );
+}
+
+#[test]
+fn golden_w002_affinity_mismatch() {
+    let stage = |label: &str, identity: &str| {
+        leaf(gen(
+            label,
+            PromptRef::Lowered {
+                text: "generated".into(),
+                identity: Some(identity.into()),
+            },
+        ))
+    };
+    let p = plan(
+        "mixed",
+        vec![
+            stage("s0", "view:tweets@1/stage0"),
+            stage("s1", "view:reviews@2/stage1"),
+        ],
+    );
+    let diags = Verifier::new().verify(&p);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "SPEAR-W002");
+    assert_eq!(diags[0].slot, Some(1));
+    assert_eq!(
+        diags[0].message,
+        "fused stage carries affinity base \"view:reviews@2\" but the stage at slot 0000 \
+         carries \"view:tweets@1\"; mixed bases defeat cache-affinity routing"
+    );
+}
+
+#[test]
+fn golden_w003_budget_at_risk() {
+    let p = lower(
+        &Pipeline::builder("risky")
+            .create_text("p", "base", RefinementMode::Manual)
+            .gen("a", "p")
+            .check(Cond::low_confidence(0.5), |b| b.gen("b", "p"))
+            .build(),
+    )
+    .expect("lowers");
+    // The retry GEN is conditional: worst case 200 µs, best case 100 µs,
+    // so a 150 µs deadline is at risk but not infeasible.
+    let diags = Verifier::new().deadline_us(150).verify(&p);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "SPEAR-W003");
+    assert_eq!(
+        diags[0].message,
+        "the worst-case path needs 200 µs of generation against a deadline of 150 µs"
+    );
+}
+
+#[test]
+fn lowering_rejects_placeholder_leaks_end_to_end() {
+    // `lower()` fails closed: a leaked placeholder comes back as
+    // InvalidPlan carrying the E003 diagnostic, never as a plan.
+    let p = plan("leaked", vec![LoweredOp::Jump { target: usize::MAX }]);
+    let diags = spear_core::analysis::verify_structural(&p);
+    assert!(diags.iter().any(|d| d.code == "SPEAR-E003"));
+}
+
+mod soundness {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn nested_pipeline(depth: u32, breadth: u32) -> Pipeline {
+        fn add_layer(
+            b: spear_core::pipeline::PipelineBuilder,
+            depth: u32,
+            breadth: u32,
+        ) -> spear_core::pipeline::PipelineBuilder {
+            if depth == 0 {
+                return b.expand("p", "leaf");
+            }
+            let mut b = b;
+            for i in 0..breadth {
+                b = b.check_else(
+                    Cond::low_confidence(0.5),
+                    |t| add_layer(t.expand("p", "then"), depth - 1, breadth),
+                    |e| e.expand("p", &format!("else {i}")),
+                );
+            }
+            b
+        }
+        let b = Pipeline::builder("nested").create_text("p", "base", RefinementMode::Manual);
+        add_layer(b, depth, breadth).gen("a", "p").build()
+    }
+
+    proptest! {
+        /// Every nested-CHECK shape the builder can express lowers `Ok`
+        /// and verifies clean: branch joins, else-jumps, and placeholder
+        /// patching survive arbitrary nesting.
+        #[test]
+        fn nested_check_pipelines_lower_and_verify_clean(
+            depth in 0u32..4,
+            breadth in 1u32..4,
+        ) {
+            let p = nested_pipeline(depth, breadth);
+            let lowered = lower(&p).expect("builder pipelines lower clean");
+            let diags = Verifier::new().verify(&lowered);
+            prop_assert!(diags.is_empty(), "{diags:?}");
+        }
+    }
+}

@@ -442,7 +442,7 @@ fn execute_twice_accumulates_state() {
 fn execute_lowered_accepts_a_prelowered_plan() {
     let rt = runtime();
     let pipeline = qa_pipeline();
-    let lowered = lower(&pipeline);
+    let lowered = lower(&pipeline).unwrap();
 
     let mut via_pipeline = ExecState::new();
     let mut via_plan = ExecState::new();

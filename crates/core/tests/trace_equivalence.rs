@@ -135,7 +135,7 @@ proptest! {
         tweet in "[a-z ]{0,16}",
     ) {
         let p = pipeline(&instrs);
-        let lowered = lower(&p);
+        let lowered = lower(&p).unwrap();
         let rt = runtime();
 
         let mut tree_state = seeded_state(&tweet);
@@ -157,7 +157,7 @@ proptest! {
         instrs in proptest::collection::vec(instr_strategy(), 0..5),
     ) {
         let p = pipeline(&instrs);
-        let lowered = Arc::new(lower(&p));
+        let lowered = Arc::new(lower(&p).unwrap());
         let tweets: Vec<String> = (0..6).map(|i| format!("tweet number {i}")).collect();
 
         let run = |workers: usize| -> Vec<String> {

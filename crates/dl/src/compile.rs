@@ -40,9 +40,38 @@ impl Compiled {
     /// order. DL programs thereby target the same execution spine as
     /// optimizer plans and hand-built pipelines; a host can lower once and
     /// re-execute via `Runtime::execute_lowered` without re-flattening.
-    #[must_use]
-    pub fn lower(&self) -> Vec<spear_core::plan::LoweredPlan> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`spear_core::error::SpearError::InvalidPlan`] if any
+    /// lowered plan fails the structural verifier (lowering fails closed
+    /// rather than emitting a malformed slot program).
+    pub fn lower(&self) -> spear_core::error::Result<Vec<spear_core::plan::LoweredPlan>> {
         self.pipelines.iter().map(spear_core::plan::lower).collect()
+    }
+
+    /// Run the full IR verifier over every compiled pipeline against
+    /// `runtime` (install the program's views first, as with
+    /// [`Compiled::validate`]). Returns `(pipeline name, diagnostic)`
+    /// pairs — including warning-severity lints that
+    /// [`Compiled::validate`] does not surface.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering failures as [`spear_core::error::SpearError`].
+    pub fn verify(
+        &self,
+        runtime: &spear_core::runtime::Runtime,
+    ) -> spear_core::error::Result<Vec<(String, spear_core::analysis::Diagnostic)>> {
+        let mut out = Vec::new();
+        for pipeline in &self.pipelines {
+            let plan = spear_core::plan::lower(pipeline)?;
+            let verifier = spear_core::analysis::Verifier::with_runtime(runtime);
+            for diagnostic in verifier.verify(&plan) {
+                out.push((pipeline.name.clone(), diagnostic));
+            }
+        }
+        Ok(out)
     }
 
     /// Statically validate every compiled pipeline against `runtime` (the
@@ -455,7 +484,7 @@ mod tests {
     fn lowering_targets_the_core_ir() {
         use spear_core::plan::LoweredOp;
         let c = compile(PROGRAM).unwrap();
-        let lowered = c.lower();
+        let lowered = c.lower().expect("compiled pipelines lower clean");
         assert_eq!(lowered.len(), 1);
         let plan = &lowered[0];
         assert_eq!(plan.name, "qa");

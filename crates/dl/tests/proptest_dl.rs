@@ -60,6 +60,23 @@ proptest! {
         let compiled = compile(&src).unwrap();
         let p = compiled.pipeline(&pipeline_name).unwrap();
         prop_assert_eq!(p.ops.len(), labels.len() * 2 + 1);
+
+        // Compile-time verification: everything the DL front end emits
+        // must lower without placeholder leaks and pass the IR verifier
+        // clean against a runtime with the program's own views installed.
+        let lowered = compiled.lower().expect("DL pipelines lower clean");
+        prop_assert_eq!(lowered.len(), 1);
+        let views = spear_core::view::ViewCatalog::new();
+        compiled.install_views(&views);
+        let runtime = spear_core::runtime::Runtime::builder()
+            .llm(std::sync::Arc::new(spear_core::llm::EchoLlm::default()))
+            .views(views)
+            .build();
+        let diagnostics = compiled.verify(&runtime).expect("DL pipelines lower clean");
+        prop_assert!(
+            diagnostics.is_empty(),
+            "DL-compiled plan tripped the verifier: {diagnostics:?}"
+        );
     }
 
     /// String literals survive the lexer's escape handling: a program

@@ -201,7 +201,7 @@ pub fn run_plan_with(
     items: &[String],
     options: &PlanRunOptions,
 ) -> Result<PlanRunReport> {
-    let lowered = Arc::new(lowering::lower_physical(plan));
+    let lowered = Arc::new(lowering::lower_physical(plan)?);
     let runtime = plan_runtime(llm, options.config.clone());
     let states: Vec<ExecState> = items
         .iter()

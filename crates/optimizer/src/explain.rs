@@ -167,6 +167,25 @@ pub fn explain_lowered(plan: &LoweredPlan) -> String {
     out
 }
 
+/// [`explain_lowered`] plus the static verifier's findings: the plan is
+/// rendered as usual, then each diagnostic from
+/// [`spear_core::analysis::Verifier`] is appended in the same
+/// slot-anchored format. A clean plan gets an explicit "verifier: clean"
+/// line so callers can tell "verified" from "not run".
+#[must_use]
+pub fn explain_lowered_with_lints(
+    plan: &LoweredPlan,
+    diagnostics: &[spear_core::analysis::Diagnostic],
+) -> String {
+    let mut out = explain_lowered(plan);
+    if diagnostics.is_empty() {
+        let _ = writeln!(out, "verifier: clean ({} slots checked)", plan.ops.len());
+    } else {
+        out.push_str(&spear_core::analysis::render_diagnostics(plan, diagnostics));
+    }
+    out
+}
+
 fn gen_cost(structured: bool, model: &CostModel, a: &ExplainAssumptions) -> Duration {
     let cached = if structured {
         a.prompt_tokens * a.cached_fraction
@@ -336,6 +355,24 @@ mod tests {
             },
         );
         assert!(opaque_cost.expected_latency > cached_cost.expected_latency);
+    }
+
+    #[test]
+    fn explain_with_lints_appends_diagnostics_or_clean_marker() {
+        let plan = spear_core::plan::lower(&pipeline()).unwrap();
+        let diags = spear_core::analysis::Verifier::new().verify(&plan);
+        let text = explain_lowered_with_lints(&plan, &diags);
+        assert!(text.contains("verifier: clean"), "{text}");
+
+        let bad = LoweredPlan {
+            name: "bad".into(),
+            source_size: 1,
+            ops: vec![LoweredOp::Jump { target: 9 }],
+        };
+        let diags = spear_core::analysis::Verifier::new().verify(&bad);
+        let text = explain_lowered_with_lints(&bad, &diags);
+        assert!(text.contains("SPEAR-E001"), "{text}");
+        assert!(text.contains("  0000  JUMP -> 0009"), "{text}");
     }
 
     #[test]

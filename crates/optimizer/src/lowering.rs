@@ -65,9 +65,15 @@ pub fn to_pipeline(plan: &PhysicalPlan) -> Pipeline {
 }
 
 /// Lower a physical plan straight to the core IR — shorthand for
-/// `spear_core::lower(&to_pipeline(plan))`.
-#[must_use]
-pub fn lower_physical(plan: &PhysicalPlan) -> LoweredPlan {
+/// `spear_core::lower(&to_pipeline(plan))`. Fails closed like core
+/// lowering: a structurally malformed slot program is returned as
+/// [`spear_core::SpearError::InvalidPlan`] instead of reaching the
+/// executor.
+///
+/// # Errors
+///
+/// Propagates core lowering's structural self-check failure.
+pub fn lower_physical(plan: &PhysicalPlan) -> spear_core::Result<LoweredPlan> {
     lower(&to_pipeline(plan))
 }
 
@@ -313,7 +319,7 @@ mod tests {
     fn lower_physical_produces_flat_ir_with_pushdown_jump() {
         let plan =
             PhysicalPlan::sequential(&SemanticPlan::filter_then_map("Keep negative.", "Clean."));
-        let ir = lower_physical(&plan);
+        let ir = lower_physical(&plan).expect("lowers clean");
         // GEN, DELEGATE, CHECK, guarded GEN.
         assert_eq!(ir.ops.len(), 4);
         let LoweredOp::Check { on_false, .. } = &ir.ops[2] else {

@@ -13,7 +13,7 @@ fn map_filter() -> SemanticPlan {
 
 #[test]
 fn sequential_plan_explains_stage_per_gen() {
-    let lowered = lower_physical(&PhysicalPlan::sequential(&map_filter()));
+    let lowered = lower_physical(&PhysicalPlan::sequential(&map_filter())).expect("lowers");
     let expected = "\
 EXPLAIN LOWERED PLAN \"physical([Map] [Filter])\"  (3 source ops, 3 slots)
   0000  GEN[\"s0\"] using lowered prompt
@@ -27,7 +27,7 @@ EXPLAIN LOWERED PLAN \"physical([Map] [Filter])\"  (3 source ops, 3 slots)
 
 #[test]
 fn fused_plan_explains_one_gen_with_both_parsers() {
-    let lowered = lower_physical(&PhysicalPlan::fused(&map_filter()));
+    let lowered = lower_physical(&PhysicalPlan::fused(&map_filter())).expect("lowers");
     let expected = "\
 EXPLAIN LOWERED PLAN \"physical([Map+Filter])\"  (3 source ops, 3 slots)
   0000  GEN[\"s0\"] using lowered prompt
@@ -43,7 +43,7 @@ fn reordered_plan_explains_pushdown_as_a_jump() {
     // Filter→Map: the reordered form where predicate pushdown pays — the
     // CHECK's else target jumps clear past the guarded Map stage.
     let plan = SemanticPlan::filter_then_map("Keep negative tweets.", "Clean up the tweet.");
-    let lowered = lower_physical(&PhysicalPlan::sequential(&plan));
+    let lowered = lower_physical(&PhysicalPlan::sequential(&plan)).expect("lowers");
     let expected = "\
 EXPLAIN LOWERED PLAN \"physical([Filter] [Map])\"  (4 source ops, 4 slots)
   0000  GEN[\"s0\"] using lowered prompt

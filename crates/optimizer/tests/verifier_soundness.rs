@@ -1,0 +1,48 @@
+//! Lowering soundness: every plan the optimizer emits must pass the IR
+//! verifier without a single diagnostic. The verifier exists to catch
+//! hand-built or corrupted plans — if it ever fires on our own lowering
+//! output, either the lowering or the verifier has a bug, and this test
+//! pins down which commit introduced it.
+
+use proptest::prelude::*;
+use spear_core::analysis::Verifier;
+use spear_optimizer::lower_physical;
+use spear_optimizer::plan::{PhysicalPlan, SemanticPlan};
+
+fn build_semantic(a: &str, b: &str, filter_first: bool, identity: Option<String>) -> SemanticPlan {
+    let plan = if filter_first {
+        SemanticPlan::filter_then_map(a, b)
+    } else {
+        SemanticPlan::map_then_filter(a, b)
+    };
+    match identity {
+        Some(id) => plan.with_identity(id),
+        None => plan,
+    }
+}
+
+proptest! {
+    #[test]
+    fn lowered_physical_plans_always_verify_clean(
+        a in "[a-zA-Z ]{1,40}",
+        b in "[a-zA-Z ]{1,40}",
+        filter_first in any::<bool>(),
+        identity in proptest::option::of("[a-z_]{1,12}"),
+        fused in any::<bool>(),
+    ) {
+        let plan = build_semantic(&a, &b, filter_first, identity);
+        let physical = if fused {
+            PhysicalPlan::fused(&plan)
+        } else {
+            PhysicalPlan::sequential(&plan)
+        };
+        let lowered = lower_physical(&physical).expect("optimizer lowering must not leak placeholders");
+        let diagnostics = Verifier::new().verify(&lowered);
+        prop_assert!(
+            diagnostics.is_empty(),
+            "optimizer-lowered plan {:?} tripped the verifier: {:?}",
+            lowered.name,
+            diagnostics
+        );
+    }
+}

@@ -34,6 +34,15 @@ pub enum ServeError {
         /// Rendered runtime error.
         error: String,
     },
+    /// The request's plan failed static verification at admission: the
+    /// IR verifier found error-severity defects, so the request was
+    /// rejected before any LLM call or queue slot was spent.
+    InvalidPlan {
+        /// Name of the rejected plan.
+        plan: String,
+        /// Rendered diagnostics (one per defect, stable lint codes).
+        details: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -53,6 +62,13 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
             ServeError::Exec { error } => write!(f, "execution failed: {error}"),
+            ServeError::InvalidPlan { plan, details } => {
+                write!(f, "invalid plan {plan:?}: {} defect(s)", details.len())?;
+                if let Some(first) = details.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

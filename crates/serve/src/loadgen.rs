@@ -141,7 +141,9 @@ pub fn generate(config: &LoadGenConfig) -> GeneratedWorkload {
             .create_from_view("p", &family_view_name(family), BTreeMap::new())
             .gen("answer", "p")
             .build();
-        plans.push(Arc::new(lower(&pipeline)));
+        plans.push(Arc::new(
+            lower(&pipeline).expect("generated pipelines lower clean"),
+        ));
     }
 
     let mut requests = Vec::with_capacity(config.requests);

@@ -209,12 +209,15 @@ mod tests {
     use std::sync::Arc;
 
     fn plan() -> Arc<LoweredPlan> {
-        Arc::new(lower(
-            &Pipeline::builder("q")
-                .create_text("p", "hi {{ctx:x}}", RefinementMode::Manual)
-                .gen("a", "p")
-                .build(),
-        ))
+        Arc::new(
+            lower(
+                &Pipeline::builder("q")
+                    .create_text("p", "hi {{ctx:x}}", RefinementMode::Manual)
+                    .gen("a", "p")
+                    .build(),
+            )
+            .expect("lowers"),
+        )
     }
 
     fn req(id: u64, class: Priority, arrival_us: u64, est_tokens: u64) -> ServeRequest {

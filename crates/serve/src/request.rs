@@ -125,12 +125,15 @@ mod tests {
 
     #[test]
     fn builder_style_setters_stick() {
-        let plan = Arc::new(lower(
-            &Pipeline::builder("r")
-                .create_text("p", "hello {{ctx:x}}", RefinementMode::Manual)
-                .gen("a", "p")
-                .build(),
-        ));
+        let plan = Arc::new(
+            lower(
+                &Pipeline::builder("r")
+                    .create_text("p", "hello {{ctx:x}}", RefinementMode::Manual)
+                    .gen("a", "p")
+                    .build(),
+            )
+            .expect("lowers"),
+        );
         let r = ServeRequest::new(7, Priority::Interactive, plan, ExecState::new(), 100)
             .with_deadline_us(5_000)
             .with_est_tokens(64);

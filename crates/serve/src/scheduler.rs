@@ -69,6 +69,12 @@ pub struct ServeConfig {
     pub affinity_routing: bool,
     /// Admission-control limits.
     pub admission: AdmissionConfig,
+    /// Statically verify each request's plan at admission and reject
+    /// requests whose plan has error-severity defects (bad jump targets,
+    /// undefined prompt keys, budget-infeasible deadlines, …) before any
+    /// LLM call or queue slot is spent. Default on; turn off only for
+    /// workloads known-verified out of band.
+    pub verify_admission: bool,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +84,7 @@ impl Default for ServeConfig {
             quantum: 4,
             affinity_routing: true,
             admission: AdmissionConfig::default(),
+            verify_admission: true,
         }
     }
 }
@@ -250,6 +257,27 @@ impl ServeNode {
                 let request = requests.pop().expect("peeked");
                 let class = request.priority;
                 let entry = accum.entry(class).or_default();
+                if self.config.verify_admission {
+                    if let Some(details) = verify_for_admission(runtime, &request) {
+                        entry.report.rejected += 1;
+                        outcomes.push(ServeOutcome {
+                            id: request.id,
+                            priority: class,
+                            status: ServeStatus::Rejected {
+                                error: ServeError::InvalidPlan {
+                                    plan: request.plan.name.clone(),
+                                    details,
+                                },
+                            },
+                            queue_wait_us: 0,
+                            service_us: 0,
+                            finish_us: 0,
+                            trace_digest: None,
+                            usage: TokenUsage::default(),
+                        });
+                        continue;
+                    }
+                }
                 match queue.offer(request) {
                     Ok(()) => {
                         entry.report.admitted += 1;
@@ -446,6 +474,32 @@ impl ServeNode {
     }
 }
 
+/// Statically verify a request's plan at admission: full IR verification
+/// against the runtime's registries, seeded with the prompt keys already
+/// present in the request's starting state, with the request's service
+/// deadline as the feasibility budget. Returns the rendered error-severity
+/// diagnostics, or `None` when the plan is sound enough to run.
+fn verify_for_admission(runtime: &Runtime, request: &ServeRequest) -> Option<Vec<String>> {
+    let mut verifier = spear_core::analysis::Verifier::with_runtime(runtime);
+    for key in request.state.prompts.keys() {
+        verifier = verifier.assume_prompt(key);
+    }
+    if let Some(deadline) = request.deadline_us {
+        verifier = verifier.deadline_us(deadline);
+    }
+    let details: Vec<String> = verifier
+        .verify(&request.plan)
+        .iter()
+        .filter(|d| d.is_error())
+        .map(ToString::to_string)
+        .collect();
+    if details.is_empty() {
+        None
+    } else {
+        Some(details)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,7 +522,7 @@ mod tests {
         for i in 0..gens {
             b = b.gen(&format!("a{i}"), "p");
         }
-        Arc::new(lower(&b.build()))
+        Arc::new(lower(&b.build()).expect("lowers"))
     }
 
     fn request(id: u64, class: Priority, arrival_us: u64) -> ServeRequest {
@@ -513,7 +567,13 @@ mod tests {
 
     #[test]
     fn service_deadline_produces_deadline_exceeded() {
-        let node = ServeNode::new(ServeConfig::default());
+        // Admission verification off: a 1 µs deadline is statically
+        // infeasible and would be shed up front; this test exercises the
+        // *runtime* deadline gate between plan slots.
+        let node = ServeNode::new(ServeConfig {
+            verify_admission: false,
+            ..ServeConfig::default()
+        });
         let rt = runtime();
         let mut state = ExecState::new();
         state.context.set("q", "slow question");
@@ -585,15 +645,119 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_failures_are_contained() {
+    fn invalid_plans_are_rejected_at_admission() {
+        // A plan that GENs from a never-created prompt key is caught by
+        // the IR verifier at admission: rejected with a stable lint code
+        // before any LLM call, while sound neighbours run to completion.
         let node = ServeNode::new(ServeConfig::default());
         let rt = runtime();
-        let bad = Arc::new(lower(
-            &Pipeline::builder("bad").gen("a", "missing_prompt").build(),
-        ));
+        let bad = Arc::new(
+            lower(&Pipeline::builder("bad").gen("a", "missing_prompt").build())
+                .expect("structurally sound, so it lowers"),
+        );
         let requests = vec![
             request(1, Priority::Interactive, 0),
             ServeRequest::new(2, Priority::Interactive, bad, ExecState::new(), 0),
+            request(3, Priority::Interactive, 0),
+        ];
+        let run = node.run(&rt, None, requests);
+        assert_eq!(run.outcome(1).unwrap().status, ServeStatus::Completed);
+        let o = run.outcome(2).unwrap();
+        match &o.status {
+            ServeStatus::Rejected {
+                error: ServeError::InvalidPlan { plan, details },
+            } => {
+                assert_eq!(plan, "bad");
+                assert!(
+                    details.iter().any(|d| d.contains("SPEAR-E004")),
+                    "{details:?}"
+                );
+            }
+            other => panic!("expected admission rejection, got {other:?}"),
+        }
+        assert_eq!(o.service_us, 0, "rejected before any execution");
+        assert_eq!(run.outcome(3).unwrap().status, ServeStatus::Completed);
+        assert_eq!(run.report.interactive.rejected, 1);
+    }
+
+    #[test]
+    fn admission_verifier_respects_preseeded_prompts() {
+        // The same "missing key" plan is sound when the request's own
+        // starting state carries the prompt: the verifier seeds from it.
+        let node = ServeNode::new(ServeConfig::default());
+        let rt = runtime();
+        let plan = Arc::new(
+            lower(&Pipeline::builder("pre").gen("a", "preexisting").build()).expect("lowers"),
+        );
+        let state = ExecState::new();
+        state
+            .prompts
+            .define("preexisting", "seeded text", "test", RefinementMode::Manual);
+        let run = node.run(
+            &rt,
+            None,
+            vec![ServeRequest::new(1, Priority::Interactive, plan, state, 0)],
+        );
+        assert_eq!(run.outcome(1).unwrap().status, ServeStatus::Completed);
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_rejected_at_admission() {
+        // Two GEN slots cost at least 200 virtual µs; a 1 µs deadline can
+        // never be met, so the verifier sheds the request up front
+        // (SPEAR-E005) instead of burning an LLM call to find out.
+        let node = ServeNode::new(ServeConfig::default());
+        let rt = runtime();
+        let mut state = ExecState::new();
+        state.context.set("q", "doomed question");
+        let r = ServeRequest::new(1, Priority::Interactive, plan(2), state, 0).with_deadline_us(1);
+        let run = node.run(&rt, None, vec![r]);
+        match &run.outcome(1).unwrap().status {
+            ServeStatus::Rejected {
+                error: ServeError::InvalidPlan { details, .. },
+            } => assert!(
+                details.iter().any(|d| d.contains("SPEAR-E005")),
+                "{details:?}"
+            ),
+            other => panic!("expected admission rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_failures_are_contained() {
+        // Runtime failures (as opposed to statically detectable defects)
+        // still surface as Failed without poisoning neighbouring requests.
+        let node = ServeNode::new(ServeConfig::default());
+        let rt = Runtime::builder()
+            .llm(Arc::new(EchoLlm::default()))
+            .agent(
+                "boom",
+                Arc::new(spear_core::agent::FnAgent(
+                    |_: &spear_core::value::Value, _: &spear_core::context::Context| {
+                        Err(SpearError::Agent {
+                            agent: "boom".into(),
+                            reason: "intentional test failure".into(),
+                        })
+                    },
+                )),
+            )
+            .build();
+        let failing = Arc::new(
+            lower(
+                &Pipeline::builder("failing")
+                    .create_text("p", "payload", RefinementMode::Manual)
+                    .delegate(
+                        "boom",
+                        spear_core::ops::PayloadSpec::PromptKey("p".into()),
+                        "out",
+                    )
+                    .build(),
+            )
+            .expect("lowers"),
+        );
+        let requests = vec![
+            request(1, Priority::Interactive, 0),
+            ServeRequest::new(2, Priority::Interactive, failing, ExecState::new(), 0),
             request(3, Priority::Interactive, 0),
         ];
         let run = node.run(&rt, None, requests);

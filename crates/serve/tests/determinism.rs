@@ -33,6 +33,7 @@ fn serve(
             max_depth: 100_000,
             ..AdmissionConfig::default()
         },
+        verify_admission: true,
     });
     let run = node.run(&runtime, Some(&engine), workload.requests);
     let statuses = run
@@ -119,12 +120,15 @@ fn interactive_flood_cannot_starve_batch() {
     use spear_core::runtime::ExecState;
 
     let runtime = Runtime::builder().llm(Arc::new(EchoLlm::default())).build();
-    let plan = Arc::new(lower(
-        &Pipeline::builder("flood")
-            .create_text("p", "Answer: {{ctx:q}}", RefinementMode::Manual)
-            .gen("a", "p")
-            .build(),
-    ));
+    let plan = Arc::new(
+        lower(
+            &Pipeline::builder("flood")
+                .create_text("p", "Answer: {{ctx:q}}", RefinementMode::Manual)
+                .gen("a", "p")
+                .build(),
+        )
+        .expect("lowers"),
+    );
     let request = |id: u64, priority: Priority| {
         let mut state = ExecState::new();
         state.context.set("q", format!("q{id}"));
@@ -147,6 +151,7 @@ fn interactive_flood_cannot_starve_batch() {
             starvation_limit,
             ..AdmissionConfig::default()
         },
+        verify_admission: true,
     });
     let run = node.run(&runtime, None, requests);
 

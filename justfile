@@ -12,6 +12,11 @@ fmt:
 test:
     cargo test --workspace -q
 
+# Exhaustive schedule-enumeration check for the striped prefix cache's
+# owner discipline (DESIGN.md §5).
+race:
+    cargo test -p spear-llm --test race_interleavings
+
 # Regenerate the paper tables/figures and the batch throughput sweep.
 bench:
     cargo run --release -p spear-bench --bin table3

@@ -138,7 +138,7 @@ fn sentiment_workload_traces_are_byte_identical_across_both_executors() {
     )
     .with_identity("view:tweet_pipeline@1");
     let pipeline = spear::optimizer::to_pipeline(&PhysicalPlan::sequential(&plan));
-    let lowered = spear::core::lower(&pipeline);
+    let lowered = spear::core::lower(&pipeline).expect("lowers");
 
     let verdict = |payload: &Value, _: &Context| {
         Ok(Value::from(
