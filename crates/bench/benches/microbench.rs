@@ -18,6 +18,33 @@ fn bench_tokenizer(c: &mut Criterion) {
     c.bench_function("tokenizer/encode_450_token_instruction", |b| {
         b.iter(|| std::hint::black_box(tok.encode(&text)));
     });
+    // Regression guards for the zero-alloc hot paths: `count` must not
+    // build a token vector, and `encode_into` must reuse the caller's
+    // buffer. Both should run well under `encode`'s fresh-Vec time.
+    c.bench_function("tokenizer/count_alloc_free", |b| {
+        b.iter(|| std::hint::black_box(tok.count(&text)));
+    });
+    c.bench_function("tokenizer/encode_into_reused_buffer", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            tok.encode_into(&text, &mut buf);
+            std::hint::black_box(buf.len())
+        });
+    });
+    c.bench_function("tokenizer/streaming_resume_suffix_only", |b| {
+        // The interner fast path: a warm 450-token prefix costs only the
+        // per-request suffix.
+        let suffix = "case 17: ledger gasket orbit\nAnswer with a word limit of 50.";
+        let mut buf = Vec::new();
+        let mut encoder = spear_llm::StreamingEncoder::new();
+        b.iter(|| {
+            buf.clear();
+            encoder.reset("");
+            encoder.feed(suffix, &mut buf);
+            encoder.finish(&mut buf);
+            std::hint::black_box(buf.len())
+        });
+    });
 }
 
 fn bench_prefix_cache(c: &mut Criterion) {

@@ -67,6 +67,7 @@ pub fn ablation_planner(seed: u64) -> Result<Vec<PlannerRow>> {
                 temperature: 0.0,
                 task: Some("qa".to_string()),
             },
+            segments: None,
         })?;
         Ok(resp.confidence)
     };
@@ -270,6 +271,7 @@ pub fn ablation_views(seed: u64, n_items: usize) -> Result<Vec<ViewRow>> {
                         temperature: 0.0,
                         task: Some("classify_school_negative".to_string()),
                     },
+                    segments: None,
                 })?;
                 total += resp.latency.as_secs_f64();
             }
@@ -344,6 +346,7 @@ pub fn ablation_predictive(seed: u64, n_items: usize) -> Result<Vec<PredictiveRo
                 temperature: 0.0,
                 task: Some("classify_sentiment".to_string()),
             },
+            segments: None,
         })?;
         Ok((
             resp.text.starts_with("negative"),

@@ -15,6 +15,7 @@
 //! | `ablation_predictive` | predictive vs reactive refinement |
 //! | `bench_batch` | concurrent batch-executor throughput sweep (`BENCH_batch.json`) |
 //! | `bench_serve` | serving-layer affinity-routing sweep (`BENCH_serve.json`) |
+//! | `bench_host` | host fast-path throughput: interned vs flat prefill (`BENCH_host.json`) |
 //!
 //! All runs are deterministic (seeded corpus, seeded task model, virtual
 //! clock); re-running a binary reproduces the numbers bit-for-bit.
@@ -25,6 +26,7 @@
 pub mod ablations;
 pub mod batch_bench;
 pub mod fusion_exp;
+pub mod host_bench;
 pub mod report;
 pub mod serve_bench;
 pub mod table3;

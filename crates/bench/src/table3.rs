@@ -160,6 +160,7 @@ fn prepare_strategies(engine: &SimLlm) -> Result<Vec<Prepared>> {
             temperature: 0.0,
             task: Some("write_prompt".to_string()),
         },
+        segments: None,
     })?;
     // Drop the generated per-item placeholder line; the harness appends the
     // tweet itself.
@@ -300,6 +301,7 @@ pub fn run(config: &Table3Config) -> Result<Vec<StrategyRow>> {
                     temperature: 0.0,
                     task: Some("classify_school_negative".to_string()),
                 },
+                segments: None,
             };
             let response = engine.generate(&request)?;
             total_latency += response.latency.as_secs_f64();

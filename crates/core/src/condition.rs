@@ -306,7 +306,7 @@ mod tests {
         let f = Cond::Never;
         assert!(Cond::All(vec![t.clone(), t.clone()]).eval(&c, &m).unwrap());
         assert!(!Cond::All(vec![t.clone(), f.clone()]).eval(&c, &m).unwrap());
-        assert!(Cond::Any(vec![f.clone(), t.clone()]).eval(&c, &m).unwrap());
+        assert!(Cond::Any(vec![f.clone(), t]).eval(&c, &m).unwrap());
         assert!(!Cond::Any(vec![]).eval(&c, &m).unwrap());
         assert!(Cond::All(vec![]).eval(&c, &m).unwrap());
         assert!(Cond::Not(Box::new(f)).eval(&c, &m).unwrap());

@@ -6,52 +6,66 @@ use crate::error::{Result, SpearError};
 use crate::llm::{GenRequest, PromptIdentity};
 use crate::ops::{Op, PromptRef};
 use crate::runtime::{ExecState, Runtime};
+use crate::segment::SegmentedText;
 use crate::template;
 use crate::trace::TraceKind;
 use crate::value::{map, Value};
 
 use super::{Flow, OpExecutor};
 
-/// Resolve a prompt reference to `(rendered text, identity)`. The identity
-/// carries the structure-gates-caching rule: only structured prompts (store
-/// entries, views, lowered prompts with a plan identity) are cacheable.
+/// A resolved prompt: the flat rendered text, its segmented form (joins to
+/// `text` byte-for-byte), and the identity. The identity carries the
+/// structure-gates-caching rule: only structured prompts (store entries,
+/// views, lowered prompts with a plan identity) are cacheable. The segments
+/// carry the renderer's literal/value boundaries so backends can memoize
+/// tokenization of shared prefixes.
+pub(crate) struct ResolvedPrompt {
+    pub text: String,
+    pub segments: SegmentedText,
+    pub identity: PromptIdentity,
+}
+
+/// Resolve a prompt reference to rendered text + segments + identity.
 pub(crate) fn resolve_prompt(
     rt: &Runtime,
     prompt: &PromptRef,
     state: &ExecState,
-) -> Result<(String, PromptIdentity)> {
-    match prompt {
-        PromptRef::Key(key) => {
-            let entry = state.prompts.get(key)?;
-            let rendered = entry.render(&state.context)?;
-            let identity = entry.cache_identity().map_or(PromptIdentity::Opaque, |id| {
-                PromptIdentity::Structured { id }
-            });
-            Ok((rendered, identity))
-        }
-        PromptRef::Inline(text) => {
-            let rendered = template::render(text, &BTreeMap::new(), &state.context)?;
-            Ok((rendered, PromptIdentity::Opaque))
-        }
-        PromptRef::Lowered { text, identity } => {
-            let rendered = template::render(text, &BTreeMap::new(), &state.context)?;
-            let identity =
-                identity
-                    .clone()
-                    .map_or(PromptIdentity::Opaque, |id| PromptIdentity::Structured {
-                        id,
-                    });
-            Ok((rendered, identity))
-        }
-        PromptRef::View { name, args } => {
-            let entry = rt.views.instantiate(name, args.clone())?;
-            let rendered = entry.render(&state.context)?;
-            let identity = entry.cache_identity().map_or(PromptIdentity::Opaque, |id| {
-                PromptIdentity::Structured { id }
-            });
-            Ok((rendered, identity))
-        }
-    }
+) -> Result<ResolvedPrompt> {
+    let (segments, identity) =
+        match prompt {
+            PromptRef::Key(key) => {
+                let entry = state.prompts.get(key)?;
+                let segments = entry.render_segmented(&state.context)?;
+                let identity = entry.cache_identity().map_or(PromptIdentity::Opaque, |id| {
+                    PromptIdentity::Structured { id }
+                });
+                (segments, identity)
+            }
+            PromptRef::Inline(text) => {
+                let segments = template::render_segmented(text, &BTreeMap::new(), &state.context)?;
+                (segments, PromptIdentity::Opaque)
+            }
+            PromptRef::Lowered { text, identity } => {
+                let segments = template::render_segmented(text, &BTreeMap::new(), &state.context)?;
+                let identity = identity.clone().map_or(PromptIdentity::Opaque, |id| {
+                    PromptIdentity::Structured { id }
+                });
+                (segments, identity)
+            }
+            PromptRef::View { name, args } => {
+                let entry = rt.views.instantiate(name, args.clone())?;
+                let segments = entry.render_segmented(&state.context)?;
+                let identity = entry.cache_identity().map_or(PromptIdentity::Opaque, |id| {
+                    PromptIdentity::Structured { id }
+                });
+                (segments, identity)
+            }
+        };
+    Ok(ResolvedPrompt {
+        text: segments.join(),
+        segments,
+        identity,
+    })
 }
 
 /// Executor for [`Op::Gen`]: renders the prompt, calls the backend, and
@@ -77,11 +91,12 @@ impl OpExecutor for GenExec {
         let llm = rt.llm.as_deref().ok_or(SpearError::LlmUnavailable {
             requested_by: "GEN".into(),
         })?;
-        let (text, identity) = resolve_prompt(rt, prompt, state)?;
+        let resolved = resolve_prompt(rt, prompt, state)?;
         let response = llm.generate(&GenRequest {
-            text,
-            identity,
+            text: resolved.text,
+            identity: resolved.identity,
             options: options.clone(),
+            segments: Some(resolved.segments),
         })?;
         state
             .context

@@ -41,11 +41,17 @@ impl OpExecutor for MergeExec {
             .ok_or_else(|| SpearError::Merge(format!("right prompt {right:?} missing")))?;
 
         let (mut base, merged_text, choice) = match policy {
-            MergePolicy::PreferLeft => (l.clone(), l.text.clone(), "left"),
-            MergePolicy::PreferRight => (r.clone(), r.text.clone(), "right"),
+            MergePolicy::PreferLeft => {
+                let text = l.text.clone();
+                (l, text, "left")
+            }
+            MergePolicy::PreferRight => {
+                let text = r.text.clone();
+                (r, text, "right")
+            }
             MergePolicy::Concat { separator } => {
                 let text = format!("{}{separator}{}", l.text, r.text);
-                (l.clone(), text, "concat")
+                (l, text, "concat")
             }
             MergePolicy::BySignal {
                 left_signal,
@@ -53,10 +59,12 @@ impl OpExecutor for MergeExec {
             } => {
                 let ls = state.metadata.get(left_signal).and_then(|v| v.as_f64());
                 let rs = state.metadata.get(right_signal).and_then(|v| v.as_f64());
-                match (ls, rs) {
-                    (Some(a), Some(b)) if b > a => (r.clone(), r.text.clone(), "right"),
-                    _ => (l.clone(), l.text.clone(), "left"),
-                }
+                let (winner, choice) = match (ls, rs) {
+                    (Some(a), Some(b)) if b > a => (r, "right"),
+                    _ => (l, "left"),
+                };
+                let text = winner.text.clone();
+                (winner, text, choice)
             }
         };
 

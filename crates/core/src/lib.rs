@@ -72,6 +72,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hot-path hygiene: these crates sit on the per-request fast path, where a
+// stray clone or to_string() is a real regression, not a style nit.
+#![deny(clippy::redundant_clone, clippy::inefficient_to_string)]
 
 pub mod agent;
 pub mod analysis;
@@ -96,6 +99,7 @@ pub mod replay;
 pub mod retriever;
 pub mod runtime;
 pub mod scope;
+pub mod segment;
 pub mod shadow;
 pub mod store;
 pub mod template;
@@ -119,6 +123,7 @@ pub use pipeline::{Pipeline, PipelineBuilder};
 pub use plan::{lower, LoweredOp, LoweredPlan};
 pub use prompt::{PromptEntry, PromptOrigin};
 pub use runtime::{ExecReport, ExecState, Runtime, RuntimeBuilder, RuntimeConfig};
+pub use segment::{SegmentedText, TextSegment};
 pub use store::PromptStore;
 pub use validate::{ValidationIssue, Validator};
 pub use value::Value;
@@ -149,6 +154,7 @@ pub mod prelude {
         RetrieverRegistry,
     };
     pub use crate::runtime::{ExecReport, ExecState, Runtime, RuntimeBuilder, RuntimeConfig};
+    pub use crate::segment::{SegmentedText, TextSegment};
     pub use crate::store::PromptStore;
     pub use crate::trace::{Trace, TraceEvent, TraceKind};
     pub use crate::validate::{ValidationIssue, Validator};

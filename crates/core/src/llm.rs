@@ -55,7 +55,7 @@ impl Default for GenOptions {
 }
 
 /// A generation request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenRequest {
     /// Fully rendered prompt text.
     pub text: String,
@@ -63,6 +63,14 @@ pub struct GenRequest {
     pub identity: PromptIdentity,
     /// Options.
     pub options: GenOptions,
+    /// Optional segmented form of `text` (literal template fragments vs
+    /// per-request values, each content-hashed). When present, `join()`ing
+    /// the segments MUST equal `text` byte-for-byte — the renderer
+    /// guarantees this. Backends may use the segment identities to memoize
+    /// tokenization of shared prefixes; ignoring the field is always
+    /// correct. A pure performance annotation, kept off the wire by the
+    /// hand-written serde impls below.
+    pub segments: Option<crate::segment::SegmentedText>,
 }
 
 impl GenRequest {
@@ -73,6 +81,7 @@ impl GenRequest {
             text: text.into(),
             identity: PromptIdentity::Opaque,
             options: GenOptions::default(),
+            segments: None,
         }
     }
 
@@ -83,7 +92,42 @@ impl GenRequest {
             text: text.into(),
             identity: PromptIdentity::Structured { id: id.into() },
             options: GenOptions::default(),
+            segments: None,
         }
+    }
+
+    /// Attach the segmented rendering of `text` (see
+    /// [`GenRequest::segments`]).
+    #[must_use]
+    pub fn with_segments(mut self, segments: crate::segment::SegmentedText) -> Self {
+        debug_assert_eq!(segments.join(), self.text, "segments must join to text");
+        self.segments = Some(segments);
+        self
+    }
+}
+
+// Hand-written rather than derived: `segments` is a process-local
+// performance annotation and must stay off the wire — the serialized form
+// is exactly the pre-segments `{text, identity, options}` shape.
+impl Serialize for GenRequest {
+    fn serialize_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("text".to_string(), self.text.serialize_content()),
+            ("identity".to_string(), self.identity.serialize_content()),
+            ("options".to_string(), self.options.serialize_content()),
+        ])
+    }
+}
+
+impl Deserialize for GenRequest {
+    fn deserialize_content(content: &serde::Content) -> std::result::Result<Self, serde::DeError> {
+        let m = content.as_map_for("GenRequest")?;
+        Ok(Self {
+            text: serde::__field(m, "text")?,
+            identity: serde::__field(m, "identity")?,
+            options: serde::__field(m, "options")?,
+            segments: None,
+        })
     }
 }
 
@@ -272,6 +316,22 @@ mod tests {
         assert_eq!(llm.generate(&req).unwrap().text, "first");
         assert_eq!(llm.generate(&req).unwrap().text, "second");
         assert!(llm.generate(&req).is_err());
+    }
+
+    #[test]
+    fn segments_stay_off_the_wire() {
+        let req = GenRequest::structured("prefix payload", "view:v@1#0/v1")
+            .with_segments(crate::segment::SegmentedText::from_text("prefix payload"));
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(
+            !json.contains("segments"),
+            "serialized form must keep the pre-segments shape: {json}"
+        );
+        let back: GenRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.text, req.text);
+        assert_eq!(back.identity, req.identity);
+        assert_eq!(back.options, req.options);
+        assert!(back.segments.is_none(), "segments are process-local");
     }
 
     #[test]

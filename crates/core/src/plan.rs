@@ -383,7 +383,7 @@ mod tests {
 
         // Same view, same params, different per-request context => same key.
         let q = Pipeline::builder("aff2")
-            .create_from_view("p", "tweet_filter", args.clone())
+            .create_from_view("p", "tweet_filter", args)
             .gen("a", "p")
             .build();
         assert_eq!(

@@ -116,6 +116,18 @@ impl PromptEntry {
         template::render(&self.text, &self.params, context)
     }
 
+    /// Render as content-hashed segments (literal fragments vs resolved
+    /// placeholder values); the joined segments equal [`Self::render`]'s
+    /// output byte-for-byte. This is the engine's fast path: segment
+    /// identity lets tokenization of shared prefixes be memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template errors (unbound placeholder, malformed syntax).
+    pub fn render_segmented(&self, context: &Context) -> Result<crate::segment::SegmentedText> {
+        template::render_segmented(&self.text, &self.params, context)
+    }
+
     /// Apply a refinement that produced `new_text`, bumping the version and
     /// appending a ref_log record. This is the single mutation path for
     /// entries — REF, MERGE, and rollback all funnel through it, so the
@@ -254,7 +266,7 @@ mod tests {
         let adhoc = PromptEntry::new("x", "f", RefinementMode::Manual);
         assert_eq!(adhoc.cache_identity(), None);
 
-        let viewed = adhoc.clone().with_origin(PromptOrigin::View {
+        let viewed = adhoc.with_origin(PromptOrigin::View {
             name: "med_summary".into(),
             version: 2,
             param_hash: 0xabc,

@@ -277,6 +277,7 @@ impl Refiner for LlmRewrite {
                 temperature: 0.0,
                 task: Some("rewrite_prompt".to_string()),
             },
+            segments: None,
         })?;
         Ok(RefineOutput {
             new_text: Some(response.text),

@@ -8,10 +8,15 @@
 //! earlier, at view-instantiation time (see [`crate::view`]); encountering it
 //! here is an error, which catches views that were never instantiated.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use spear_kv::shard::fnv1a;
 
 use crate::context::Context;
 use crate::error::{Result, SpearError};
+use crate::segment::{SegmentedText, TextSegment};
 use crate::value::Value;
 
 /// One parsed segment of a template.
@@ -80,6 +85,95 @@ pub fn placeholders(template: &str) -> Result<Vec<String>> {
     Ok(names)
 }
 
+/// One segment of a cached parse: literals are shared, pre-hashed `Arc`s,
+/// so a view prefix rendered on every request of a family is allocated and
+/// hashed once per distinct template, not once per render.
+#[derive(Debug)]
+enum ParsedSegment {
+    Literal {
+        text: Arc<str>,
+        hash: u64,
+    },
+    Placeholder {
+        source: Option<String>,
+        name: String,
+    },
+}
+
+/// A template's cached parse.
+#[derive(Debug)]
+struct ParsedTemplate {
+    segments: Vec<ParsedSegment>,
+}
+
+/// Distinct templates cached before the parse cache resets. Templates are
+/// a small static population (views, store entries); the bound only guards
+/// against a pathological stream of generated templates.
+const PARSE_CACHE_CAPACITY: usize = 1024;
+
+/// Parse `template`, memoized process-wide. Keyed by the full template
+/// string (exact, no hash-collision exposure); parse errors are not cached.
+fn parse_shared(template: &str) -> Result<Arc<ParsedTemplate>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<ParsedTemplate>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(parsed) = cache.lock().get(template) {
+        return Ok(Arc::clone(parsed));
+    }
+    let segments = parse(template)?
+        .into_iter()
+        .map(|seg| match seg {
+            Segment::Text(t) => {
+                let text: Arc<str> = t.into();
+                ParsedSegment::Literal {
+                    hash: fnv1a(text.as_bytes()),
+                    text,
+                }
+            }
+            Segment::Placeholder { source, name } => ParsedSegment::Placeholder { source, name },
+        })
+        .collect();
+    let parsed = Arc::new(ParsedTemplate { segments });
+    let mut map = cache.lock();
+    if map.len() >= PARSE_CACHE_CAPACITY {
+        map.clear();
+    }
+    Ok(Arc::clone(
+        map.entry(template.to_string()).or_insert(parsed),
+    ))
+}
+
+/// Resolve one placeholder against `params` then `context`, with the same
+/// error behaviour [`render`] has always had.
+fn resolve_placeholder(
+    template: &str,
+    source: Option<&str>,
+    name: &str,
+    params: &BTreeMap<String, Value>,
+    context: &Context,
+) -> Result<Value> {
+    let resolved: Option<Value> = match source {
+        None => params.get(name).cloned().or_else(|| context.get(name)),
+        Some("param") => params.get(name).cloned(),
+        Some("ctx") => context.get(name),
+        Some("view") => {
+            return Err(SpearError::InvalidPipeline(format!(
+                "template still contains uninstantiated view reference \
+                 {{{{view:{name}}}}}; instantiate it through the ViewCatalog"
+            )));
+        }
+        Some(other) => {
+            return Err(SpearError::MalformedTemplate(format!(
+                "unknown placeholder source {other:?} in {}",
+                truncate(template)
+            )));
+        }
+    };
+    resolved.ok_or_else(|| SpearError::UnboundPlaceholder {
+        placeholder: name.to_string(),
+        template: truncate(template),
+    })
+}
+
 /// Render `template`, resolving placeholders from `params` then `context`.
 ///
 /// # Errors
@@ -91,38 +185,44 @@ pub fn render(
     params: &BTreeMap<String, Value>,
     context: &Context,
 ) -> Result<String> {
-    let segments = parse(template)?;
+    let parsed = parse_shared(template)?;
     let mut out = String::with_capacity(template.len());
-    for seg in segments {
+    for seg in &parsed.segments {
         match seg {
-            Segment::Text(t) => out.push_str(&t),
-            Segment::Placeholder { source, name } => {
-                let resolved: Option<Value> = match source.as_deref() {
-                    None => params.get(&name).cloned().or_else(|| context.get(&name)),
-                    Some("param") => params.get(&name).cloned(),
-                    Some("ctx") => context.get(&name),
-                    Some("view") => {
-                        return Err(SpearError::InvalidPipeline(format!(
-                            "template still contains uninstantiated view reference \
-                             {{{{view:{name}}}}}; instantiate it through the ViewCatalog"
-                        )));
-                    }
-                    Some(other) => {
-                        return Err(SpearError::MalformedTemplate(format!(
-                            "unknown placeholder source {other:?} in {}",
-                            truncate(template)
-                        )));
-                    }
-                };
-                match resolved {
-                    Some(v) => out.push_str(&v.render()),
-                    None => {
-                        return Err(SpearError::UnboundPlaceholder {
-                            placeholder: name,
-                            template: truncate(template),
-                        });
-                    }
-                }
+            ParsedSegment::Literal { text, .. } => out.push_str(text),
+            ParsedSegment::Placeholder { source, name } => {
+                let v = resolve_placeholder(template, source.as_deref(), name, params, context)?;
+                out.push_str(&v.render());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Render `template` as a [`SegmentedText`]: one shared, pre-hashed segment
+/// per literal and one owned segment per resolved placeholder value. The
+/// joined segments are byte-identical to [`render`]'s output; the segment
+/// boundaries are what lets the engine recognize and memoize the shared
+/// prefix (see the `spear-llm` token interner).
+///
+/// # Errors
+///
+/// Same contract as [`render`].
+pub fn render_segmented(
+    template: &str,
+    params: &BTreeMap<String, Value>,
+    context: &Context,
+) -> Result<SegmentedText> {
+    let parsed = parse_shared(template)?;
+    let mut out = SegmentedText::new();
+    for seg in &parsed.segments {
+        match seg {
+            ParsedSegment::Literal { text, hash } => {
+                out.push_segment(TextSegment::from_shared(Arc::clone(text), *hash));
+            }
+            ParsedSegment::Placeholder { source, name } => {
+                let v = resolve_placeholder(template, source.as_deref(), name, params, context)?;
+                out.push(v.render());
             }
         }
     }
@@ -242,6 +342,52 @@ mod tests {
             render("{{ x }} and {{ param:x }}", &p, &Context::new()).unwrap(),
             "1 and 1"
         );
+    }
+
+    #[test]
+    fn segmented_render_joins_to_flat_render() {
+        let mut ctx = Context::new();
+        ctx.set("item", Value::from("case 7: ledger gasket"));
+        let p = params(&[("limit", Value::from(50))]);
+        let template = "Guidelines apply.\nItem: {{ctx:item}}\nWord limit {{param:limit}}.";
+        let flat = render(template, &p, &ctx).unwrap();
+        let segmented = render_segmented(template, &p, &ctx).unwrap();
+        assert_eq!(segmented.join(), flat);
+        assert!(segmented.len() >= 4, "literals and values alternate");
+    }
+
+    #[test]
+    fn segmented_render_shares_literals_across_renders() {
+        let mut ctx = Context::new();
+        ctx.set("x", Value::from("a"));
+        let template = "prefix that is shared {{ctx:x}} suffix";
+        let a = render_segmented(template, &BTreeMap::new(), &ctx).unwrap();
+        let b = render_segmented(template, &BTreeMap::new(), &ctx).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            std::ptr::eq(
+                a.segments()[0].text().as_ptr(),
+                b.segments()[0].text().as_ptr()
+            ),
+            "the literal prefix must come from the shared parse cache"
+        );
+    }
+
+    #[test]
+    fn segmented_render_propagates_errors_like_flat_render() {
+        let ctx = Context::new();
+        assert!(matches!(
+            render_segmented("{{missing}}", &BTreeMap::new(), &ctx),
+            Err(SpearError::UnboundPlaceholder { .. })
+        ));
+        assert!(matches!(
+            render_segmented("bad {{oops", &BTreeMap::new(), &ctx),
+            Err(SpearError::MalformedTemplate(_))
+        ));
+        assert!(matches!(
+            render_segmented("{{view:base}}", &BTreeMap::new(), &ctx),
+            Err(SpearError::InvalidPipeline(_))
+        ));
     }
 
     #[test]

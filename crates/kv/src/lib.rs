@@ -36,6 +36,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hot-path hygiene: these crates sit on the per-request fast path, where a
+// stray clone or to_string() is a real regression, not a style nit.
+#![deny(clippy::redundant_clone, clippy::inefficient_to_string)]
 
 pub mod error;
 pub mod log;

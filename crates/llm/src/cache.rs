@@ -13,9 +13,54 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
-use spear_kv::shard::fnv1a;
+use spear_kv::shard::{fnv1a_extend, FNV1A_OFFSET};
 
 use crate::tokenizer::Token;
+
+/// Incremental block hasher: push tokens one at a time; every
+/// `block_size`-th token completes a block and appends its hash to the
+/// output. Produces exactly the hashes [`PrefixCache`] computes internally
+/// for full blocks (FNV-1a over the concatenated little-endian token
+/// bytes), with no intermediate byte buffer — FNV-1a is a plain byte fold,
+/// so streaming and batch hashing agree byte-for-byte. The trailing
+/// partial block (if any) never emits a hash, matching the cache's rule
+/// that partial blocks are not cacheable.
+#[derive(Debug, Clone)]
+pub struct BlockHasher {
+    block_size: usize,
+    state: u64,
+    filled: usize,
+}
+
+impl BlockHasher {
+    /// A hasher for `block_size`-token blocks.
+    #[must_use]
+    pub fn new(block_size: usize) -> Self {
+        Self {
+            block_size: block_size.max(1),
+            state: FNV1A_OFFSET,
+            filled: 0,
+        }
+    }
+
+    /// Fold in one token; appends the completed block's hash to `out` when
+    /// this token fills a block.
+    pub fn push(&mut self, token: Token, out: &mut Vec<u64>) {
+        self.state = fnv1a_extend(self.state, &token.0.to_le_bytes());
+        self.filled += 1;
+        if self.filled == self.block_size {
+            out.push(self.state);
+            self.state = FNV1A_OFFSET;
+            self.filled = 0;
+        }
+    }
+
+    /// Tokens folded into the current (incomplete) block.
+    #[must_use]
+    pub fn pending_tokens(&self) -> usize {
+        self.filled
+    }
+}
 
 /// Default tokens per block (vLLM's default).
 pub const DEFAULT_BLOCK_SIZE: usize = 16;
@@ -135,12 +180,14 @@ impl PrefixCache {
         Self::new(DEFAULT_BLOCK_SIZE, 64 * 1024)
     }
 
+    /// FNV-1a over the block's concatenated little-endian token bytes,
+    /// folded incrementally (no byte-buffer allocation).
     fn hash_block(block: &[Token]) -> u64 {
-        let mut bytes = Vec::with_capacity(block.len() * 8);
+        let mut h = FNV1A_OFFSET;
         for t in block {
-            bytes.extend_from_slice(&t.0.to_le_bytes());
+            h = fnv1a_extend(h, &t.0.to_le_bytes());
         }
-        fnv1a(&bytes)
+        h
     }
 
     /// Find the node for `block` under `parent` that `owner` is allowed to
@@ -169,13 +216,44 @@ impl PrefixCache {
     /// `owner`*: shared blocks plus the owner's private blocks. Touches
     /// the matched path (LRU refresh).
     pub fn lookup_for(&mut self, tokens: &[Token], owner: u64) -> usize {
+        let bs = self.block_size;
+        self.lookup_hashes(
+            tokens.chunks_exact(bs).map(Self::hash_block),
+            tokens.len(),
+            owner,
+        )
+    }
+
+    /// Hashed-path lookup: `block_hashes` are the stream's full-block
+    /// content hashes in order (exactly what [`BlockHasher`] emits for the
+    /// token stream) and `total_tokens` is the stream's total token count
+    /// (full blocks plus the trailing partial block), used for stats.
+    /// Behaves identically to [`Self::lookup_for`] on the corresponding
+    /// tokens — the token path hashes each block on the fly; this path
+    /// reuses hashes the caller already has.
+    pub fn lookup_for_hashed(
+        &mut self,
+        block_hashes: &[u64],
+        total_tokens: usize,
+        owner: u64,
+    ) -> usize {
+        debug_assert!(block_hashes.len() * self.block_size <= total_tokens);
+        self.lookup_hashes(block_hashes.iter().copied(), total_tokens, owner)
+    }
+
+    fn lookup_hashes(
+        &mut self,
+        hashes: impl Iterator<Item = u64>,
+        total_tokens: usize,
+        owner: u64,
+    ) -> usize {
         self.tick += 1;
         self.stats.lookups += 1;
-        self.stats.lookup_tokens += tokens.len() as u64;
+        self.stats.lookup_tokens += total_tokens as u64;
         let mut parent = ROOT;
         let mut matched_blocks = 0usize;
-        for block in tokens.chunks_exact(self.block_size) {
-            match self.visible(parent, Self::hash_block(block), owner) {
+        for hash in hashes {
+            match self.visible(parent, hash, owner) {
                 Some(id) => {
                     if let Some(node) = self.nodes.get_mut(&id) {
                         node.last_used = self.tick;
@@ -203,10 +281,20 @@ impl PrefixCache {
     /// reused; new blocks are tagged with the owner and stay invisible to
     /// every other owner.
     pub fn insert_for(&mut self, tokens: &[Token], owner: u64) {
+        let bs = self.block_size;
+        self.insert_hashes(tokens.chunks_exact(bs).map(Self::hash_block), owner);
+    }
+
+    /// Hashed-path insert: register the blocks whose content hashes are
+    /// `block_hashes` (see [`Self::lookup_for_hashed`] for the contract).
+    pub fn insert_for_hashed(&mut self, block_hashes: &[u64], owner: u64) {
+        self.insert_hashes(block_hashes.iter().copied(), owner);
+    }
+
+    fn insert_hashes(&mut self, hashes: impl Iterator<Item = u64>, owner: u64) {
         self.tick += 1;
         let mut parent = ROOT;
-        for block in tokens.chunks_exact(self.block_size) {
-            let hash = Self::hash_block(block);
+        for hash in hashes {
             let id = match self.visible(parent, hash, owner) {
                 Some(id) => {
                     if let Some(node) = self.nodes.get_mut(&id) {
@@ -376,6 +464,30 @@ impl StripedPrefixCache {
         let mut shard = self.shard_for(tokens).lock();
         let hit = shard.lookup_for(tokens, owner);
         shard.insert_for(tokens, owner);
+        hit
+    }
+
+    /// Hashed-path variant of [`Self::lookup_insert`]: the caller supplies
+    /// the stream's full-block content hashes (from [`BlockHasher`], or a
+    /// memoized hash chain) plus the total token count, so the radix walk
+    /// re-hashes nothing. Routing agrees with the token path: block 0's
+    /// content hash *is* `block_hashes[0]`, so a hashed stream lands on
+    /// the same shard — and therefore the same radix tree — as the
+    /// equivalent token stream. Streams with no full block have nothing
+    /// cacheable and route to shard 0.
+    pub fn lookup_insert_hashed(
+        &self,
+        block_hashes: &[u64],
+        total_tokens: usize,
+        owner: u64,
+    ) -> usize {
+        let index = match block_hashes.first() {
+            Some(&h) => (h % self.shards.len() as u64) as usize,
+            None => 0,
+        };
+        let mut shard = self.shards[index].lock();
+        let hit = shard.lookup_for_hashed(block_hashes, total_tokens, owner);
+        shard.insert_for_hashed(block_hashes, owner);
         hit
     }
 
@@ -637,6 +749,76 @@ mod tests {
         assert_eq!(c.lookup_insert(&t, 1), 0);
         assert_eq!(c.len_blocks(), 0);
         assert_eq!(c.stats().lookups, 1);
+    }
+
+    /// Full-block hashes of a token stream, via the public incremental
+    /// hasher.
+    fn block_hashes(tokens: &[Token], block_size: usize) -> Vec<u64> {
+        let mut hasher = BlockHasher::new(block_size);
+        let mut out = Vec::new();
+        for &t in tokens {
+            hasher.push(t, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn block_hasher_matches_internal_block_hashing() {
+        let t = toks(19, 5); // 4 full blocks of 4 + partial
+        let hashes = block_hashes(&t, 4);
+        assert_eq!(hashes.len(), 4);
+        for (i, chunk) in t.chunks_exact(4).enumerate() {
+            assert_eq!(hashes[i], PrefixCache::hash_block(chunk), "block {i}");
+        }
+        let mut h = BlockHasher::new(4);
+        let mut out = Vec::new();
+        h.push(Token(1), &mut out);
+        assert_eq!(h.pending_tokens(), 1);
+        assert!(out.is_empty(), "partial blocks never emit a hash");
+    }
+
+    #[test]
+    fn hashed_path_interoperates_with_token_path() {
+        // Insert via the token path, look up via the hashed path (and the
+        // reverse): both views of the same stream must agree exactly.
+        let mut c = PrefixCache::new(4, 1024);
+        let t = toks(18, 0); // 4 full blocks + 2 trailing tokens
+        let hashes = block_hashes(&t, 4);
+        assert_eq!(c.lookup_for_hashed(&hashes, t.len(), 1), 0);
+        c.insert_for(&t, 1);
+        assert_eq!(c.lookup_for_hashed(&hashes, t.len(), 1), 16);
+        assert_eq!(c.lookup_for(&t, 1), 16);
+
+        let u = toks(12, 9);
+        let u_hashes = block_hashes(&u, 4);
+        c.insert_for_hashed(&u_hashes, 2);
+        assert_eq!(c.lookup_for(&u, 2), 12);
+
+        // Stats treat both paths identically.
+        let s = c.stats();
+        assert_eq!(s.lookups, 4);
+        assert_eq!(s.lookup_tokens, 18 + 18 + 18 + 12);
+        assert_eq!(s.hit_tokens, 16 + 16 + 12);
+    }
+
+    #[test]
+    fn striped_hashed_path_routes_to_the_token_path_shard() {
+        let c = StripedPrefixCache::new(4, 4096, 8);
+        let t = toks(16, 3);
+        let hashes = block_hashes(&t, 4);
+        // Token-path insert, hashed-path lookup_insert: a cross-shard
+        // split would miss.
+        c.insert_for(&t, 5);
+        assert_eq!(c.lookup_insert_hashed(&hashes, t.len(), 5), 16);
+        // And the reverse: hashed insert is visible to token lookups.
+        let u = toks(16, 11);
+        let u_hashes = block_hashes(&u, 4);
+        assert_eq!(c.lookup_insert_hashed(&u_hashes, u.len(), 7), 0);
+        assert_eq!(c.lookup_for(&u, 7), 16);
+        // No full block: nothing cacheable, stats still tick.
+        let lookups_before = c.stats().lookups;
+        assert_eq!(c.lookup_insert_hashed(&[], 3, 7), 0);
+        assert_eq!(c.stats().lookups, lookups_before + 1);
     }
 
     #[test]

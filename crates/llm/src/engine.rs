@@ -12,18 +12,24 @@
 //! what makes reuse visible. (Set
 //! [`EngineConfig::cache_opaque_prompts`] to study the counterfactual.)
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use spear_core::error::Result;
 use spear_core::llm::{FinishReason, GenRequest, GenResponse, LlmClient, PromptIdentity};
 use spear_core::metadata::TokenUsage;
 use spear_core::scope;
+use spear_core::segment::SegmentedText;
 
-use crate::cache::{CacheStats, StripedPrefixCache, DEFAULT_BLOCK_SIZE, DEFAULT_NUM_SHARDS};
+use crate::cache::{
+    BlockHasher, CacheStats, StripedPrefixCache, DEFAULT_BLOCK_SIZE, DEFAULT_NUM_SHARDS,
+};
 use crate::clock::SimClock;
+use crate::intern::{chain_key, InternStats, InternedChain, TokenInterner, CHAIN_SEED};
 use crate::profile::ModelProfile;
 use crate::task::{self, TaskParams};
-use crate::tokenizer::Tokenizer;
+use crate::tokenizer::{StreamingEncoder, Token, Tokenizer};
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +48,10 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Run seed for the task model's correctness draws.
     pub seed: u64,
+    /// Memoize tokenization and block hashing of shared segment chains
+    /// (the host fast path, DESIGN.md §10). Pure host-side optimization:
+    /// responses are byte-identical with it on or off.
+    pub intern_enabled: bool,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +63,7 @@ impl Default for EngineConfig {
             capacity_blocks: 64 * 1024,
             cache_shards: DEFAULT_NUM_SHARDS,
             seed: 42,
+            intern_enabled: true,
         }
     }
 }
@@ -62,8 +73,27 @@ pub struct SimLlm {
     profile: ModelProfile,
     tokenizer: Tokenizer,
     cache: StripedPrefixCache,
+    interner: TokenInterner,
     clock: SimClock,
     config: EngineConfig,
+}
+
+/// Per-thread reusable prefill buffers: after the first few requests on a
+/// thread, tokenizing and block-hashing a prompt allocates nothing.
+struct Scratch {
+    tokens: Vec<Token>,
+    hashes: Vec<u64>,
+    keys: Vec<u64>,
+    encoder: StreamingEncoder,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch {
+        tokens: Vec::new(),
+        hashes: Vec::new(),
+        keys: Vec::new(),
+        encoder: StreamingEncoder::new(),
+    });
 }
 
 /// Owner ids handed to requests inside [`SimLlm::submit_many`]. The high
@@ -91,6 +121,7 @@ impl SimLlm {
                 config.capacity_blocks,
                 config.cache_shards,
             ),
+            interner: TokenInterner::with_defaults(),
             clock: SimClock::new(),
             config,
         }
@@ -129,10 +160,156 @@ impl SimLlm {
         }
     }
 
+    /// Token-interner statistics (the host fast path's memoization layer).
+    #[must_use]
+    pub fn interner_stats(&self) -> InternStats {
+        self.interner.stats()
+    }
+
     fn cacheable(&self, identity: &PromptIdentity) -> bool {
         self.config.cache_enabled
             && (matches!(identity, PromptIdentity::Structured { .. })
                 || self.config.cache_opaque_prompts)
+    }
+
+    /// Tokenize the prompt, consult the prefix cache, and return
+    /// `(prompt_tokens, cached_tokens)`.
+    ///
+    /// Requests that arrive with a segmented rendering take the interned
+    /// fast path; everything else re-derives tokens from the flat string.
+    /// Both paths produce identical numbers — the fast path is proven
+    /// equivalent by the streaming-encoder and hashed-cache interop tests
+    /// plus the segmented-encoding property test.
+    fn prefill(&self, request: &GenRequest) -> (u64, u64) {
+        let cacheable = self.cacheable(&request.identity);
+        let (prompt_tokens, cached_tokens) = SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            match &request.segments {
+                Some(segments) if self.config.intern_enabled && !segments.is_empty() => {
+                    self.segmented_prefill(segments, cacheable, scratch)
+                }
+                _ => self.whole_text_prefill(&request.text, cacheable, scratch),
+            }
+        });
+        debug_assert_eq!(
+            prompt_tokens,
+            self.tokenizer.count(&request.text) as u64,
+            "prefill paths must agree on the token count"
+        );
+        (prompt_tokens, cached_tokens)
+    }
+
+    /// The original prefill: encode the flat text (into a reused buffer)
+    /// and walk the cache by tokens.
+    fn whole_text_prefill(&self, text: &str, cacheable: bool, scratch: &mut Scratch) -> (u64, u64) {
+        self.tokenizer.encode_into(text, &mut scratch.tokens);
+        let prompt_tokens = scratch.tokens.len() as u64;
+        let cached = if cacheable {
+            // The owner comes from the ambient execution scope: pipeline
+            // instances under a BatchRunner each see shared (pre-warmed)
+            // blocks plus their own insert history, which keeps this hit
+            // count independent of concurrent interleaving. Outside any
+            // scope the owner is ambient and all blocks are shared —
+            // exactly the original single-threaded semantics.
+            self.cache.lookup_insert(&scratch.tokens, scope::owner()) as u64
+        } else {
+            0
+        };
+        (prompt_tokens, cached)
+    }
+
+    /// The host fast path: resume tokenization and block hashing from the
+    /// longest interned literal-segment chain, so a warm prompt-family
+    /// prefix costs O(suffix) per request instead of O(prompt).
+    fn segmented_prefill(
+        &self,
+        segments: &SegmentedText,
+        cacheable: bool,
+        scratch: &mut Scratch,
+    ) -> (u64, u64) {
+        let segs = segments.segments();
+        let bs = self.config.block_size;
+
+        // Chain keys over the leading literal run — the only prefixes
+        // whose tokenization recurs across requests of a prompt family.
+        let literal_run = segs.iter().take_while(|s| s.is_literal()).count();
+        scratch.keys.clear();
+        let mut key = CHAIN_SEED;
+        for seg in &segs[..literal_run] {
+            key = chain_key(key, seg.hash());
+            scratch.keys.push(key);
+        }
+
+        // Longest interned chain wins.
+        let mut base: Option<(usize, InternedChain)> = None;
+        for i in (0..literal_run).rev() {
+            if let Some(chain) = self.interner.get(scratch.keys[i]) {
+                base = Some((i + 1, chain));
+                break;
+            }
+        }
+        let (covered, base_tokens, base_hashes, base_pending): (usize, &[Token], &[u64], &str) =
+            match &base {
+                Some((covered, chain)) => {
+                    (*covered, &chain.tokens, &chain.block_hashes, &chain.pending)
+                }
+                None => (0, &[], &[], ""),
+            };
+
+        // Resume the block-hash chain: interned full-block hashes, then the
+        // straddling partial block's tokens re-folded into the hasher state.
+        scratch.tokens.clear();
+        scratch.hashes.clear();
+        scratch.hashes.extend_from_slice(base_hashes);
+        let mut hasher = BlockHasher::new(bs);
+        for &t in &base_tokens[base_hashes.len() * bs..] {
+            hasher.push(t, &mut scratch.hashes);
+        }
+
+        // Resume the encoder mid-word and feed the remaining segments.
+        // `scratch.tokens` holds only suffix tokens — the interned prefix is
+        // never copied per request.
+        scratch.encoder.reset(base_pending);
+        let mut hashed_upto = 0usize;
+        for (i, seg) in segs.iter().enumerate().skip(covered) {
+            scratch.encoder.feed(seg.text(), &mut scratch.tokens);
+            for &t in &scratch.tokens[hashed_upto..] {
+                hasher.push(t, &mut scratch.hashes);
+            }
+            hashed_upto = scratch.tokens.len();
+            if i < literal_run {
+                // Cold literal chain: memoize it for every later request
+                // sharing this prefix. Allocation happens only here, once
+                // per distinct chain per process.
+                let mut tokens: Vec<Token> =
+                    Vec::with_capacity(base_tokens.len() + scratch.tokens.len());
+                tokens.extend_from_slice(base_tokens);
+                tokens.extend_from_slice(&scratch.tokens);
+                self.interner.insert(
+                    scratch.keys[i],
+                    InternedChain {
+                        tokens: tokens.into(),
+                        pending: Arc::from(scratch.encoder.pending()),
+                        block_hashes: scratch.hashes.clone().into(),
+                    },
+                );
+            }
+        }
+        let flushed = scratch.tokens.len();
+        scratch.encoder.finish(&mut scratch.tokens);
+        for &t in &scratch.tokens[flushed..] {
+            hasher.push(t, &mut scratch.hashes);
+        }
+
+        let total_tokens = base_tokens.len() + scratch.tokens.len();
+        let cached = if cacheable {
+            self.cache
+                .lookup_insert_hashed(&scratch.hashes, total_tokens, scope::owner())
+                as u64
+        } else {
+            0
+        };
+        (total_tokens as u64, cached)
     }
 }
 
@@ -242,26 +419,11 @@ impl SimLlm {
 
 impl LlmClient for SimLlm {
     fn generate(&self, request: &GenRequest) -> Result<GenResponse> {
-        let tokens = self.tokenizer.encode(&request.text);
-        let prompt_tokens = tokens.len() as u64;
-
-        let cacheable = self.cacheable(&request.identity);
-        let cached_tokens = if cacheable {
-            // The owner comes from the ambient execution scope: pipeline
-            // instances under a BatchRunner each see shared (pre-warmed)
-            // blocks plus their own insert history, which keeps this hit
-            // count independent of concurrent interleaving. Outside any
-            // scope the owner is ambient and all blocks are shared —
-            // exactly the original single-threaded semantics.
-            self.cache.lookup_insert(&tokens, scope::owner()) as u64
-        } else {
-            0
-        };
+        let (prompt_tokens, cached_tokens) = self.prefill(request);
 
         let structured = matches!(request.identity, PromptIdentity::Structured { .. });
-        let kind = task::detect_task(request.options.task.as_deref(), &request.text);
-        let mut outcome = task::run(
-            kind,
+        let mut outcome = task::detect_and_run(
+            request.options.task.as_deref(),
             &request.text,
             &TaskParams {
                 profile: &self.profile,
@@ -279,8 +441,15 @@ impl LlmClient for SimLlm {
             // token budget.
             let words: Vec<&str> = outcome.text.split_whitespace().collect();
             let keep = (words.len() as u64 * max / completion_tokens.max(1)) as usize;
-            outcome.text = words[..keep.min(words.len())].join(" ");
-            completion_tokens = self.tokenizer.count(&outcome.text) as u64;
+            let keep = keep.min(words.len());
+            // Whitespace separates tokens without emitting any, so the
+            // count of the re-joined truncated text is the sum of the
+            // per-word counts — no second tokenization pass over the join.
+            completion_tokens = words[..keep]
+                .iter()
+                .map(|w| self.tokenizer.count(w) as u64)
+                .sum();
+            outcome.text = words[..keep].join(" ");
             finish = FinishReason::Length;
         }
 
@@ -427,6 +596,7 @@ mod tests {
                 max_tokens: 3,
                 ..GenOptions::default()
             },
+            segments: None,
         };
         let resp = e.generate(&req).unwrap();
         assert!(resp.usage.completion_tokens <= 3);
@@ -592,6 +762,94 @@ mod tests {
         let makespan = e.clock().max_lane_elapsed();
         assert!(makespan < total, "parallel makespan beats serial total");
         assert!(makespan * 4 >= total, "4 lanes can be at most 4x faster");
+    }
+
+    fn segmented_request(instruction: &Arc<str>, item: &str) -> GenRequest {
+        let mut segments = SegmentedText::new();
+        segments.push_segment(spear_core::segment::TextSegment::from_shared(
+            Arc::clone(instruction),
+            spear_kv::shard::fnv1a(instruction.as_bytes()),
+        ));
+        segments.push(item.to_string());
+        GenRequest::structured(segments.join(), "view:v@1#0/v1").with_segments(segments)
+    }
+
+    #[test]
+    fn segmented_fast_path_is_observably_identical() {
+        let instruction: Arc<str> = Arc::from(long_instruction());
+        let fast = engine();
+        let flat = engine();
+        for item in [
+            "Tweet: awful homework tonight",
+            "Tweet: great sunshine",
+            "Tweet: awful homework tonight",
+        ] {
+            let seg_req = segmented_request(&instruction, item);
+            let flat_req = GenRequest::structured(seg_req.text.clone(), "view:v@1#0/v1");
+            assert_eq!(
+                fast.generate(&seg_req).unwrap(),
+                flat.generate(&flat_req).unwrap(),
+                "fast path must be invisible for {item:?}"
+            );
+        }
+        let stats = fast.interner_stats();
+        assert_eq!(stats.insertions, 1, "one literal chain interned: {stats:?}");
+        assert!(
+            stats.hits >= 2,
+            "later requests resume from the interned chain: {stats:?}"
+        );
+        assert_eq!(
+            flat.interner_stats().insertions,
+            0,
+            "flat requests never intern"
+        );
+    }
+
+    #[test]
+    fn disabling_the_interner_changes_nothing_observable() {
+        let instruction: Arc<str> = Arc::from(long_instruction());
+        let on = engine();
+        let off = SimLlm::with_config(
+            ModelProfile::qwen25_7b_instruct(),
+            EngineConfig {
+                intern_enabled: false,
+                ..EngineConfig::default()
+            },
+        );
+        for item in ["Tweet: a bad exam", "Tweet: b", "Tweet: a bad exam"] {
+            let req = segmented_request(&instruction, item);
+            assert_eq!(on.generate(&req).unwrap(), off.generate(&req).unwrap());
+        }
+        assert_eq!(off.interner_stats().insertions, 0);
+        assert!(on.interner_stats().hits >= 1);
+    }
+
+    #[test]
+    fn truncated_completion_count_is_exact_and_pinned() {
+        // 10 words, two of them 7 chars (= 2 chunks), so the full output
+        // counts 12 tokens; max_tokens 5 keeps 10*5/12 = 4 words whose
+        // chunk counts sum to 5.
+        let e = engine();
+        let req = GenRequest {
+            text: "Summarize. Use at most 40 words.\nTweet: alpha bravo charlie delta \
+                   echo foxtrot golf hotel india juliet"
+                .to_string(),
+            identity: PromptIdentity::Opaque,
+            options: GenOptions {
+                max_tokens: 5,
+                ..GenOptions::default()
+            },
+            segments: None,
+        };
+        let resp = e.generate(&req).unwrap();
+        assert_eq!(resp.finish, FinishReason::Length);
+        assert_eq!(resp.text, "alpha bravo charlie delta");
+        assert_eq!(resp.usage.completion_tokens, 5);
+        // The folded per-word count equals a full recount of the final text.
+        assert_eq!(
+            resp.usage.completion_tokens,
+            Tokenizer::new().count(&resp.text) as u64
+        );
     }
 
     #[test]

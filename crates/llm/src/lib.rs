@@ -33,19 +33,24 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hot-path hygiene: these crates sit on the per-request fast path, where a
+// stray clone or to_string() is a real regression, not a style nit.
+#![deny(clippy::redundant_clone, clippy::inefficient_to_string)]
 
 pub mod cache;
 pub mod clock;
 pub mod engine;
+pub mod intern;
 pub mod profile;
 pub mod task;
 pub mod tokenizer;
 
 pub use cache::{
-    CacheStats, PrefixCache, StripedPrefixCache, DEFAULT_BLOCK_SIZE, DEFAULT_NUM_SHARDS,
-    SHARED_OWNER,
+    BlockHasher, CacheStats, PrefixCache, StripedPrefixCache, DEFAULT_BLOCK_SIZE,
+    DEFAULT_NUM_SHARDS, SHARED_OWNER,
 };
 pub use clock::{SimClock, MAX_LANES};
 pub use engine::{EngineConfig, SimLlm};
+pub use intern::{chain_key, InternStats, InternedChain, TokenInterner, CHAIN_SEED};
 pub use profile::{ModelProfile, PromptFeatures, QualityWeights, TaskKind};
-pub use tokenizer::{Token, Tokenizer};
+pub use tokenizer::{StreamingEncoder, Token, Tokenizer};

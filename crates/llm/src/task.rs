@@ -27,6 +27,25 @@ pub struct TaskOutcome {
 /// otherwise the prompt's wording decides.
 #[must_use]
 pub fn detect_task(hint: Option<&str>, prompt: &str) -> TaskKind {
+    detect_task_lowered(hint, &prompt.to_lowercase())
+}
+
+/// Detect the task and run it with one shared case fold of the prompt.
+///
+/// [`detect_task`] and [`run`] each lowercase the prompt (detection
+/// markers, feature scan, word-limit parse, justification check are all
+/// case-insensitive); the engine's hot path calls this combined entry
+/// point so the fold happens once per request instead of three times.
+/// Behaviour is byte-identical to `run(detect_task(hint, prompt), prompt,
+/// params)`.
+#[must_use]
+pub fn detect_and_run(hint: Option<&str>, prompt: &str, params: &TaskParams<'_>) -> TaskOutcome {
+    let lower = prompt.to_lowercase();
+    run_lowered(detect_task_lowered(hint, &lower), prompt, &lower, params)
+}
+
+/// [`detect_task`] over a caller-lowercased prompt.
+fn detect_task_lowered(hint: Option<&str>, lower: &str) -> TaskKind {
     if let Some(h) = hint {
         match h {
             "summarize" => return TaskKind::Summarize,
@@ -40,7 +59,6 @@ pub fn detect_task(hint: Option<&str>, prompt: &str) -> TaskKind {
             _ => {}
         }
     }
-    let lower = prompt.to_lowercase();
     if lower.contains("--- prompt ---") {
         return TaskKind::RewritePrompt;
     }
@@ -109,7 +127,11 @@ pub fn extract_input(prompt: &str) -> &str {
 /// N", "no more than N words"); `None` when unconstrained.
 #[must_use]
 pub fn parse_word_limit(prompt: &str) -> Option<usize> {
-    let lower = prompt.to_lowercase();
+    parse_word_limit_lowered(&prompt.to_lowercase())
+}
+
+/// [`parse_word_limit`] over a caller-lowercased prompt.
+fn parse_word_limit_lowered(lower: &str) -> Option<usize> {
     for marker in ["at most ", "word limit of ", "no more than "] {
         if let Some(pos) = lower.find(marker) {
             let rest = &lower[pos + marker.len()..];
@@ -152,24 +174,30 @@ pub struct TaskParams<'a> {
 /// Run the task model over `prompt`.
 #[must_use]
 pub fn run(kind: TaskKind, prompt: &str, params: &TaskParams<'_>) -> TaskOutcome {
+    run_lowered(kind, prompt, &prompt.to_lowercase(), params)
+}
+
+/// [`run`] with the prompt's case fold supplied by the caller (`lower`
+/// MUST be `prompt.to_lowercase()`).
+fn run_lowered(kind: TaskKind, prompt: &str, lower: &str, params: &TaskParams<'_>) -> TaskOutcome {
     match kind {
-        TaskKind::Summarize => summarize(prompt),
-        TaskKind::ClassifySentiment => classify(prompt, params, kind, false),
-        TaskKind::ClassifySchoolNegative => classify(prompt, params, kind, true),
-        TaskKind::FusedMapFilter | TaskKind::FusedFilterMap => fused(prompt, params, kind),
+        TaskKind::Summarize => summarize(prompt, lower),
+        TaskKind::ClassifySentiment => classify(prompt, lower, params, kind, false),
+        TaskKind::ClassifySchoolNegative => classify(prompt, lower, params, kind, true),
+        TaskKind::FusedMapFilter | TaskKind::FusedFilterMap => fused(prompt, lower, params, kind),
         TaskKind::RewritePrompt => rewrite_prompt(prompt),
         TaskKind::WritePrompt => write_prompt(prompt),
-        TaskKind::Qa => qa(prompt),
+        TaskKind::Qa => qa(prompt, lower),
         TaskKind::Generic => generic(prompt),
     }
 }
 
 fn correctness_probability(
     kind: TaskKind,
-    prompt: &str,
+    lower: &str,
     params: &TaskParams<'_>,
 ) -> (f64, PromptFeatures) {
-    let features = PromptFeatures::detect(prompt);
+    let features = PromptFeatures::detect_lowered(lower);
     let w = &params.profile.quality;
     let mut p = params.profile.base_accuracy(kind) + w.bonus(&features, params.structured_identity);
     match kind {
@@ -208,13 +236,18 @@ fn confidence_for(p: f64, strength: i32, jitter_seed: u64) -> f64 {
     (p - 0.18 + 0.06 * f64::from(strength.min(3)) + jitter).clamp(0.05, 0.99)
 }
 
-fn classify(prompt: &str, params: &TaskParams<'_>, kind: TaskKind, school: bool) -> TaskOutcome {
+fn classify(
+    prompt: &str,
+    lower: &str,
+    params: &TaskParams<'_>,
+    kind: TaskKind,
+    school: bool,
+) -> TaskOutcome {
     let item = extract_input(prompt);
-    let (p, features) = correctness_probability(kind, prompt, params);
+    let (p, features) = correctness_probability(kind, lower, params);
     let (neg, strength) = lexicon_negative(item);
     let r = draw(item, &params.profile.name, features, params.seed, 0xC1A5);
     let decided_negative = if r < p { neg } else { !neg };
-    let lower = prompt.to_lowercase();
     let text = if school {
         // The refined task: negative AND school-related. Topic detection is
         // reliable (school words are unambiguous); polarity carries the
@@ -225,7 +258,7 @@ fn classify(prompt: &str, params: &TaskParams<'_>, kind: TaskKind, school: bool)
         // when the prompt carries a summarize directive, emit the summary
         // after the label so decode cost reflects the real output.
         if lower.contains("summarize") || lower.contains("clean up") {
-            let limit = parse_word_limit(prompt).unwrap_or(25);
+            let limit = parse_word_limit_lowered(lower).unwrap_or(25);
             format!(
                 "{label} :: {} — decided after weighing the overall tone, the \
                  dominant subject, and the school-topic wording of the tweet \
@@ -254,9 +287,9 @@ fn classify(prompt: &str, params: &TaskParams<'_>, kind: TaskKind, school: bool)
     }
 }
 
-fn summarize(prompt: &str) -> TaskOutcome {
+fn summarize(prompt: &str, lower: &str) -> TaskOutcome {
     let item = extract_input(prompt);
-    let limit = parse_word_limit(prompt).unwrap_or(25);
+    let limit = parse_word_limit_lowered(lower).unwrap_or(25);
     let cleaned = clean(item, limit);
     TaskOutcome {
         confidence: 0.9,
@@ -264,10 +297,10 @@ fn summarize(prompt: &str) -> TaskOutcome {
     }
 }
 
-fn fused(prompt: &str, params: &TaskParams<'_>, kind: TaskKind) -> TaskOutcome {
+fn fused(prompt: &str, lower: &str, params: &TaskParams<'_>, kind: TaskKind) -> TaskOutcome {
     let item = extract_input(prompt);
-    let limit = parse_word_limit(prompt).unwrap_or(25);
-    let (p, features) = correctness_probability(kind, prompt, params);
+    let limit = parse_word_limit_lowered(lower).unwrap_or(25);
+    let (p, features) = correctness_probability(kind, lower, params);
     let (neg, strength) = lexicon_negative(item);
     let r = draw(item, &params.profile.name, features, params.seed, 0xF05E);
     let decided_negative = if r < p { neg } else { !neg };
@@ -276,7 +309,7 @@ fn fused(prompt: &str, params: &TaskParams<'_>, kind: TaskKind) -> TaskOutcome {
     } else {
         "positive"
     };
-    let tail = if prompt.to_lowercase().contains("justification") {
+    let tail = if lower.contains("justification") {
         " — checked"
     } else {
         ""
@@ -408,9 +441,8 @@ fn write_prompt(prompt: &str) -> TaskOutcome {
 
 /// Clinical QA: extract the sentence mentioning the drug; confidence rises
 /// with hint/specificity features, enabling the §2 retry pattern.
-fn qa(prompt: &str) -> TaskOutcome {
-    let features = PromptFeatures::detect(prompt);
-    let lower = prompt.to_lowercase();
+fn qa(prompt: &str, lower: &str) -> TaskOutcome {
+    let features = PromptFeatures::detect_lowered(lower);
     let sentence = prompt
         .split(['.', '\n'])
         .find(|s| s.to_lowercase().contains("enoxaparin") && s.to_lowercase().contains("mg"));
@@ -531,6 +563,31 @@ mod tests {
             TaskKind::Qa
         );
         assert_eq!(detect_task(None, "hello"), TaskKind::Generic);
+    }
+
+    #[test]
+    fn detect_and_run_matches_the_two_step_path() {
+        let (profile, seed) = qwen_params(5);
+        let params = TaskParams {
+            profile: &profile,
+            structured_identity: true,
+            seed,
+        };
+        for prompt in [
+            "Summarize the tweet. Use at most 10 words.\nTweet: SO much HOMEWORK tonight ugh",
+            "Classify the sentiment. Provide a justification.\nTweet: GREAT day",
+            "Summarize the tweet, then classify its sentiment. A word limit of 12.\nTweet: rain",
+            "Highlight any use of Enoxaparin. Think STEP BY STEP.\n\
+             Notes: enoxaparin 40 mg SC daily.",
+            "hello there",
+        ] {
+            let kind = detect_task(None, prompt);
+            assert_eq!(
+                detect_and_run(None, prompt, &params),
+                run(kind, prompt, &params),
+                "{prompt}"
+            );
+        }
     }
 
     #[test]

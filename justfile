@@ -24,3 +24,9 @@ bench:
     cargo run --release -p spear-bench --bin figure1
     cargo run --release -p spear-bench --bin bench_batch
     cargo run --release -p spear-bench --bin bench_serve
+
+# Host fast-path throughput: interned/segmented prefill vs flat re-tokenize
+# (DESIGN.md §10). Writes BENCH_host.json and fails below 2x on the
+# warm-prefix serve workload.
+bench-host:
+    cargo run --release -p spear-bench --bin bench_host
