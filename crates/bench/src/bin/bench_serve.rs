@@ -7,9 +7,16 @@
 //! on and off at each lane count. Acceptance: affinity routing must lift
 //! the prefix-cache hit rate, and traces must be identical across lane
 //! counts for a fixed affinity setting.
+//!
+//! With `--pressure`, runs the memory-pressure sweep instead (emitting
+//! `BENCH_serve_pressure.json` by default): a burstier multi-GEN
+//! workload against a bounded KV block pool. Acceptance additionally
+//! requires the pool to have visibly contended (`evicted_blocks > 0`,
+//! `preempted > 0`) and the contended counters — not just the
+//! fingerprints — to be identical at every lane count.
 
 use spear_bench::report::{f, Table};
-use spear_bench::serve_bench::{run, ServeBenchConfig};
+use spear_bench::serve_bench::{pressure_config, run, ServeBenchConfig};
 
 fn arg(name: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -29,20 +36,46 @@ fn arg_str(name: &str, default: &str) -> String {
         .unwrap_or_else(|| default.to_string())
 }
 
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 fn main() {
-    let mut config = ServeBenchConfig::default();
+    let pressure = flag("--pressure");
+    let mut config = if pressure {
+        pressure_config()
+    } else {
+        ServeBenchConfig::default()
+    };
     config.load.requests = arg("--n", config.load.requests as u64) as usize;
     config.load.seed = arg("--seed", config.load.seed);
     config.load.families = arg("--families", config.load.families as u64) as usize;
-    let out_path = arg_str("--out", "BENCH_serve.json");
+    let default_out = if pressure {
+        "BENCH_serve_pressure.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    let out_path = arg_str("--out", default_out);
     eprintln!(
-        "bench_serve: {} requests, {} families, seed {}, lanes {:?}, model {} (simulated)",
+        "bench_serve{}: {} requests, {} families, seed {}, lanes {:?}, model {} (simulated)",
+        if pressure { " --pressure" } else { "" },
         config.load.requests,
         config.load.families,
         config.load.seed,
         config.lane_counts,
         config.profile.name
     );
+    if let Some(kv) = &config.pressure {
+        eprintln!(
+            "  KV pool: {} blocks x {} tokens, {} batched tokens/iter, \
+             prefill chunk {}, max {} running seqs",
+            kv.pool_blocks,
+            kv.block_size,
+            kv.max_batched_tokens,
+            kv.prefill_chunk_tokens,
+            kv.max_running_seqs
+        );
+    }
     let report = run(&config);
 
     let mut table = Table::new(&[
@@ -55,6 +88,8 @@ fn main() {
         "Batch Hit (%)",
         "Int p99 (ms)",
         "Makespan (s)",
+        "Preempted",
+        "Evicted",
         "Fingerprint",
     ]);
     for r in &report.rows {
@@ -68,6 +103,8 @@ fn main() {
             f(r.batch_hit_pct, 1),
             f(r.interactive_p99_ms, 1),
             f(r.makespan_s, 2),
+            r.preempted.to_string(),
+            r.evicted_blocks.to_string(),
             r.trace_fingerprint.clone(),
         ]);
     }
@@ -79,7 +116,7 @@ fn main() {
     );
 
     let json = serde_json::to_string(&report).expect("serializable report");
-    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_serve.json");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report JSON");
     eprintln!("wrote {out_path}");
 
     if !report.deterministic {
@@ -95,5 +132,39 @@ fn main() {
             report.affinity_lift_pct
         );
         std::process::exit(1);
+    }
+    if pressure {
+        // The pressure gate: the pool must have visibly contended, and
+        // every contended counter must be identical at every lane count
+        // (per affinity setting).
+        for affinity in [true, false] {
+            let rows: Vec<_> = report
+                .rows
+                .iter()
+                .filter(|r| r.affinity == affinity)
+                .collect();
+            let first = rows.first().expect("sweep produced rows");
+            if first.preempted == 0 || first.evicted_blocks == 0 {
+                eprintln!(
+                    "FAIL: pressure run must contend (affinity {}: preempted {}, evicted {})",
+                    affinity, first.preempted, first.evicted_blocks
+                );
+                std::process::exit(1);
+            }
+            for r in &rows[1..] {
+                if r.report.kv != first.report.kv || r.preempted != first.preempted {
+                    eprintln!(
+                        "FAIL: KV counters differ across lane counts (affinity {affinity}): \
+                         {:?} lanes {} vs {:?} lanes {}",
+                        first.report.kv, first.lanes, r.report.kv, r.lanes
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "pressure gate: preempted and evicted counters nonzero and \
+             lane-invariant at every lane count"
+        );
     }
 }

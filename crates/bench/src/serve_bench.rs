@@ -9,6 +9,13 @@
 //! prefix-cache hit rate. The trace fingerprint column additionally
 //! witnesses the determinism invariant: for a fixed affinity setting, the
 //! fingerprint is identical at every lane count.
+//!
+//! The **pressure** variant ([`pressure_config`], `bench_serve
+//! --pressure`) runs a burstier multi-GEN workload through a bounded KV
+//! block pool ([`KvPressureConfig`]): its gate additionally demands that
+//! the pool visibly contended (`evicted_blocks > 0`, `preempted > 0`)
+//! and that those contended counters — not just the fingerprints — are
+//! identical at every lane count.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -27,6 +34,8 @@ pub struct ServeBenchConfig {
     pub profile: ModelProfile,
     /// Lane counts to sweep.
     pub lane_counts: Vec<usize>,
+    /// Bounded-KV memory pressure; `None` = unconstrained serving.
+    pub pressure: Option<KvPressureConfig>,
 }
 
 impl Default for ServeBenchConfig {
@@ -39,10 +48,40 @@ impl Default for ServeBenchConfig {
                 mean_interarrival_us: 30_000,
                 interactive_fraction: 0.6,
                 interactive_deadline_us: None,
+                gen_calls: 1,
             },
             profile: ModelProfile::qwen25_7b_instruct(),
             lane_counts: vec![1, 4, 8],
+            pressure: None,
         }
+    }
+}
+
+/// The memory-pressure sweep: a burstier workload with long decode
+/// phases (6 GEN slots) against a pool sized well below the working set,
+/// so serving must evict resident prefixes and preempt running requests.
+#[must_use]
+pub fn pressure_config() -> ServeBenchConfig {
+    ServeBenchConfig {
+        load: LoadGenConfig {
+            seed: 140,
+            requests: 192,
+            families: 4,
+            mean_interarrival_us: 800,
+            interactive_fraction: 0.6,
+            interactive_deadline_us: None,
+            gen_calls: 6,
+        },
+        profile: ModelProfile::qwen25_7b_instruct(),
+        lane_counts: vec![1, 4, 8],
+        pressure: Some(KvPressureConfig {
+            pool_blocks: 192,
+            block_size: 4,
+            pool_stripes: 1,
+            max_batched_tokens: 1024,
+            prefill_chunk_tokens: 128,
+            ..KvPressureConfig::default()
+        }),
     }
 }
 
@@ -67,6 +106,10 @@ pub struct ServeRow {
     pub interactive_p99_ms: f64,
     /// Virtual makespan, seconds.
     pub makespan_s: f64,
+    /// Preemption events under memory pressure (0 when unconstrained).
+    pub preempted: u64,
+    /// KV blocks evicted under memory pressure (0 when unconstrained).
+    pub evicted_blocks: u64,
     /// Host-side elapsed seconds (informational, machine-dependent).
     pub host_wall_s: f64,
     /// Order-canonical fingerprint over statuses and trace digests.
@@ -113,6 +156,7 @@ fn serve_once(config: &ServeBenchConfig, lanes: usize, affinity: bool) -> ServeR
         affinity_routing: affinity,
         admission: AdmissionConfig::default(),
         verify_admission: true,
+        pressure: config.pressure.clone(),
     });
     let started = Instant::now();
     let run = node.run(&runtime, Some(&engine), workload.requests);
@@ -128,6 +172,8 @@ fn serve_once(config: &ServeBenchConfig, lanes: usize, affinity: bool) -> ServeR
         batch_hit_pct: report.batch.cache_hit_rate().unwrap_or(0.0) * 100.0,
         interactive_p99_ms: report.interactive.e2e_us.p99.unwrap_or(0) as f64 / 1_000.0,
         makespan_s: report.makespan_us as f64 / 1e6,
+        preempted: report.kv.preempted,
+        evicted_blocks: report.kv.evicted_blocks,
         host_wall_s,
         trace_fingerprint: format!("{:016x}", report.trace_fingerprint),
         report,

@@ -90,6 +90,11 @@ pub struct CacheStats {
     pub inserted_blocks: u64,
     /// Blocks evicted.
     pub evicted_blocks: u64,
+    /// Blocks dropped by explicit [`PrefixCache::clear`] calls, as opposed
+    /// to capacity eviction. Defaults to 0 when deserializing reports
+    /// written before this counter existed.
+    #[serde(default)]
+    pub freed_blocks: u64,
 }
 
 impl CacheStats {
@@ -122,7 +127,19 @@ impl CacheStats {
             hit_tokens: self.hit_tokens.saturating_sub(earlier.hit_tokens),
             inserted_blocks: self.inserted_blocks.saturating_sub(earlier.inserted_blocks),
             evicted_blocks: self.evicted_blocks.saturating_sub(earlier.evicted_blocks),
+            freed_blocks: self.freed_blocks.saturating_sub(earlier.freed_blocks),
         }
+    }
+
+    /// Resident blocks implied by the counters alone. For any cache all of
+    /// whose removals flow through eviction or `clear`, this equals the
+    /// actual [`PrefixCache::len_blocks`] — the reconciliation invariant
+    /// the cross-stripe stats test pins.
+    #[must_use]
+    pub fn implied_live_blocks(&self) -> u64 {
+        self.inserted_blocks
+            .saturating_sub(self.evicted_blocks)
+            .saturating_sub(self.freed_blocks)
     }
 }
 
@@ -304,6 +321,16 @@ impl PrefixCache {
                 }
                 None => {
                     self.evict_to_fit();
+                    if self.nodes.len() >= self.capacity_blocks {
+                        // Nothing evictable (every resident block is on the
+                        // chain being inserted right now). Inserting anyway
+                        // would either breach capacity or — worse, the old
+                        // behaviour — evict this chain's own freshly
+                        // inserted ancestor, leaving an unreachable child
+                        // whose eviction could never be accounted. Stop
+                        // here; the remaining suffix is simply not cached.
+                        break;
+                    }
                     let id = self.next_id;
                     self.next_id += 1;
                     self.index.insert((parent, hash, owner), id);
@@ -333,16 +360,21 @@ impl PrefixCache {
     /// Evict LRU leaves until there is room for one more block. O(n) per
     /// eviction — acceptable because eviction is rare at benchmark working
     /// set sizes and the cache is bounded.
+    ///
+    /// Blocks touched at the current tick are exempt: they are the chain
+    /// being inserted or refreshed *right now*, and evicting one of them
+    /// would orphan its not-yet-inserted children (the accounting drift the
+    /// cross-stripe reconciliation test guards against).
     fn evict_to_fit(&mut self) {
         while self.nodes.len() >= self.capacity_blocks {
             let victim = self
                 .nodes
                 .iter()
-                .filter(|(_, n)| n.children == 0)
+                .filter(|(_, n)| n.children == 0 && n.last_used != self.tick)
                 .min_by_key(|(_, n)| n.last_used)
                 .map(|(&id, _)| id);
             let Some(id) = victim else {
-                return; // no leaf (cannot happen in a tree), bail out
+                return; // nothing evictable: every block is on the live chain
             };
             let node = self.nodes.remove(&id).expect("victim exists");
             self.index
@@ -380,8 +412,11 @@ impl PrefixCache {
         self.stats
     }
 
-    /// Drop all blocks (statistics are retained).
+    /// Drop all blocks. Statistics are retained, and the dropped blocks
+    /// are counted as [`CacheStats::freed_blocks`] so the reconciliation
+    /// invariant `inserted − evicted − freed == live` survives a clear.
     pub fn clear(&mut self) {
+        self.stats.freed_blocks += self.nodes.len() as u64;
         self.index.clear();
         self.nodes.clear();
     }
@@ -518,6 +553,7 @@ impl StripedPrefixCache {
             total.hit_tokens += s.hit_tokens;
             total.inserted_blocks += s.inserted_blocks;
             total.evicted_blocks += s.evicted_blocks;
+            total.freed_blocks += s.freed_blocks;
         }
         total
     }
@@ -895,5 +931,80 @@ mod tests {
         c.insert(&t);
         assert_eq!(c.len_blocks(), blocks);
         assert_eq!(c.stats().inserted_blocks, inserted);
+    }
+
+    #[test]
+    fn tight_capacity_never_orphans_the_live_chain() {
+        // Regression: with capacity 1 and a 2-block stream, the old
+        // evict_to_fit would evict the chain's own just-inserted first
+        // block to make room for the second, leaving an unreachable child
+        // (its parent id dangling) that inflated len_blocks() forever and
+        // broke counter reconciliation. Now the live chain is exempt and
+        // the uncacheable suffix is skipped.
+        let mut c = PrefixCache::new(4, 1);
+        c.insert(&toks(8, 0));
+        assert_eq!(c.len_blocks(), 1, "capacity is a hard bound");
+        assert_eq!(c.lookup(&toks(8, 0)), 4, "the resident block is reachable");
+        let s = c.stats();
+        assert_eq!(s.inserted_blocks, 1, "the skipped suffix is not counted");
+        assert_eq!(s.evicted_blocks, 0);
+        assert_eq!(s.implied_live_blocks(), c.len_blocks() as u64);
+        // A fresh stream still rotates the resident block via real LRU
+        // eviction, with the eviction counted.
+        c.insert(&toks(8, 1));
+        assert_eq!(c.len_blocks(), 1);
+        let s = c.stats();
+        assert_eq!((s.inserted_blocks, s.evicted_blocks), (2, 1));
+        assert_eq!(s.implied_live_blocks(), c.len_blocks() as u64);
+    }
+
+    #[test]
+    fn clear_counts_freed_blocks_for_reconciliation() {
+        let mut c = PrefixCache::new(4, 1024);
+        c.insert(&toks(16, 0));
+        assert_eq!(c.len_blocks(), 4);
+        c.clear();
+        let s = c.stats();
+        assert_eq!(s.freed_blocks, 4);
+        assert_eq!(s.implied_live_blocks(), 0);
+        // delta_since saturates over the new counter like the others.
+        let later = c.stats();
+        assert_eq!(later.delta_since(&s).freed_blocks, 0);
+        assert_eq!(s.delta_since(&later).freed_blocks, 0);
+    }
+
+    #[test]
+    fn cross_stripe_stats_reconcile_under_churn() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        // Many owners, many families, a deliberately tiny per-shard
+        // capacity, interleaved inserts/lookups/clears across every
+        // stripe: the aggregated counters must reconcile with the actual
+        // resident block count at every step.
+        let c = StripedPrefixCache::new(4, 64, 8);
+        let mut rng = SmallRng::seed_from_u64(0xC1D2);
+        for step in 0..400 {
+            let fam = rng.gen_range(0..24u64);
+            let len = rng.gen_range(1..40usize) * 4;
+            let owner = rng.gen_range(0..3u64);
+            let tokens = toks(len, fam);
+            match rng.gen_range(0..10u8) {
+                0 => c.clear(),
+                1..=4 => {
+                    c.lookup_for(&tokens, owner);
+                }
+                _ => c.insert_for(&tokens, owner),
+            }
+            let s = c.stats();
+            assert_eq!(
+                s.implied_live_blocks(),
+                c.len_blocks() as u64,
+                "inserted − evicted − freed must equal live at step {step}"
+            );
+            assert!(c.len_blocks() <= 64, "capacity breached at step {step}");
+        }
+        let s = c.stats();
+        assert!(s.evicted_blocks > 0, "churn must actually evict");
+        assert!(s.freed_blocks > 0, "churn must actually clear");
     }
 }

@@ -41,6 +41,7 @@ pub mod cache;
 pub mod clock;
 pub mod engine;
 pub mod intern;
+pub mod pool;
 pub mod profile;
 pub mod task;
 pub mod tokenizer;
@@ -52,5 +53,6 @@ pub use cache::{
 pub use clock::{SimClock, MAX_LANES};
 pub use engine::{EngineConfig, SimLlm};
 pub use intern::{chain_key, InternStats, InternedChain, TokenInterner, CHAIN_SEED};
+pub use pool::{AllocGrant, BlockPool, PoolExhausted, PoolStats, DEFAULT_POOL_STRIPES};
 pub use profile::{ModelProfile, PromptFeatures, QualityWeights, TaskKind};
 pub use tokenizer::{StreamingEncoder, Token, Tokenizer};

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod kv;
 pub mod loadgen;
 pub mod metrics;
 pub mod queue;
@@ -72,18 +73,20 @@ pub mod request;
 pub mod scheduler;
 
 pub use error::ServeError;
+pub use kv::KvPressureConfig;
 pub use loadgen::{generate, GeneratedWorkload, LoadGenConfig};
-pub use metrics::{ClassReport, Histogram, HistogramSummary, ServeReport};
-pub use queue::{AdmissionConfig, AdmissionQueue};
+pub use metrics::{ClassReport, Histogram, HistogramSummary, KvReport, ServeReport};
+pub use queue::{AdmissionConfig, AdmissionQueue, ClassFifo};
 pub use request::{Priority, ServeRequest};
 pub use scheduler::{ServeConfig, ServeNode, ServeOutcome, ServeRun, ServeStatus};
 
 /// Glob-import of the serving layer's main types.
 pub mod prelude {
     pub use crate::error::ServeError;
+    pub use crate::kv::KvPressureConfig;
     pub use crate::loadgen::{generate, GeneratedWorkload, LoadGenConfig};
-    pub use crate::metrics::{ClassReport, Histogram, HistogramSummary, ServeReport};
-    pub use crate::queue::{AdmissionConfig, AdmissionQueue};
+    pub use crate::metrics::{ClassReport, Histogram, HistogramSummary, KvReport, ServeReport};
+    pub use crate::queue::{AdmissionConfig, AdmissionQueue, ClassFifo};
     pub use crate::request::{Priority, ServeRequest};
     pub use crate::scheduler::{ServeConfig, ServeNode, ServeOutcome, ServeRun, ServeStatus};
 }

@@ -42,6 +42,11 @@ pub struct LoadGenConfig {
     pub interactive_fraction: f64,
     /// Optional service deadline stamped on interactive requests.
     pub interactive_deadline_us: Option<u64>,
+    /// GEN slots per pipeline (min 1). More slots mean longer decode
+    /// phases — the knob memory-pressure workloads use to make running
+    /// requests' KV footprints *grow* enough to fight for pool blocks.
+    /// The default of 1 produces exactly the classic single-GEN plan.
+    pub gen_calls: usize,
 }
 
 impl Default for LoadGenConfig {
@@ -53,6 +58,7 @@ impl Default for LoadGenConfig {
             mean_interarrival_us: 20_000,
             interactive_fraction: 0.6,
             interactive_deadline_us: None,
+            gen_calls: 1,
         }
     }
 }
@@ -137,10 +143,15 @@ pub fn generate(config: &LoadGenConfig) -> GeneratedWorkload {
         let text = family_instruction(family);
         instruction_tokens.push(tokenizer.count(&text) as u64);
         views.register(ViewDef::new(family_view_name(family), text).with_tag("serve-load"));
-        let pipeline = Pipeline::builder(format!("serve_{family}"))
+        // The first GEN keeps its historical name so `gen_calls: 1`
+        // lowers to exactly the classic plan (stable trace digests).
+        let mut builder = Pipeline::builder(format!("serve_{family}"))
             .create_from_view("p", &family_view_name(family), BTreeMap::new())
-            .gen("answer", "p")
-            .build();
+            .gen("answer", "p");
+        for extra in 1..config.gen_calls.max(1) {
+            builder = builder.gen(&format!("answer_{extra}"), "p");
+        }
+        let pipeline = builder.build();
         plans.push(Arc::new(
             lower(&pipeline).expect("generated pipelines lower clean"),
         ));
@@ -175,7 +186,11 @@ pub fn generate(config: &LoadGenConfig) -> GeneratedWorkload {
         let est_tokens = instruction_tokens[family] + tokenizer.count(&item) as u64 + 50;
         let mut request =
             ServeRequest::new(id, priority, Arc::clone(&plans[family]), state, arrival_us)
-                .with_est_tokens(est_tokens);
+                .with_est_tokens(est_tokens)
+                // The family instruction is the prefix every same-family
+                // request shares — under memory pressure those tokens map
+                // to the family's shared KV blocks.
+                .with_shared_prefix_tokens(instruction_tokens[family]);
         if interactive {
             if let Some(deadline) = config.interactive_deadline_us {
                 request = request.with_deadline_us(deadline);

@@ -140,6 +140,12 @@ pub struct ClassReport {
     pub cancelled: u64,
     /// Requests whose pipeline failed.
     pub failed: u64,
+    /// Preemption events suffered by this class's requests under memory
+    /// pressure (a request preempted twice counts twice). Always 0 when
+    /// `ServeConfig::pressure` is off. Defaults to 0 when deserializing
+    /// reports written before this counter existed.
+    #[serde(default)]
+    pub preempted: u64,
     /// Prompt tokens across completed requests.
     pub prompt_tokens: u64,
     /// Prompt tokens served from the prefix cache across completed
@@ -188,6 +194,62 @@ pub struct ServeReport {
     /// (all classes combined; the per-class split lives in
     /// `interactive`/`batch` token counts).
     pub cache: CacheStats,
+    /// KV block-pool and iteration-scheduler counters (all zeros with
+    /// `enabled: false` when the run had no `ServeConfig::pressure`).
+    /// Defaults for reports written before memory pressure existed.
+    #[serde(default)]
+    pub kv: KvReport,
+}
+
+/// Counters from the memory-pressure KV scheduler: the bounded block
+/// pool's accounting plus iteration-level batching totals. All counters
+/// are lane-count-invariant for a fixed workload, pool size, and token
+/// budget — the scheduler's decisions live on the virtual clock, not on
+/// worker threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct KvReport {
+    /// Whether the run scheduled under a bounded pool at all.
+    pub enabled: bool,
+    /// Pool capacity in blocks.
+    pub pool_blocks: u64,
+    /// Tokens per KV block.
+    pub block_size: u64,
+    /// Per-iteration token budget (decode steps + prefill chunks).
+    pub max_batched_tokens: u64,
+    /// Iterations that processed at least one token.
+    pub steps: u64,
+    /// Preemption events across all classes (recompute-on-resume).
+    pub preempted: u64,
+    /// Blocks evicted by pool capacity pressure (unpinned LRU leaves).
+    pub evicted_blocks: u64,
+    /// Blocks dropped by preemption (`BlockPool::free`).
+    pub freed_blocks: u64,
+    /// Blocks newly inserted into the pool.
+    pub inserted_blocks: u64,
+    /// Requested blocks served by resident prefixes (the *contended* reuse
+    /// measure: what prefix sharing is worth when blocks actually fight
+    /// for residency).
+    pub reused_blocks: u64,
+    /// Blocks requested across all allocations.
+    pub requested_blocks: u64,
+    /// Allocation attempts that found the pool exhausted (each is followed
+    /// by a preemption or a deferred admission).
+    pub alloc_failures: u64,
+    /// High-water mark of resident blocks.
+    pub peak_live_blocks: u64,
+}
+
+impl KvReport {
+    /// Fraction of requested blocks served by resident prefixes under
+    /// contention, in `[0, 1]`; `None` before any request.
+    #[must_use]
+    pub fn pool_reuse_rate(&self) -> Option<f64> {
+        if self.requested_blocks == 0 {
+            None
+        } else {
+            Some(self.reused_blocks as f64 / self.requested_blocks as f64)
+        }
+    }
 }
 
 impl ServeReport {

@@ -25,6 +25,94 @@ use std::collections::VecDeque;
 use crate::error::ServeError;
 use crate::request::{Priority, ServeRequest};
 
+/// A two-class FIFO with starvation aging — the dispatch-order core shared
+/// by the [`AdmissionQueue`] and the memory-pressure KV scheduler's
+/// waiting set (`crate::kv`). Interactive items pop before batch items;
+/// after `starvation_limit` consecutive interactive pops while batch work
+/// waits, the next pop takes the batch head.
+#[derive(Debug)]
+pub struct ClassFifo<T> {
+    interactive: VecDeque<T>,
+    batch: VecDeque<T>,
+    starvation_limit: u32,
+    /// Consecutive interactive pops since the last batch pop.
+    consecutive_interactive: u32,
+}
+
+impl<T> ClassFifo<T> {
+    /// An empty FIFO with the given aging bound.
+    #[must_use]
+    pub fn new(starvation_limit: u32) -> Self {
+        Self {
+            interactive: VecDeque::new(),
+            batch: VecDeque::new(),
+            starvation_limit,
+            consecutive_interactive: 0,
+        }
+    }
+
+    fn deque(&mut self, class: Priority) -> &mut VecDeque<T> {
+        match class {
+            Priority::Interactive => &mut self.interactive,
+            Priority::Batch => &mut self.batch,
+        }
+    }
+
+    /// Queued items in `class`.
+    #[must_use]
+    pub fn depth(&self, class: Priority) -> usize {
+        match class {
+            Priority::Interactive => self.interactive.len(),
+            Priority::Batch => self.batch.len(),
+        }
+    }
+
+    /// Total queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+
+    /// Whether both class queues are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.interactive.is_empty() && self.batch.is_empty()
+    }
+
+    /// Enqueue at the back of `class` (normal arrival order).
+    pub fn push_back(&mut self, class: Priority, item: T) {
+        self.deque(class).push_back(item);
+    }
+
+    /// Enqueue at the *front* of `class` — used to re-admit preempted work
+    /// ahead of everything that arrived after it.
+    pub fn push_front(&mut self, class: Priority, item: T) {
+        self.deque(class).push_front(item);
+    }
+
+    /// Pop the next item, honouring class priority and the aging bound.
+    pub fn pop(&mut self) -> Option<(Priority, T)> {
+        let take_batch = !self.batch.is_empty()
+            && (self.interactive.is_empty()
+                || self.consecutive_interactive >= self.starvation_limit);
+        if take_batch {
+            self.consecutive_interactive = 0;
+            return self.batch.pop_front().map(|i| (Priority::Batch, i));
+        }
+        if let Some(item) = self.interactive.pop_front() {
+            // Only count against the aging bound while batch work waits;
+            // an interactive run on an otherwise idle queue starves no one.
+            if self.batch.is_empty() {
+                self.consecutive_interactive = 0;
+            } else {
+                self.consecutive_interactive += 1;
+            }
+            return Some((Priority::Interactive, item));
+        }
+        None
+    }
+}
+
 /// Admission-control limits.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdmissionConfig {
@@ -54,14 +142,11 @@ impl Default for AdmissionConfig {
 #[derive(Debug)]
 pub struct AdmissionQueue {
     config: AdmissionConfig,
-    interactive: VecDeque<ServeRequest>,
-    batch: VecDeque<ServeRequest>,
+    fifo: ClassFifo<ServeRequest>,
     /// Current bucket level in tokens.
     level: f64,
     /// Arrival timestamp the bucket was last refilled to.
     refilled_at_us: u64,
-    /// Consecutive interactive pops since the last batch pop.
-    consecutive_interactive: u32,
 }
 
 impl AdmissionQueue {
@@ -69,35 +154,31 @@ impl AdmissionQueue {
     #[must_use]
     pub fn new(config: AdmissionConfig) -> Self {
         let level = config.bucket_capacity as f64;
+        let fifo = ClassFifo::new(config.starvation_limit);
         Self {
             config,
-            interactive: VecDeque::new(),
-            batch: VecDeque::new(),
+            fifo,
             level,
             refilled_at_us: 0,
-            consecutive_interactive: 0,
         }
     }
 
     /// Queued requests in `class`.
     #[must_use]
     pub fn depth(&self, class: Priority) -> usize {
-        match class {
-            Priority::Interactive => self.interactive.len(),
-            Priority::Batch => self.batch.len(),
-        }
+        self.fifo.depth(class)
     }
 
     /// Total queued requests.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.interactive.len() + self.batch.len()
+        self.fifo.len()
     }
 
     /// Whether both class queues are empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.interactive.is_empty() && self.batch.is_empty()
+        self.fifo.is_empty()
     }
 
     /// Refill the bucket up to the given arrival timestamp. Arrivals must
@@ -150,34 +231,14 @@ impl AdmissionQueue {
             return Err(Box::new((request, error)));
         }
         self.level -= cost;
-        match class {
-            Priority::Interactive => self.interactive.push_back(request),
-            Priority::Batch => self.batch.push_back(request),
-        }
+        self.fifo.push_back(class, request);
         Ok(())
     }
 
     /// Pop the next request to dispatch, honouring priority and the aging
     /// bound. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<ServeRequest> {
-        let take_batch = !self.batch.is_empty()
-            && (self.interactive.is_empty()
-                || self.consecutive_interactive >= self.config.starvation_limit);
-        if take_batch {
-            self.consecutive_interactive = 0;
-            return self.batch.pop_front();
-        }
-        if let Some(request) = self.interactive.pop_front() {
-            // Only count against the aging bound while batch work waits;
-            // an interactive run on an otherwise idle queue starves no one.
-            if self.batch.is_empty() {
-                self.consecutive_interactive = 0;
-            } else {
-                self.consecutive_interactive += 1;
-            }
-            return Some(request);
-        }
-        None
+        self.fifo.pop().map(|(_, request)| request)
     }
 
     /// Pop up to `max` requests (dispatch round).
@@ -310,6 +371,28 @@ mod tests {
         assert_eq!(q.pop().unwrap().id, 2);
         assert_eq!(q.pop().unwrap().id, 3);
         assert_eq!(q.pop().unwrap().id, 100, "aged in after starvation_limit");
+    }
+
+    #[test]
+    fn class_fifo_push_front_reenters_ahead_of_arrivals() {
+        // The resume path for preempted work: push_front puts an item
+        // ahead of everything queued behind it in its class, while class
+        // priority and aging still apply.
+        let mut f: ClassFifo<u64> = ClassFifo::new(4);
+        f.push_back(Priority::Batch, 1);
+        f.push_back(Priority::Batch, 2);
+        f.push_front(Priority::Batch, 99);
+        f.push_back(Priority::Interactive, 10);
+        f.push_front(Priority::Interactive, 9);
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.depth(Priority::Batch), 3);
+        assert_eq!(f.pop(), Some((Priority::Interactive, 9)));
+        assert_eq!(f.pop(), Some((Priority::Interactive, 10)));
+        assert_eq!(f.pop(), Some((Priority::Batch, 99)));
+        assert_eq!(f.pop(), Some((Priority::Batch, 1)));
+        assert_eq!(f.pop(), Some((Priority::Batch, 2)));
+        assert_eq!(f.pop(), None);
+        assert!(f.is_empty());
     }
 
     #[test]

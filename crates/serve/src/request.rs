@@ -61,6 +61,12 @@ pub struct ServeRequest {
     /// token bucket. Zero is allowed (admission then only enforces queue
     /// depth).
     pub est_tokens: u64,
+    /// Leading prompt tokens shared with every other request in the same
+    /// affinity group (the family instruction prefix). Under memory
+    /// pressure (`ServeConfig::pressure`) the KV scheduler maps these
+    /// tokens to the group's shared pool blocks; requests outside any
+    /// affinity group ignore the field. Zero = no shared prefix.
+    pub shared_prefix_tokens: u64,
     /// Cooperative cancellation handle. Clone it before submitting to
     /// cancel the request from outside the scheduler.
     pub cancel: CancelToken,
@@ -84,6 +90,7 @@ impl ServeRequest {
             arrival_us,
             deadline_us: None,
             est_tokens: 0,
+            shared_prefix_tokens: 0,
             cancel: CancelToken::new("cancelled"),
         }
     }
@@ -99,6 +106,13 @@ impl ServeRequest {
     #[must_use]
     pub fn with_est_tokens(mut self, est_tokens: u64) -> Self {
         self.est_tokens = est_tokens;
+        self
+    }
+
+    /// Set the affinity-group shared-prefix length in tokens.
+    #[must_use]
+    pub fn with_shared_prefix_tokens(mut self, shared_prefix_tokens: u64) -> Self {
+        self.shared_prefix_tokens = shared_prefix_tokens;
         self
     }
 
@@ -136,10 +150,12 @@ mod tests {
         );
         let r = ServeRequest::new(7, Priority::Interactive, plan, ExecState::new(), 100)
             .with_deadline_us(5_000)
-            .with_est_tokens(64);
+            .with_est_tokens(64)
+            .with_shared_prefix_tokens(32);
         assert_eq!(r.id, 7);
         assert_eq!(r.deadline_us, Some(5_000));
         assert_eq!(r.est_tokens, 64);
+        assert_eq!(r.shared_prefix_tokens, 32);
         assert!(r.affinity_key().is_some());
         let handle = r.cancel_handle();
         handle.cancel();

@@ -49,6 +49,7 @@ use spear_kv::shard::fnv1a;
 use spear_llm::SimLlm;
 
 use crate::error::ServeError;
+use crate::kv::{self, KvPressureConfig, SeqInput};
 use crate::metrics::{ClassReport, Histogram, ServeReport};
 use crate::queue::{AdmissionConfig, AdmissionQueue};
 use crate::request::{Priority, ServeRequest};
@@ -75,6 +76,15 @@ pub struct ServeConfig {
     /// LLM call or queue slot is spent. Default on; turn off only for
     /// workloads known-verified out of band.
     pub verify_admission: bool,
+    /// Schedule the run's token footprints through a bounded KV block
+    /// pool with token-level continuous batching (see [`crate::kv`]).
+    /// Executions stay byte-identical to the unconstrained path — the
+    /// pool shapes *timing* (queue waits, service, preemptions,
+    /// evictions), not results. With pressure on, the KV pool itself is
+    /// the backpressure valve: queue-depth shedding never binds (token
+    /// bucket and plan verification still apply). `None` = unbounded
+    /// memory, the classic lane scheduler.
+    pub pressure: Option<KvPressureConfig>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +95,7 @@ impl Default for ServeConfig {
             affinity_routing: true,
             admission: AdmissionConfig::default(),
             verify_admission: true,
+            pressure: None,
         }
     }
 }
@@ -135,6 +146,9 @@ pub struct ServeOutcome {
     pub trace_digest: Option<u64>,
     /// Token usage of the completed execution (zero unless completed).
     pub usage: TokenUsage,
+    /// Times the request was preempted by the KV scheduler (always 0
+    /// without `ServeConfig::pressure`).
+    pub preemptions: u32,
 }
 
 /// Everything a serving run produced: per-request outcomes (in request-id
@@ -230,6 +244,9 @@ impl ServeNode {
                 .all(|w| w[0].arrival_us <= w[1].arrival_us),
             "requests must arrive in non-decreasing virtual-time order"
         );
+        if let Some(pressure) = self.config.pressure.clone() {
+            return self.run_pressured(runtime, engine, requests, &pressure);
+        }
         let cache_before = engine.map(|e| e.cache_stats());
         let run_nonce = self.run_seq.fetch_add(1, Ordering::Relaxed);
         let owner_base = SERVE_OWNER_BASE | (run_nonce << 32);
@@ -274,6 +291,7 @@ impl ServeNode {
                             finish_us: 0,
                             trace_digest: None,
                             usage: TokenUsage::default(),
+                            preemptions: 0,
                         });
                         continue;
                     }
@@ -295,6 +313,7 @@ impl ServeNode {
                             finish_us: 0,
                             trace_digest: None,
                             usage: TokenUsage::default(),
+                            preemptions: 0,
                         });
                     }
                 }
@@ -403,6 +422,7 @@ impl ServeNode {
                     finish_us,
                     trace_digest: digest,
                     usage,
+                    preemptions: 0,
                 });
             }
 
@@ -428,6 +448,296 @@ impl ServeNode {
                 .finish(),
             batch: accum.remove(&Priority::Batch).unwrap_or_default().finish(),
             cache: Default::default(),
+            kv: Default::default(),
+        };
+        if let (Some(engine), Some(before)) = (engine, cache_before) {
+            report.cache = engine.cache_stats().delta_since(&before);
+        }
+        ServeRun { outcomes, report }
+    }
+
+    /// The memory-pressure path: execute everything exactly as the
+    /// unconstrained scheduler would (same owner groups, same per-group
+    /// order — byte-identical traces), then schedule the measured token
+    /// footprints through the KV iteration scheduler (`crate::kv`) for
+    /// timing, preemption, and eviction behaviour. Split this way, every
+    /// pool decision lives on the single-threaded virtual clock, so the
+    /// contended counters are lane-count-invariant by construction.
+    fn run_pressured(
+        &self,
+        runtime: &Runtime,
+        engine: Option<&SimLlm>,
+        requests: Vec<ServeRequest>,
+        pressure: &KvPressureConfig,
+    ) -> ServeRun {
+        let cache_before = engine.map(|e| e.cache_stats());
+        let run_nonce = self.run_seq.fetch_add(1, Ordering::Relaxed);
+        let owner_base = SERVE_OWNER_BASE | (run_nonce << 32);
+        let lanes = self.config.lanes;
+
+        let mut accum: HashMap<Priority, ClassAccum> = HashMap::new();
+        let mut outcomes: Vec<ServeOutcome> = Vec::with_capacity(requests.len());
+
+        // Phase 0 — admission, in arrival order. The token bucket and the
+        // plan verifier apply exactly as in the unconstrained path (both
+        // are pure functions of the arrival-ordered stream); depth-based
+        // shedding does not, because under pressure the bounded pool —
+        // not queue depth — is the backpressure valve: each admitted
+        // request is drained into the KV waiting set immediately.
+        let mut queue = AdmissionQueue::new(self.config.admission.clone());
+        let mut admitted: Vec<ServeRequest> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let class = request.priority;
+            let entry = accum.entry(class).or_default();
+            entry.report.submitted += 1;
+            if self.config.verify_admission {
+                if let Some(details) = verify_for_admission(runtime, &request) {
+                    entry.report.rejected += 1;
+                    outcomes.push(ServeOutcome {
+                        id: request.id,
+                        priority: class,
+                        status: ServeStatus::Rejected {
+                            error: ServeError::InvalidPlan {
+                                plan: request.plan.name.clone(),
+                                details,
+                            },
+                        },
+                        queue_wait_us: 0,
+                        service_us: 0,
+                        finish_us: 0,
+                        trace_digest: None,
+                        usage: TokenUsage::default(),
+                        preemptions: 0,
+                    });
+                    continue;
+                }
+            }
+            match queue.offer(request) {
+                Ok(()) => {
+                    entry.report.admitted += 1;
+                    admitted.push(queue.pop().expect("just offered"));
+                }
+                Err(shed) => {
+                    let (rejected, error) = *shed;
+                    entry.report.rejected += 1;
+                    outcomes.push(ServeOutcome {
+                        id: rejected.id,
+                        priority: class,
+                        status: ServeStatus::Rejected { error },
+                        queue_wait_us: 0,
+                        service_us: 0,
+                        finish_us: 0,
+                        trace_digest: None,
+                        usage: TokenUsage::default(),
+                        preemptions: 0,
+                    });
+                }
+            }
+        }
+
+        // Phase 1 — execute, with the unconstrained path's placement:
+        // same (class, affinity-key) owner groups, same hashed lane,
+        // members in arrival order. Lanes parallelize host execution
+        // only; results and digests are placement-invariant.
+        let mut groups: HashMap<(Priority, String), (u64, usize)> = HashMap::new();
+        let mut next_owner = 0u64;
+        let mut round_robin = 0usize;
+        let mut jobs = Vec::with_capacity(admitted.len());
+        let mut meta = Vec::with_capacity(admitted.len());
+        for mut request in admitted {
+            // `grouped` ⇒ the request shares a cache owner with its
+            // affinity family, and its `shared_prefix_tokens` map to the
+            // family's shared pool blocks. Isolated requests share no
+            // owner, hence no shared KV: their seed is unique and their
+            // prefix claim is dropped.
+            let (owner, lane, family_seed, grouped) = if self.config.affinity_routing {
+                match request.affinity_key() {
+                    Some(key) => {
+                        let seed = fnv1a(key.as_bytes());
+                        let slot =
+                            groups
+                                .entry((request.priority, key))
+                                .or_insert_with_key(|(_, key)| {
+                                    let owner = owner_base + next_owner;
+                                    next_owner += 1;
+                                    (owner, (fnv1a(key.as_bytes()) % lanes as u64) as usize)
+                                });
+                        (slot.0, slot.1, seed, true)
+                    }
+                    None => {
+                        let (owner, lane) =
+                            Self::isolated(owner_base, &mut next_owner, &mut round_robin, lanes);
+                        (owner, lane, fnv1a(&request.id.to_le_bytes()), false)
+                    }
+                }
+            } else {
+                let (owner, lane) =
+                    Self::isolated(owner_base, &mut next_owner, &mut round_robin, lanes);
+                (owner, lane, fnv1a(&request.id.to_le_bytes()), false)
+            };
+            let shared_prefix_tokens = if grouped {
+                request.shared_prefix_tokens
+            } else {
+                0
+            };
+            request.state.deadline_us = request.deadline_us;
+            request.state.cancel = Some(request.cancel.clone());
+            meta.push((
+                request.id,
+                request.priority,
+                request.arrival_us,
+                shared_prefix_tokens,
+                family_seed,
+            ));
+            jobs.push(AssignedJob {
+                lane,
+                owner,
+                plan: Arc::clone(&request.plan),
+                state: std::mem::take(&mut request.state),
+            });
+        }
+        let results = self.runner.run_assigned(runtime, jobs);
+
+        // Phase 2 — schedule the measured footprints through the bounded
+        // pool. Completed requests carry their real prefill/decode token
+        // counts; cancelled and failed ones pass through with an empty
+        // footprint but keep their measured partial service time.
+        let mut inputs = Vec::with_capacity(meta.len());
+        let mut executed = Vec::with_capacity(meta.len());
+        for ((id, priority, arrival_us, shared_prefix_tokens, family_seed), result) in
+            meta.into_iter().zip(results)
+        {
+            let entry = accum.entry(priority).or_default();
+            let mut gen_calls = 1u64;
+            let (status, exec_service_us, digest, usage) = match result {
+                Ok(outcome) => {
+                    let digest = outcome.state.trace.digest().ok();
+                    entry.report.completed += 1;
+                    entry.report.prompt_tokens += outcome.state.metadata.usage.prompt_tokens;
+                    entry.report.cached_tokens += outcome.state.metadata.usage.cached_tokens;
+                    gen_calls = outcome.state.metadata.gen_calls.max(1);
+                    (
+                        ServeStatus::Completed,
+                        outcome.state.metadata.latency_us,
+                        digest,
+                        outcome.state.metadata.usage,
+                    )
+                }
+                Err(SpearError::Cancelled { reason, after_us }) => {
+                    let status = if reason == "deadline" {
+                        entry.report.deadline_exceeded += 1;
+                        ServeStatus::DeadlineExceeded { after_us }
+                    } else {
+                        entry.report.cancelled += 1;
+                        ServeStatus::Cancelled { reason }
+                    };
+                    (status, after_us, None, TokenUsage::default())
+                }
+                Err(error) => {
+                    entry.report.failed += 1;
+                    (
+                        ServeStatus::Failed {
+                            error: error.to_string(),
+                        },
+                        0,
+                        None,
+                        TokenUsage::default(),
+                    )
+                }
+            };
+            let completed = status == ServeStatus::Completed;
+            // KV footprint of the sequence's device residency. Usage
+            // totals accumulate over every GEN call of the plan, but the
+            // calls run serially over one growing context — the resident
+            // footprint is the per-call prompt (averaged: calls share the
+            // prompt's prefix) plus everything decoded across calls.
+            inputs.push(SeqInput {
+                id,
+                priority,
+                arrival_us,
+                prompt_tokens: if completed {
+                    usage.prompt_tokens / gen_calls
+                } else {
+                    0
+                },
+                completion_tokens: if completed {
+                    usage.completion_tokens
+                } else {
+                    0
+                },
+                shared_prefix_tokens: if completed { shared_prefix_tokens } else { 0 },
+                family_seed,
+            });
+            executed.push((
+                id,
+                priority,
+                arrival_us,
+                status,
+                exec_service_us,
+                digest,
+                usage,
+            ));
+        }
+        let sim = kv::simulate(&inputs, pressure);
+
+        for ((id, priority, arrival_us, status, exec_service_us, digest, usage), timing) in
+            executed.into_iter().zip(&sim.timings)
+        {
+            let completed = status == ServeStatus::Completed;
+            // Completed requests take the KV scheduler's token-level
+            // timing; non-completed ones keep their measured partial
+            // service, placed at their scheduling instant.
+            let service_us = if completed {
+                timing.service_us
+            } else {
+                exec_service_us
+            };
+            let finish_us = if completed {
+                timing.finish_us
+            } else {
+                timing.start_us + exec_service_us
+            };
+            let queue_wait_us = timing.start_us.saturating_sub(arrival_us);
+            let entry = accum.entry(priority).or_default();
+            entry.queue_wait_us.record(queue_wait_us);
+            entry.service_us.record(service_us);
+            entry.e2e_us.record(finish_us.saturating_sub(arrival_us));
+            outcomes.push(ServeOutcome {
+                id,
+                priority,
+                status,
+                queue_wait_us,
+                service_us,
+                finish_us,
+                trace_digest: digest,
+                usage,
+                preemptions: timing.preemptions,
+            });
+        }
+        for (class, depth) in &sim.depth_samples {
+            accum.entry(*class).or_default().queue_depth.record(*depth);
+        }
+        for (i, class) in Priority::ALL.iter().enumerate() {
+            accum.entry(*class).or_default().report.preempted = sim.preempted_by_class[i];
+        }
+
+        outcomes.sort_by_key(|o| o.id);
+        assert!(
+            outcomes.windows(2).all(|w| w[0].id < w[1].id),
+            "request ids must be unique"
+        );
+        let mut report = ServeReport {
+            lanes,
+            affinity_routing: self.config.affinity_routing,
+            makespan_us: sim.makespan_us,
+            trace_fingerprint: Self::fingerprint(&outcomes),
+            interactive: accum
+                .remove(&Priority::Interactive)
+                .unwrap_or_default()
+                .finish(),
+            batch: accum.remove(&Priority::Batch).unwrap_or_default().finish(),
+            cache: Default::default(),
+            kv: sim.report,
         };
         if let (Some(engine), Some(before)) = (engine, cache_before) {
             report.cache = engine.cache_stats().delta_since(&before);

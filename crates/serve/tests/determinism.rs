@@ -34,6 +34,7 @@ fn serve(
             ..AdmissionConfig::default()
         },
         verify_admission: true,
+        pressure: None,
     });
     let run = node.run(&runtime, Some(&engine), workload.requests);
     let statuses = run
@@ -67,6 +68,7 @@ proptest! {
             mean_interarrival_us: 5_000,
             interactive_fraction: f64::from(interactive_pct) / 100.0,
             interactive_deadline_us: None,
+            gen_calls: 1,
         };
         let (s1, d1, r1) = serve(&load, 1, affinity);
         let (s4, d4, r4) = serve(&load, 4, affinity);
@@ -100,6 +102,7 @@ proptest! {
             mean_interarrival_us: 5_000,
             interactive_fraction: 0.7,
             interactive_deadline_us: Some(deadline_us),
+            gen_calls: 1,
         };
         let (s1, d1, _) = serve(&load, 1, true);
         let (s8, d8, _) = serve(&load, 8, true);
@@ -152,6 +155,7 @@ fn interactive_flood_cannot_starve_batch() {
             ..AdmissionConfig::default()
         },
         verify_admission: true,
+        pressure: None,
     });
     let run = node.run(&runtime, None, requests);
 
@@ -195,6 +199,7 @@ fn affinity_routing_buys_cache_hit_rate() {
         mean_interarrival_us: 10_000,
         interactive_fraction: 0.5,
         interactive_deadline_us: None,
+        gen_calls: 1,
     };
     let (_, _, with_affinity) = serve(&load, 4, true);
     let (_, _, without) = serve(&load, 4, false);

@@ -30,3 +30,9 @@ bench:
 # warm-prefix serve workload.
 bench-host:
     cargo run --release -p spear-bench --bin bench_host
+
+# Serving sweep on its own; pass `--pressure` for the bounded-KV
+# memory-pressure variant (BENCH_serve_pressure.json; fails unless the
+# pool visibly evicted and preempted, identically at every lane count).
+bench-serve *ARGS:
+    cargo run --release -p spear-bench --bin bench_serve -- {{ARGS}}
