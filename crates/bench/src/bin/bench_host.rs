@@ -5,9 +5,12 @@
 //!
 //! Runs the same request streams flat (interner off — the pre-fast-path
 //! behaviour) and segmented (interner on) and reports host-side
-//! requests/sec and allocations/request for both. Acceptance: responses
-//! byte-identical across modes, and the warm-prefix serve workload at
-//! least 2x faster on the fast path.
+//! requests/sec and allocations/request for both, plus an interpreter-vs-
+//! bytecode-VM dispatch microbenchmark on a synthetic 64-slot plan.
+//! Acceptance: responses byte-identical across modes, the warm-prefix
+//! serve workload at least 2x faster on the fast path, and the VM
+//! dispatching at least 1.3x the interpreter's ops/sec with identical
+//! traces.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,6 +121,23 @@ fn main() {
     }
     println!("{}", table.render());
 
+    let d = &report.dispatch;
+    let mut dispatch_table =
+        Table::new(&["Dispatch (64-slot plan)", "Ops/s", "Speedup", "Identical"]);
+    dispatch_table.row(vec![
+        "interpreter".to_string(),
+        f(d.interpreter_ops_per_sec, 0),
+        String::new(),
+        String::new(),
+    ]);
+    dispatch_table.row(vec![
+        "bytecode VM".to_string(),
+        f(d.vm_ops_per_sec, 0),
+        format!("{:.2}x", d.speedup),
+        d.traces_identical.to_string(),
+    ]);
+    println!("{}", dispatch_table.render());
+
     let json = serde_json::to_string(&report).expect("serializable report");
     std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_host.json");
     eprintln!("wrote {out_path}");
@@ -141,6 +161,18 @@ fn main() {
             "FAIL: acceptance requires >=2x host-side requests/sec on the \
              warm-prefix serve workload, got {:.2}x",
             serve.speedup
+        );
+        std::process::exit(1);
+    }
+    if !report.dispatch.traces_identical {
+        eprintln!("FAIL: interpreter and VM traces diverged on the dispatch plan");
+        std::process::exit(1);
+    }
+    if report.dispatch.speedup < 1.3 {
+        eprintln!(
+            "FAIL: acceptance requires the bytecode VM to dispatch >=1.3x \
+             the interpreter's ops/sec, got {:.2}x",
+            report.dispatch.speedup
         );
         std::process::exit(1);
     }

@@ -19,12 +19,19 @@
 //! allocations/request for both modes.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Serialize;
+use spear_core::condition::{Cond, Operand};
 use spear_core::context::Context;
+use spear_core::history::RefinementMode;
 use spear_core::llm::{GenRequest, GenResponse, LlmClient};
+use spear_core::pipeline::Pipeline;
+use spear_core::plan::{lower, LoweredPlan};
+use spear_core::runtime::{ExecState, Runtime, RuntimeConfig};
 use spear_core::template;
+use spear_core::EchoLlm;
 use spear_llm::{EngineConfig, InternStats, ModelProfile, SimLlm};
 use spear_serve::loadgen::family_instruction;
 
@@ -90,6 +97,26 @@ pub struct WorkloadResult {
     pub intern: InternStats,
 }
 
+/// Dispatch microbenchmark result: the same synthetic check-heavy plan
+/// stepped by the lowered-IR interpreter vs the compiled bytecode VM.
+#[derive(Debug, Clone, Serialize)]
+pub struct DispatchResult {
+    /// Lowered slots in the synthetic plan.
+    pub slots: usize,
+    /// Operators executed per pass (both spines count identically).
+    pub executed_ops: u64,
+    /// Timed passes per spine.
+    pub passes: usize,
+    /// Interpreter throughput, operators per second.
+    pub interpreter_ops_per_sec: f64,
+    /// VM throughput, operators per second.
+    pub vm_ops_per_sec: f64,
+    /// `vm_ops_per_sec / interpreter_ops_per_sec`.
+    pub speedup: f64,
+    /// Whether one run of each spine produced byte-identical traces.
+    pub traces_identical: bool,
+}
+
 /// The full report serialized to `BENCH_host.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct HostBenchReport {
@@ -99,6 +126,8 @@ pub struct HostBenchReport {
     pub iters: usize,
     /// Per-workload results.
     pub workloads: Vec<WorkloadResult>,
+    /// Interpreter-vs-VM dispatch microbenchmark.
+    pub dispatch: DispatchResult,
 }
 
 /// A prebuilt request in both forms: flat and segmented.
@@ -243,6 +272,96 @@ fn run_workload(
     }
 }
 
+/// A synthetic 64-slot, check-heavy plan with no LLM calls: one prompt
+/// CREATE followed by 63 empty-branch CHECKs alternating between a
+/// context-membership test (true) and a truthiness test on a missing key
+/// (false). Both spines do identical condition evaluation and tracing per
+/// slot, so the measured difference is the dispatch machinery itself:
+/// enum walk with per-step target validation vs compact bytecode fetch
+/// over a constant pool.
+fn dispatch_plan() -> LoweredPlan {
+    let mut b = Pipeline::builder("dispatch_64").create_text(
+        "p0",
+        "dispatch probe",
+        RefinementMode::Manual,
+    );
+    for i in 0..63 {
+        let cond = if i % 2 == 0 {
+            Cond::InContext("seed".to_string())
+        } else {
+            Cond::Truthy(Operand::Ctx("missing".to_string()))
+        };
+        b = b.check(cond, |t| t);
+    }
+    lower(&b.build()).expect("synthetic plan lowers")
+}
+
+/// Run the dispatch microbenchmark: `passes` timed passes per spine over
+/// the synthetic plan, interpreter first, VM second.
+#[must_use]
+pub fn run_dispatch(passes: usize) -> DispatchResult {
+    let plan = dispatch_plan();
+    // Verification off: the gate would bill the interpreter for a
+    // structural re-verify per pass that the VM pays once at compile time;
+    // here we want the steady-state stepping cost alone.
+    let rt = Runtime::builder()
+        .llm(Arc::new(EchoLlm::default()))
+        .config(RuntimeConfig {
+            verify: false,
+            ..RuntimeConfig::default()
+        })
+        .build();
+    let program = spear_core::compile(&plan).expect("synthetic plan compiles");
+    let fresh = || {
+        let mut state = ExecState::new();
+        state.context.set("seed", "1");
+        state
+    };
+
+    // One run of each spine for the equivalence check and the op count.
+    let mut int_state = fresh();
+    let int_result = rt.execute_lowered_interpreted(&plan, &mut int_state);
+    let mut vm_state = fresh();
+    let vm_result = rt.execute_program(&program, &mut vm_state);
+    let traces_identical = format!(
+        "{int_result:?}|{}",
+        int_state.trace.to_jsonl().expect("trace serializes")
+    ) == format!(
+        "{vm_result:?}|{}",
+        vm_state.trace.to_jsonl().expect("trace serializes")
+    );
+    let executed_ops = int_state.step;
+
+    let time = |spine: &dyn Fn(&mut ExecState)| -> f64 {
+        // Warm-up pass, then the timed passes.
+        spine(&mut fresh());
+        let start = Instant::now();
+        for _ in 0..passes {
+            let mut state = fresh();
+            spine(&mut state);
+            std::hint::black_box(&state.step);
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-12);
+        (executed_ops as f64 * passes as f64) / secs
+    };
+    let interpreter_ops_per_sec = time(&|state| {
+        let _ = rt.execute_lowered_interpreted(&plan, state);
+    });
+    let vm_ops_per_sec = time(&|state| {
+        let _ = rt.execute_program(&program, state);
+    });
+
+    DispatchResult {
+        slots: plan.ops.len(),
+        executed_ops,
+        passes,
+        interpreter_ops_per_sec,
+        vm_ops_per_sec,
+        speedup: vm_ops_per_sec / interpreter_ops_per_sec.max(1e-12),
+        traces_identical,
+    }
+}
+
 /// Run the full harness.
 #[must_use]
 pub fn run(config: &HostBenchConfig, alloc_snapshot: Option<AllocSnapshotFn>) -> HostBenchReport {
@@ -255,6 +374,9 @@ pub fn run(config: &HostBenchConfig, alloc_snapshot: Option<AllocSnapshotFn>) ->
             run_workload("batch_view_v", &batch, config, alloc_snapshot),
             run_workload("serve_warm_prefix", &serve, config, alloc_snapshot),
         ],
+        // 250 dispatch passes per timed pass of the main workloads keeps
+        // the microbenchmark's sample count (~1M ops) proportionate.
+        dispatch: run_dispatch(config.iters * 250),
     }
 }
 
@@ -277,5 +399,19 @@ mod tests {
             assert!(w.intern.hits > 0, "{} never resumed a chain", w.name);
             assert!(w.baseline.requests_per_sec > 0.0);
         }
+        assert!(report.dispatch.traces_identical);
+        assert!(report.dispatch.interpreter_ops_per_sec > 0.0);
+        assert!(report.dispatch.vm_ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn dispatch_plan_is_64_slots_and_spines_agree() {
+        let result = run_dispatch(2);
+        assert_eq!(result.slots, 64, "synthetic plan must stay 64 slots");
+        assert!(
+            result.traces_identical,
+            "interpreter and VM diverged on the dispatch plan"
+        );
+        assert!(result.executed_ops >= 64, "every slot executes");
     }
 }

@@ -157,6 +157,7 @@ fn serve_once(config: &ServeBenchConfig, lanes: usize, affinity: bool) -> ServeR
         admission: AdmissionConfig::default(),
         verify_admission: true,
         pressure: config.pressure.clone(),
+        program_cache_capacity: 64,
     });
     let started = Instant::now();
     let run = node.run(&runtime, Some(&engine), workload.requests);

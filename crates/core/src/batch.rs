@@ -108,6 +108,10 @@ pub struct AssignedJob {
     pub owner: u64,
     /// The lowered plan to execute.
     pub plan: Arc<LoweredPlan>,
+    /// A pre-compiled program for `plan`, when the scheduler already
+    /// compiled (and possibly specialized) it; `None` falls back to
+    /// compiling inside [`crate::runtime::Runtime::execute_lowered`].
+    pub program: Option<Arc<crate::vm::Program>>,
     /// The job's private execution state.
     pub state: ExecState,
 }
@@ -155,12 +159,24 @@ impl BatchRunner {
         plan: &Arc<LoweredPlan>,
         states: Vec<ExecState>,
     ) -> Vec<Result<BatchOutcome>> {
+        // Compile once for the whole batch instead of once per job. A plan
+        // that fails to compile (i.e. fails verification) falls back to
+        // per-job `execute_lowered`, which reproduces the same
+        // `InvalidPlan` error in every slot.
+        let program = if runtime.config().verify {
+            crate::vm::compile(plan).ok().map(Arc::new)
+        } else {
+            crate::vm::compile_assuming_verified(plan)
+                .ok()
+                .map(Arc::new)
+        };
         let jobs: Vec<(Arc<LoweredPlan>, ExecState)> = states
             .into_iter()
             .map(|state| (Arc::clone(plan), state))
             .collect();
-        self.run_jobs(jobs, |(plan, _), state| {
-            runtime.execute_lowered(plan, state)
+        self.run_jobs(jobs, |(plan, _), state| match &program {
+            Some(p) => runtime.execute_program(p, state),
+            None => runtime.execute_lowered(plan, state),
         })
     }
 
@@ -263,9 +279,11 @@ impl BatchRunner {
                             let _scope = scope::enter(job.owner, lane);
                             let result = catch_unwind(AssertUnwindSafe(|| {
                                 let mut state = std::mem::take(&mut job.state);
-                                runtime
-                                    .execute_lowered(&job.plan, &mut state)
-                                    .map(|report| BatchOutcome { report, state })
+                                match job.program.as_deref() {
+                                    Some(program) => runtime.execute_program(program, &mut state),
+                                    None => runtime.execute_lowered(&job.plan, &mut state),
+                                }
+                                .map(|report| BatchOutcome { report, state })
                             }))
                             .unwrap_or(Err(SpearError::WorkerPanicked { lane }));
                             produced.push((index, result));
@@ -501,6 +519,7 @@ mod tests {
                 lane: i % 3,
                 owner: 1000 + (i % 3) as u64,
                 plan: Arc::clone(&plan),
+                program: None,
                 state: state(i),
             })
             .collect();
@@ -528,6 +547,7 @@ mod tests {
                 lane: 7, // all wrap onto lane 7 % 2 == 1
                 owner: 50,
                 plan: Arc::clone(&plan),
+                program: None,
                 state: state(i),
             })
             .collect();

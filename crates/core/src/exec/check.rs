@@ -2,12 +2,9 @@
 
 use crate::condition::Cond;
 use crate::error::Result;
-use crate::ops::Op;
-use crate::runtime::{ExecState, Runtime};
+use crate::runtime::ExecState;
 use crate::trace::TraceKind;
 use crate::value::Value;
-
-use super::{Flow, OpExecutor};
 
 /// Evaluate a condition and record the `CheckTaken`/`CheckSkipped` event.
 /// Evaluation errors record nothing here — the spine logs them.
@@ -27,21 +24,21 @@ pub(crate) fn eval_and_trace(cond: &Cond, state: &mut ExecState) -> Result<bool>
     Ok(holds)
 }
 
-/// Executor for [`Op::Check`]: evaluates the condition; the spine routes
-/// control into the matching branch.
-pub(crate) struct CheckExec;
-
-impl OpExecutor for CheckExec {
-    fn execute(
-        &self,
-        _rt: &Runtime,
-        op: &Op,
-        _trigger: Option<&str>,
-        state: &mut ExecState,
-    ) -> Result<Flow> {
-        let Op::Check { cond, .. } = op else {
-            unreachable!("CheckExec only dispatches on Op::Check")
-        };
-        Ok(Flow::Cond(eval_and_trace(cond, state)?))
-    }
+/// [`eval_and_trace`] with a pre-rendered `CHECK[{cond}]` label — the
+/// compiled VM interns the label once per plan instead of Display-rendering
+/// the condition on every evaluation. `label` must be exactly what
+/// `format!("CHECK[{cond}]")` would produce, so traces stay byte-identical.
+pub(crate) fn eval_labeled(cond: &Cond, label: &str, state: &mut ExecState) -> Result<bool> {
+    let holds = cond.eval(&state.context, &state.metadata)?;
+    state.trace.record(
+        state.step,
+        if holds {
+            TraceKind::CheckTaken
+        } else {
+            TraceKind::CheckSkipped
+        },
+        label.to_owned(),
+        Value::Bool(holds),
+    );
+    Ok(holds)
 }

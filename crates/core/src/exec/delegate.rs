@@ -1,55 +1,41 @@
 //! DELEGATE — offloading subtasks to agents (paper §3.3).
 
 use crate::error::{Result, SpearError};
-use crate::ops::{Op, PayloadSpec};
+use crate::ops::PayloadSpec;
 use crate::runtime::{ExecState, Runtime};
 use crate::trace::TraceKind;
 use crate::value::Value;
 
-use super::{Flow, OpExecutor};
-
-/// Executor for [`Op::Delegate`]: resolves the agent, builds the payload,
-/// and writes the agent's result into C.
-pub(crate) struct DelegateExec;
-
-impl OpExecutor for DelegateExec {
-    fn execute(
-        &self,
-        rt: &Runtime,
-        op: &Op,
-        _trigger: Option<&str>,
-        state: &mut ExecState,
-    ) -> Result<Flow> {
-        let Op::Delegate {
-            agent: agent_name,
-            payload,
-            into,
-        } = op
-        else {
-            unreachable!("DelegateExec only dispatches on Op::Delegate")
-        };
-        let agent = rt.agents.resolve(agent_name)?;
-        let payload_value = match payload {
-            PayloadSpec::CtxKey(k) => state.context.get(k).ok_or_else(|| SpearError::Agent {
-                agent: agent_name.to_string(),
-                reason: format!("payload context key {k:?} missing"),
-            })?,
-            PayloadSpec::PromptKey(k) => {
-                let entry = state.prompts.get(k)?;
-                Value::from(entry.render(&state.context)?)
-            }
-            PayloadSpec::Lit(v) => v.clone(),
-        };
-        let result = agent.call(&payload_value, &state.context)?;
-        state
-            .context
-            .set_attributed(into, result, state.step, "DELEGATE");
-        state.trace.record(
-            state.step,
-            TraceKind::Delegate,
-            format!("DELEGATE[{agent_name:?}] -> C[{into:?}]"),
-            Value::Null,
-        );
-        Ok(Flow::Next)
-    }
+/// Handler for [`crate::ops::Op::Delegate`]: resolves the agent, builds
+/// the payload, and writes the agent's result into C.
+pub(crate) fn run(
+    rt: &Runtime,
+    agent_name: &str,
+    payload: &PayloadSpec,
+    into: &str,
+    state: &mut ExecState,
+) -> Result<()> {
+    let agent = rt.agents.resolve(agent_name)?;
+    let payload_value = match payload {
+        PayloadSpec::CtxKey(k) => state.context.get(k).ok_or_else(|| SpearError::Agent {
+            agent: agent_name.to_string(),
+            reason: format!("payload context key {k:?} missing"),
+        })?,
+        PayloadSpec::PromptKey(k) => {
+            let entry = state.prompts.get(k)?;
+            Value::from(entry.render(&state.context)?)
+        }
+        PayloadSpec::Lit(v) => v.clone(),
+    };
+    let result = agent.call(&payload_value, &state.context)?;
+    state
+        .context
+        .set_attributed(into, result, state.step, "DELEGATE");
+    state.trace.record(
+        state.step,
+        TraceKind::Delegate,
+        format!("DELEGATE[{agent_name:?}] -> C[{into:?}]"),
+        Value::Null,
+    );
+    Ok(())
 }

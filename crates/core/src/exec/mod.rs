@@ -1,19 +1,23 @@
-//! Per-operator executors and the execution spine.
+//! Per-operator handlers and the execution spine.
 //!
-//! Every operator of the algebra has its own executor module implementing
-//! [`OpExecutor`] — the obligation to consume and produce the full
-//! `(P, C, M)` triple is per-operator, so the code is organized the same
-//! way. The spine — budget gating, step counting, tracing, and error
-//! unwinding — lives here, in exactly one place:
+//! Every operator of the algebra has its own handler module — the
+//! obligation to consume and produce the full `(P, C, M)` triple is
+//! per-operator, so the code is organized the same way. Handlers are plain
+//! free functions over destructured operator fields (no trait objects):
+//! [`exec_op`] is the static dispatch point, and [`crate::vm`] inlines the
+//! same handlers into its compiled match-loop. The spine — budget gating,
+//! step counting, tracing, and error unwinding — lives here, in exactly
+//! one place:
 //!
-//! - [`run_lowered`] steps a [`LoweredPlan`] with a program counter; this
-//!   is what [`crate::runtime::Runtime::execute`] dispatches to.
-//! - [`run_tree`] is the reference recursive walk over the operator tree,
-//!   kept for differential testing
+//! - [`run_lowered`] steps a [`LoweredPlan`] with a program counter — the
+//!   reference IR interpreter, kept for differential testing and dispatch
+//!   microbenchmarks (the production path compiles to [`crate::vm`]).
+//! - [`run_tree`] is the reference recursive walk over the operator tree
 //!   ([`crate::runtime::Runtime::execute_tree`]).
 //!
-//! Both produce byte-identical traces for any pipeline, including error
-//! paths (see `tests/trace_equivalence.rs`).
+//! All three spines — tree walk, IR interpreter, compiled VM — produce
+//! byte-identical traces for any pipeline, including error paths (see
+//! `tests/trace_equivalence.rs`).
 //!
 //! The spine must never panic on user input — failures are typed
 //! [`SpearError`]s — so `unwrap()`/`expect()` are denied throughout the
@@ -43,32 +47,64 @@ pub(crate) enum Flow {
     Cond(bool),
 }
 
-/// One operator's executor: applies the operator to the state triple.
-///
-/// Implementations never gate budgets or record `Error` events — the spine
-/// owns both — but do record their own success trace event, because its
-/// payload comes from the operator's internals (token usage, condition
-/// outcome, merge choice, …).
-pub(crate) trait OpExecutor: Sync {
-    /// Execute `op` against `state`.
-    fn execute(
-        &self,
-        rt: &Runtime,
-        op: &Op,
-        trigger: Option<&str>,
-        state: &mut ExecState,
-    ) -> Result<Flow>;
-}
-
-/// Static dispatch table: the executor for an operator.
-pub(crate) fn executor_for(op: &Op) -> &'static dyn OpExecutor {
+/// Execute one operator against `state`: the static dispatch table from
+/// operator to its inlined handler. Handlers never gate budgets or record
+/// `Error` events — the spine owns both — but do record their own success
+/// trace event, because its payload comes from the operator's internals
+/// (token usage, condition outcome, merge choice, …).
+pub(crate) fn exec_op(
+    rt: &Runtime,
+    op: &Op,
+    trigger: Option<&str>,
+    state: &mut ExecState,
+) -> Result<Flow> {
     match op {
-        Op::Ret { .. } => &ret::RetExec,
-        Op::Gen { .. } => &gen::GenExec,
-        Op::Ref { .. } => &refine::RefineExec,
-        Op::Check { .. } => &check::CheckExec,
-        Op::Merge { .. } => &merge::MergeExec,
-        Op::Delegate { .. } => &delegate::DelegateExec,
+        Op::Ret {
+            source,
+            query,
+            prompt,
+            into,
+            limit,
+        } => {
+            ret::run(rt, source, query, prompt.as_deref(), into, *limit, state)?;
+            Ok(Flow::Next)
+        }
+        Op::Gen {
+            label,
+            prompt,
+            options,
+        } => {
+            gen::run(rt, label, prompt, options, None, state)?;
+            Ok(Flow::Next)
+        }
+        Op::Ref {
+            target,
+            action,
+            refiner,
+            args,
+            mode,
+        } => {
+            refine::run(rt, target, *action, refiner, args, *mode, trigger, state)?;
+            Ok(Flow::Next)
+        }
+        Op::Check { cond, .. } => Ok(Flow::Cond(check::eval_and_trace(cond, state)?)),
+        Op::Merge {
+            left,
+            right,
+            into,
+            policy,
+        } => {
+            merge::run(left, right, into, policy, state)?;
+            Ok(Flow::Next)
+        }
+        Op::Delegate {
+            agent,
+            payload,
+            into,
+        } => {
+            delegate::run(rt, agent, payload, into, state)?;
+            Ok(Flow::Next)
+        }
     }
 }
 
@@ -128,8 +164,14 @@ fn check_cancelled(state: &ExecState) -> Result<()> {
 
 /// The pre-operator gate: op budget, call limits, step advance. Gate
 /// failures are *not* recorded against the operator (it never ran) — only
-/// enclosing CHECK frames log them during unwind.
-fn gate(rt: &Runtime, state: &mut ExecState, budget: &mut u64, limits: &CallLimits) -> Result<()> {
+/// enclosing CHECK frames log them during unwind. Shared by all three
+/// spines (tree walk, IR interpreter, compiled VM).
+pub(crate) fn gate(
+    rt: &Runtime,
+    state: &mut ExecState,
+    budget: &mut u64,
+    limits: &CallLimits,
+) -> Result<()> {
     if *budget == 0 {
         return Err(SpearError::OpBudgetExceeded {
             limit: rt.config.max_ops,
@@ -164,7 +206,7 @@ fn unwind(state: &mut ExecState, own: Option<String>, frames: &[String], e: &Spe
     }
 }
 
-/// The IR spine: step `plan` with a program counter.
+/// The IR interpreter spine: step `plan` with a program counter.
 pub(crate) fn run_lowered(
     rt: &Runtime,
     plan: &LoweredPlan,
@@ -203,7 +245,7 @@ pub(crate) fn run_lowered(
                     unwind(state, None, frames, &e);
                     return Err(e);
                 }
-                match executor_for(op).execute(rt, op, trigger.as_deref(), state) {
+                match exec_op(rt, op, trigger.as_deref(), state) {
                     Ok(_) => pc += 1,
                     Err(e) => {
                         unwind(state, Some(op.describe()), frames, &e);
@@ -229,30 +271,27 @@ pub(crate) fn run_tree(
 ) -> Result<()> {
     for op in ops {
         gate(rt, state, budget, limits)?;
-        let outcome =
-            executor_for(op)
-                .execute(rt, op, trigger, state)
-                .and_then(|flow| match flow {
-                    Flow::Next => Ok(()),
-                    Flow::Cond(holds) => {
-                        let Op::Check {
-                            cond,
-                            then_ops,
-                            else_ops,
-                        } = op
-                        else {
-                            unreachable!("only CHECK returns Flow::Cond")
-                        };
-                        if holds {
-                            run_tree(rt, then_ops, state, budget, Some(&cond.to_string()), limits)
-                        } else if else_ops.is_empty() {
-                            Ok(())
-                        } else {
-                            let negated = format!("!({cond})");
-                            run_tree(rt, else_ops, state, budget, Some(&negated), limits)
-                        }
-                    }
-                });
+        let outcome = exec_op(rt, op, trigger, state).and_then(|flow| match flow {
+            Flow::Next => Ok(()),
+            Flow::Cond(holds) => {
+                let Op::Check {
+                    cond,
+                    then_ops,
+                    else_ops,
+                } = op
+                else {
+                    unreachable!("only CHECK returns Flow::Cond")
+                };
+                if holds {
+                    run_tree(rt, then_ops, state, budget, Some(&cond.to_string()), limits)
+                } else if else_ops.is_empty() {
+                    Ok(())
+                } else {
+                    let negated = format!("!({cond})");
+                    run_tree(rt, else_ops, state, budget, Some(&negated), limits)
+                }
+            }
+        });
         if let Err(e) = outcome {
             state.trace.record(
                 state.step,

@@ -1,122 +1,107 @@
 //! REF — prompt construction and refinement (paper §3.3, §4.3).
 
 use crate::error::{Result, SpearError};
-use crate::history::RefAction;
-use crate::ops::Op;
+use crate::history::{RefAction, RefinementMode};
 use crate::prompt::PromptEntry;
 use crate::refiner::RefineCtx;
 use crate::runtime::{ExecState, Runtime};
 use crate::trace::TraceKind;
 use crate::value::{map, Value};
 
-use super::{Flow, OpExecutor};
-
-/// Executor for [`Op::Ref`]: runs the refiner and applies its output —
-/// either a new prompt version (recorded in the ref_log with the CHECK
-/// trigger that caused it) or context writes.
-pub(crate) struct RefineExec;
-
-impl OpExecutor for RefineExec {
-    fn execute(
-        &self,
-        rt: &Runtime,
-        op: &Op,
-        trigger: Option<&str>,
-        state: &mut ExecState,
-    ) -> Result<Flow> {
-        let Op::Ref {
-            target,
-            action,
-            refiner: refiner_name,
-            args,
-            mode,
-        } = op
-        else {
-            unreachable!("RefineExec only dispatches on Op::Ref")
-        };
-        let action = *action;
-        let mode = *mode;
-        let refiner = rt.refiners.resolve(refiner_name)?;
-        let current = state.prompts.try_get(target);
-        if current.is_none() && action != RefAction::Create {
-            return Err(SpearError::PromptNotFound(target.to_string()));
-        }
-        let output = {
-            let rcx = RefineCtx {
-                current: current.as_ref(),
-                context: &state.context,
-                metadata: &state.metadata,
-                llm: rt.llm.as_deref(),
-                views: &rt.views,
-                prompts: &state.prompts,
-                args,
-            };
-            refiner.refine(&rcx)?
-        };
-
-        let mut new_version = None;
-        if let Some(new_text) = output.new_text {
-            if current.is_some() {
-                let v = state.prompts.refine(
-                    target,
-                    new_text,
-                    action,
-                    refiner_name,
-                    mode,
-                    state.step,
-                    trigger.map(str::to_string),
-                    state.metadata.signal_snapshot(),
-                    output.note.clone(),
-                )?;
-                new_version = Some(v);
-            } else {
-                let mut entry = PromptEntry::new(new_text, refiner_name, mode);
-                entry.ref_log[0].step = state.step;
-                entry.ref_log[0].trigger = trigger.map(str::to_string);
-                entry.ref_log[0].signals = state.metadata.signal_snapshot();
-                entry.ref_log[0].note = output.note.clone();
-                state.prompts.insert(target, entry);
-                new_version = Some(1);
-            }
-            // Params / origin updates from the refiner (e.g. from_view).
-            if output.params.is_some() || output.origin.is_some() {
-                state.prompts.update(target, |e| {
-                    if let Some(p) = output.params {
-                        e.params = p;
-                    }
-                    if let Some(o) = output.origin {
-                        e.origin = o;
-                    }
-                })?;
-            }
-        } else {
-            for (key, value) in &output.ctx_writes {
-                state
-                    .context
-                    .set_attributed(key.clone(), value.clone(), state.step, "REF");
-            }
-        }
-        if new_version.is_some() {
-            for (key, value) in &output.ctx_writes {
-                state
-                    .context
-                    .set_attributed(key.clone(), value.clone(), state.step, "REF");
-            }
-        }
-        state.metadata.ref_calls += 1;
-        state.trace.record(
-            state.step,
-            TraceKind::Ref,
-            format!("REF[{action}, {refiner_name}] on P[{target:?}]"),
-            map([
-                ("mode", Value::from(mode.to_string())),
-                ("version", Value::from(new_version.unwrap_or(0))),
-                (
-                    "trigger",
-                    trigger.map_or(Value::Null, |t| Value::from(t.to_string())),
-                ),
-            ]),
-        );
-        Ok(Flow::Next)
+/// Handler for [`crate::ops::Op::Ref`]: runs the refiner and applies its
+/// output — either a new prompt version (recorded in the ref_log with the
+/// CHECK trigger that caused it) or context writes.
+#[allow(clippy::too_many_arguments)] // mirrors Op::Ref's five fields plus spine context
+pub(crate) fn run(
+    rt: &Runtime,
+    target: &str,
+    action: RefAction,
+    refiner_name: &str,
+    args: &Value,
+    mode: RefinementMode,
+    trigger: Option<&str>,
+    state: &mut ExecState,
+) -> Result<()> {
+    let refiner = rt.refiners.resolve(refiner_name)?;
+    let current = state.prompts.try_get(target);
+    if current.is_none() && action != RefAction::Create {
+        return Err(SpearError::PromptNotFound(target.to_string()));
     }
+    let output = {
+        let rcx = RefineCtx {
+            current: current.as_ref(),
+            context: &state.context,
+            metadata: &state.metadata,
+            llm: rt.llm.as_deref(),
+            views: &rt.views,
+            prompts: &state.prompts,
+            args,
+        };
+        refiner.refine(&rcx)?
+    };
+
+    let mut new_version = None;
+    if let Some(new_text) = output.new_text {
+        if current.is_some() {
+            let v = state.prompts.refine(
+                target,
+                new_text,
+                action,
+                refiner_name,
+                mode,
+                state.step,
+                trigger.map(str::to_string),
+                state.metadata.signal_snapshot(),
+                output.note.clone(),
+            )?;
+            new_version = Some(v);
+        } else {
+            let mut entry = PromptEntry::new(new_text, refiner_name, mode);
+            entry.ref_log[0].step = state.step;
+            entry.ref_log[0].trigger = trigger.map(str::to_string);
+            entry.ref_log[0].signals = state.metadata.signal_snapshot();
+            entry.ref_log[0].note = output.note.clone();
+            state.prompts.insert(target, entry);
+            new_version = Some(1);
+        }
+        // Params / origin updates from the refiner (e.g. from_view).
+        if output.params.is_some() || output.origin.is_some() {
+            state.prompts.update(target, |e| {
+                if let Some(p) = output.params {
+                    e.params = p;
+                }
+                if let Some(o) = output.origin {
+                    e.origin = o;
+                }
+            })?;
+        }
+    } else {
+        for (key, value) in &output.ctx_writes {
+            state
+                .context
+                .set_attributed(key.clone(), value.clone(), state.step, "REF");
+        }
+    }
+    if new_version.is_some() {
+        for (key, value) in &output.ctx_writes {
+            state
+                .context
+                .set_attributed(key.clone(), value.clone(), state.step, "REF");
+        }
+    }
+    state.metadata.ref_calls += 1;
+    state.trace.record(
+        state.step,
+        TraceKind::Ref,
+        format!("REF[{action}, {refiner_name}] on P[{target:?}]"),
+        map([
+            ("mode", Value::from(mode.to_string())),
+            ("version", Value::from(new_version.unwrap_or(0))),
+            (
+                "trigger",
+                trigger.map_or(Value::Null, |t| Value::from(t.to_string())),
+            ),
+        ]),
+    );
+    Ok(())
 }

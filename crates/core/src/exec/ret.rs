@@ -1,65 +1,50 @@
 //! RET — retrieval into the context (paper §3.3).
 
 use crate::error::Result;
-use crate::ops::Op;
 use crate::retriever::{RetrievalQuery, RetrievalRequest};
 use crate::runtime::{ExecState, Runtime};
 use crate::trace::TraceKind;
 use crate::value::{map, Value};
 
-use super::{Flow, OpExecutor};
-
-/// Executor for [`Op::Ret`]: resolves the retriever, renders a
+/// Handler for [`crate::ops::Op::Ret`]: resolves the retriever, renders a
 /// prompt-based query when one is configured (so REF can refine retrieval
 /// intent), and writes the documents into C.
-pub(crate) struct RetExec;
-
-impl OpExecutor for RetExec {
-    fn execute(
-        &self,
-        rt: &Runtime,
-        op: &Op,
-        _trigger: Option<&str>,
-        state: &mut ExecState,
-    ) -> Result<Flow> {
-        let Op::Ret {
-            source,
-            query,
-            prompt,
-            into,
-            limit,
-        } = op
-        else {
-            unreachable!("RetExec only dispatches on Op::Ret")
-        };
-        let retriever = rt.retrievers.resolve(source)?;
-        let effective_query = match prompt.as_deref() {
-            Some(key) => {
-                let entry = state.prompts.get(key)?;
-                RetrievalQuery::Prompt(entry.render(&state.context)?)
-            }
-            None => query.clone(),
-        };
-        let request = RetrievalRequest {
-            source: source.to_string(),
-            query: effective_query,
-            limit: *limit,
-        };
-        let docs = retriever.retrieve(&request)?;
-        let count = docs.len();
-        state.context.set_attributed(
-            into,
-            Value::List(docs.iter().map(|d| d.to_value()).collect()),
-            state.step,
-            "RET",
-        );
-        state.metadata.set("retrieved_count", count);
-        state.trace.record(
-            state.step,
-            TraceKind::Ret,
-            format!("RET[{source:?}] -> C[{into:?}]"),
-            map([("count", Value::from(count))]),
-        );
-        Ok(Flow::Next)
-    }
+pub(crate) fn run(
+    rt: &Runtime,
+    source: &str,
+    query: &RetrievalQuery,
+    prompt: Option<&str>,
+    into: &str,
+    limit: usize,
+    state: &mut ExecState,
+) -> Result<()> {
+    let retriever = rt.retrievers.resolve(source)?;
+    let effective_query = match prompt {
+        Some(key) => {
+            let entry = state.prompts.get(key)?;
+            RetrievalQuery::Prompt(entry.render(&state.context)?)
+        }
+        None => query.clone(),
+    };
+    let request = RetrievalRequest {
+        source: source.to_string(),
+        query: effective_query,
+        limit,
+    };
+    let docs = retriever.retrieve(&request)?;
+    let count = docs.len();
+    state.context.set_attributed(
+        into,
+        Value::List(docs.iter().map(|d| d.to_value()).collect()),
+        state.step,
+        "RET",
+    );
+    state.metadata.set("retrieved_count", count);
+    state.trace.record(
+        state.step,
+        TraceKind::Ret,
+        format!("RET[{source:?}] -> C[{into:?}]"),
+        map([("count", Value::from(count))]),
+    );
+    Ok(())
 }

@@ -107,6 +107,7 @@ pub mod trace;
 pub mod validate;
 pub mod value;
 pub mod view;
+pub mod vm;
 
 pub use analysis::{Diagnostic, Lint, LintPass, Severity, Verifier};
 pub use batch::{AssignedJob, BatchJob, BatchOutcome, BatchRunner};
@@ -128,6 +129,7 @@ pub use store::PromptStore;
 pub use validate::{ValidationIssue, Validator};
 pub use value::Value;
 pub use view::{ParamSpec, ViewCatalog, ViewDef};
+pub use vm::{compile, CheckSpec, ConstPool, LeafSpec, Program, VmOp};
 
 /// Convenient glob-import of the most-used types.
 pub mod prelude {
@@ -160,4 +162,7 @@ pub mod prelude {
     pub use crate::validate::{ValidationIssue, Validator};
     pub use crate::value::{map, Value};
     pub use crate::view::{ParamSpec, ViewCatalog, ViewDef};
+    // `vm::compile` is deliberately not glob-exported: downstream crates
+    // (e.g. the DL compiler) define their own `compile`.
+    pub use crate::vm::{ConstPool, Program, VmOp};
 }

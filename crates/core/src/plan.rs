@@ -173,6 +173,15 @@ impl LoweredPlan {
         }
         None
     }
+
+    /// Content fingerprint over the plan's canonical serialization. Two
+    /// plans fingerprint equal iff they serialize identically, so the
+    /// serving layer can use this as a compilation-cache key: equal
+    /// fingerprints compile to equal programs.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        spear_kv::shard::fnv1a(serde_json::to_string(self).unwrap_or_default().as_bytes())
+    }
 }
 
 /// Lower a pipeline into the flat IR.

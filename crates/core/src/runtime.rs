@@ -1,13 +1,15 @@
 //! The SPEAR runtime: executes pipelines over the state triple (P, C, M).
 //!
 //! The runtime is a thin dispatch layer. [`Runtime::execute`] lowers the
-//! pipeline to the flat IR of [`crate::plan`] and steps it with the spine
-//! in [`crate::exec`], which owns tracing, budget enforcement, and the
-//! op-count cap in exactly one place; each operator's semantics live in
-//! its own executor module (`exec::{ret,gen,refine,check,merge,delegate}`).
-//! The original recursive tree walk is kept as [`Runtime::execute_tree`]
-//! so the two paths can be differentially tested for byte-identical
-//! traces.
+//! pipeline to the flat IR of [`crate::plan`], compiles it to bytecode
+//! with [`crate::vm`], and steps the compiled program; the VM loop owns
+//! tracing, budget enforcement, and the op-count cap in exactly one
+//! place, and each operator's semantics live in its own handler module
+//! (`exec::{ret,gen,refine,check,merge,delegate}`). Two reference spines
+//! are kept for differential testing: the recursive tree walk
+//! ([`Runtime::execute_tree`]) and the direct IR interpreter
+//! ([`Runtime::execute_lowered_interpreted`]); all three produce
+//! byte-identical traces and reports.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
@@ -29,6 +31,7 @@ use crate::store::PromptStore;
 use crate::trace::{Trace, TraceKind};
 use crate::value::Value;
 use crate::view::ViewCatalog;
+use crate::vm::{self, Program};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -297,6 +300,61 @@ impl Runtime {
     ///
     /// Same contract as [`Runtime::execute`].
     pub fn execute_lowered(
+        &self,
+        lowered: &LoweredPlan,
+        state: &mut ExecState,
+    ) -> Result<ExecReport> {
+        if self.config.verify {
+            let diagnostics = crate::analysis::verify_structural(lowered);
+            if diagnostics
+                .iter()
+                .any(crate::analysis::Diagnostic::is_error)
+            {
+                return Err(crate::error::SpearError::InvalidPlan {
+                    plan: lowered.name.clone(),
+                    diagnostics,
+                });
+            }
+        }
+        // Verification has run (or been explicitly disabled), so compile
+        // without re-verifying; the compiler clamps out-of-range targets to
+        // the halt index, reproducing the interpreter's fall-off-the-end
+        // exit even for unverified plans.
+        let program = vm::compile_assuming_verified(lowered)?;
+        self.traced_run(
+            &lowered.name,
+            lowered.source_size,
+            state,
+            |rt, st, budget, limits| vm::run_program(rt, &program, st, budget, limits),
+        )
+    }
+
+    /// Execute a compiled [`Program`] against `state`. No verify gate runs
+    /// here: programs only exist via [`crate::vm::compile`] (fail-closed)
+    /// or via [`Runtime::execute_lowered`] after its own gate, so the VM
+    /// may assume the verifier's structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Runtime::execute`].
+    pub fn execute_program(&self, program: &Program, state: &mut ExecState) -> Result<ExecReport> {
+        self.traced_run(
+            program.name(),
+            program.source_size(),
+            state,
+            |rt, st, budget, limits| vm::run_program(rt, program, st, budget, limits),
+        )
+    }
+
+    /// Execute an already-lowered plan via the reference IR interpreter
+    /// (the pre-VM spine). Kept for differential testing against the
+    /// compiled path and for the dispatch microbenchmark; produces
+    /// byte-identical traces and reports to [`Runtime::execute_lowered`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Runtime::execute`].
+    pub fn execute_lowered_interpreted(
         &self,
         lowered: &LoweredPlan,
         state: &mut ExecState,

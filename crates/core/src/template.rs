@@ -89,7 +89,7 @@ pub fn placeholders(template: &str) -> Result<Vec<String>> {
 /// so a view prefix rendered on every request of a family is allocated and
 /// hashed once per distinct template, not once per render.
 #[derive(Debug)]
-enum ParsedSegment {
+pub(crate) enum ParsedSegment {
     Literal {
         text: Arc<str>,
         hash: u64,
@@ -100,10 +100,24 @@ enum ParsedSegment {
     },
 }
 
-/// A template's cached parse.
+/// A template's cached parse. Shared process-wide through the parse cache
+/// and pinned into compiled-program constant pools (see [`crate::vm`]).
 #[derive(Debug)]
-struct ParsedTemplate {
+pub(crate) struct ParsedTemplate {
     segments: Vec<ParsedSegment>,
+}
+
+impl ParsedTemplate {
+    /// The leading literal segment — the template's constant prefix — as
+    /// the shared `Arc` and pre-computed hash [`render_segmented`] will
+    /// emit for it on every render. `None` when the template opens with a
+    /// placeholder (nothing constant to fold).
+    pub(crate) fn leading_literal(&self) -> Option<(Arc<str>, u64)> {
+        match self.segments.first() {
+            Some(ParsedSegment::Literal { text, hash }) => Some((Arc::clone(text), *hash)),
+            _ => None,
+        }
+    }
 }
 
 /// Distinct templates cached before the parse cache resets. Templates are
@@ -113,7 +127,7 @@ const PARSE_CACHE_CAPACITY: usize = 1024;
 
 /// Parse `template`, memoized process-wide. Keyed by the full template
 /// string (exact, no hash-collision exposure); parse errors are not cached.
-fn parse_shared(template: &str) -> Result<Arc<ParsedTemplate>> {
+pub(crate) fn parse_shared(template: &str) -> Result<Arc<ParsedTemplate>> {
     static CACHE: OnceLock<Mutex<HashMap<String, Arc<ParsedTemplate>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(parsed) = cache.lock().get(template) {
@@ -213,7 +227,23 @@ pub fn render_segmented(
     params: &BTreeMap<String, Value>,
     context: &Context,
 ) -> Result<SegmentedText> {
-    let parsed = parse_shared(template)?;
+    render_segmented_parsed(&*parse_shared(template)?, template, params, context)
+}
+
+/// [`render_segmented`] over an already-parsed template — the compiled-VM
+/// fast path, which pins the `Arc<ParsedTemplate>` in its constant pool
+/// and skips the parse-cache lookup per render. `template` is the source
+/// text, used only for error messages.
+///
+/// # Errors
+///
+/// Same contract as [`render`].
+pub(crate) fn render_segmented_parsed(
+    parsed: &ParsedTemplate,
+    template: &str,
+    params: &BTreeMap<String, Value>,
+    context: &Context,
+) -> Result<SegmentedText> {
     let mut out = SegmentedText::new();
     for seg in &parsed.segments {
         match seg {

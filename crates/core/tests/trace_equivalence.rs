@@ -1,11 +1,14 @@
-//! Differential testing of the two executors: random small pipelines must
-//! produce **byte-identical** traces and reports whether they run through
-//! the reference tree walk (`Runtime::execute_tree`) or the lowered plan IR
-//! (`Runtime::execute_lowered`) — including pipelines that fail mid-run,
-//! whose error unwind (one `Error` trace event per enclosing CHECK) the IR
-//! replays from its baked-in frames. A second property pins batch
+//! Differential testing of the three executors: random small pipelines
+//! must produce **byte-identical** traces and reports whether they run
+//! through the reference tree walk (`Runtime::execute_tree`), the lowered
+//! IR interpreter (`Runtime::execute_lowered_interpreted`), or the
+//! compiled bytecode VM (`Runtime::execute_lowered`) — including pipelines
+//! that fail mid-run, whose error unwind (one `Error` trace event per
+//! enclosing CHECK) both lowered spines replay from their baked-in frames;
+//! pipelines aborted mid-run by an operator budget; and pipelines entered
+//! with an already-cancelled token. A second property pins batch
 //! determinism: running the lowered plan on a [`BatchRunner`] returns the
-//! same per-job bytes at 1 and 8 workers.
+//! same per-job bytes at 1, 4, and 8 workers.
 
 use std::sync::Arc;
 
@@ -98,6 +101,16 @@ fn runtime() -> Runtime {
     Runtime::builder().llm(Arc::new(EchoLlm::default())).build()
 }
 
+fn runtime_with_budget(max_ops: u64) -> Runtime {
+    Runtime::builder()
+        .llm(Arc::new(EchoLlm::default()))
+        .config(RuntimeConfig {
+            max_ops,
+            ..RuntimeConfig::default()
+        })
+        .build()
+}
+
 fn seeded_state(tweet: &str) -> ExecState {
     let mut state = ExecState::new();
     state.context.set("tweet", tweet.to_string());
@@ -127,10 +140,11 @@ fn fingerprint(result: &Result<ExecReport>, state: &ExecState) -> String {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Tree walk and lowered IR agree byte-for-byte on every random
-    /// pipeline — reports, traces (success and error unwinds), and state.
+    /// Tree walk, IR interpreter, and bytecode VM agree byte-for-byte on
+    /// every random pipeline — reports, traces (success and error
+    /// unwinds), and state.
     #[test]
-    fn tree_and_lowered_ir_traces_are_byte_identical(
+    fn tree_interpreter_and_vm_traces_are_byte_identical(
         instrs in proptest::collection::vec(instr_strategy(), 0..6),
         tweet in "[a-z ]{0,16}",
     ) {
@@ -139,19 +153,68 @@ proptest! {
         let rt = runtime();
 
         let mut tree_state = seeded_state(&tweet);
-        let mut ir_state = tree_state.deep_clone();
+        let mut int_state = tree_state.deep_clone();
+        let mut vm_state = tree_state.deep_clone();
         let tree_result = rt.execute_tree(&p, &mut tree_state);
-        let ir_result = rt.execute_lowered(&lowered, &mut ir_state);
+        let int_result = rt.execute_lowered_interpreted(&lowered, &mut int_state);
+        let vm_result = rt.execute_lowered(&lowered, &mut vm_state);
 
+        let tree = fingerprint(&tree_result, &tree_state);
         prop_assert_eq!(
-            fingerprint(&tree_result, &tree_state),
-            fingerprint(&ir_result, &ir_state),
-            "pipeline: {:?}", p
+            &tree,
+            &fingerprint(&int_result, &int_state),
+            "tree vs interpreter, pipeline: {:?}", p
+        );
+        prop_assert_eq!(
+            &tree,
+            &fingerprint(&vm_result, &vm_state),
+            "tree vs VM, pipeline: {:?}", p
+        );
+    }
+
+    /// The three spines also agree when the run is cut short from outside:
+    /// a tight operator budget aborts mid-run (same slot, same unwind
+    /// frames), and an already-cancelled token aborts at the first gate.
+    #[test]
+    fn budget_aborts_and_cancellation_unwind_identically(
+        instrs in proptest::collection::vec(instr_strategy(), 1..6),
+        tweet in "[a-z ]{0,12}",
+        max_ops in 1u64..6,
+        cancelled in any::<bool>(),
+    ) {
+        let p = pipeline(&instrs);
+        let lowered = lower(&p).unwrap();
+        let rt = runtime_with_budget(max_ops);
+
+        let mut tree_state = seeded_state(&tweet);
+        if cancelled {
+            let token = CancelToken::new("admission reset");
+            token.cancel();
+            tree_state.cancel = Some(token);
+        }
+        let mut int_state = tree_state.deep_clone();
+        let mut vm_state = tree_state.deep_clone();
+        let tree_result = rt.execute_tree(&p, &mut tree_state);
+        let int_result = rt.execute_lowered_interpreted(&lowered, &mut int_state);
+        let vm_result = rt.execute_lowered(&lowered, &mut vm_state);
+
+        let tree = fingerprint(&tree_result, &tree_state);
+        prop_assert_eq!(
+            &tree,
+            &fingerprint(&int_result, &int_state),
+            "tree vs interpreter, max_ops={}, cancelled={}, pipeline: {:?}",
+            max_ops, cancelled, p
+        );
+        prop_assert_eq!(
+            &tree,
+            &fingerprint(&vm_result, &vm_state),
+            "tree vs VM, max_ops={}, cancelled={}, pipeline: {:?}",
+            max_ops, cancelled, p
         );
     }
 
     /// A batch of lowered-plan jobs returns identical per-job bytes under
-    /// 1 and 8 workers, and each job matches a solo tree walk.
+    /// 1, 4, and 8 workers, and each job matches a solo tree walk.
     #[test]
     fn batch_execution_is_worker_count_invariant(
         instrs in proptest::collection::vec(instr_strategy(), 0..5),
@@ -186,7 +249,8 @@ proptest! {
             .collect();
 
         let one = run(1);
-        prop_assert_eq!(&one, &run(8), "worker count changed results");
+        prop_assert_eq!(&one, &run(4), "worker count 4 changed results");
+        prop_assert_eq!(&one, &run(8), "worker count 8 changed results");
         prop_assert_eq!(&one, &solo, "batch diverges from solo tree walk");
     }
 }

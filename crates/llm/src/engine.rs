@@ -166,6 +166,28 @@ impl SimLlm {
         self.interner.stats()
     }
 
+    /// Pre-resolve a prompt family's shared prefix through the token
+    /// interner: tokenize `segments` and intern the leading literal-run
+    /// chains so the first real request of the family starts warm. Used by
+    /// the serving layer when it specializes a compiled program for an
+    /// affinity group.
+    ///
+    /// Only host-side memoization state is touched — the prefix cache and
+    /// every response-visible number (tokens, hits, latency) are left
+    /// alone, so specialization is observably invisible to traces and
+    /// fingerprints.
+    pub fn preresolve(&self, segments: &SegmentedText) {
+        if !self.config.intern_enabled || segments.segments().is_empty() {
+            return;
+        }
+        SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            // `cacheable: false` keeps the prefix cache untouched; interning
+            // happens regardless because it is keyed by content alone.
+            let _ = self.segmented_prefill(segments, false, scratch);
+        });
+    }
+
     fn cacheable(&self, identity: &PromptIdentity) -> bool {
         self.config.cache_enabled
             && (matches!(identity, PromptIdentity::Structured { .. })

@@ -59,6 +59,53 @@ impl PlanCost {
     }
 }
 
+/// Line-oriented render buffer shared by the EXPLAIN renderers here and
+/// the bytecode disassembler ([`crate::disasm`]): infallible writes,
+/// slot-anchored instruction lines, and depth-indented detail lines, so
+/// the two plan views stay visually consistent.
+pub(crate) struct PlanWriter {
+    out: String,
+}
+
+impl PlanWriter {
+    /// An empty buffer.
+    pub(crate) fn new() -> Self {
+        Self { out: String::new() }
+    }
+
+    /// A full-width line (headers, totals, hints).
+    pub(crate) fn line(&mut self, text: std::fmt::Arguments<'_>) {
+        let _ = writeln!(self.out, "{text}");
+    }
+
+    /// A slot-anchored instruction line: `  0004  <text>`.
+    pub(crate) fn slot(&mut self, pc: usize, text: std::fmt::Arguments<'_>) {
+        let _ = writeln!(self.out, "  {pc:04}  {text}");
+    }
+
+    /// A depth-indented detail line (tree renderings, pool entries).
+    pub(crate) fn detail(&mut self, depth: usize, text: std::fmt::Arguments<'_>) {
+        let indent = "  ".repeat(depth + 1);
+        let _ = writeln!(self.out, "{indent}{text}");
+    }
+
+    /// The accumulated text.
+    pub(crate) fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Everything the EXPLAIN tree walk threads through its recursion: the
+/// output buffer, the cost model and assumptions the estimates are
+/// conditioned on, and the running cost roll-up. Bundling these replaces
+/// the seven-argument recursion this module used to carry.
+struct RenderCtx<'a> {
+    w: PlanWriter,
+    model: &'a CostModel,
+    a: &'a ExplainAssumptions,
+    total: PlanCost,
+}
+
 /// Render the plan. Returns `(text, total cost)`.
 #[must_use]
 pub fn explain(
@@ -66,9 +113,13 @@ pub fn explain(
     model: &CostModel,
     assumptions: &ExplainAssumptions,
 ) -> (String, PlanCost) {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
+    let mut ctx = RenderCtx {
+        w: PlanWriter::new(),
+        model,
+        a: assumptions,
+        total: PlanCost::default(),
+    };
+    ctx.w.line(format_args!(
         "EXPLAIN PIPELINE {:?}  (assuming {:.0} prompt tokens/GEN, {:.0} \
          decode tokens, {:.0}% cache hits on structured prompts, branch \
          probability {:.0}%)",
@@ -77,32 +128,21 @@ pub fn explain(
         assumptions.decode_tokens,
         assumptions.cached_fraction * 100.0,
         assumptions.branch_probability * 100.0,
-    );
+    ));
     let fusable = gen_fusion::find_opportunities(
         pipeline,
         model,
         assumptions.prompt_tokens,
         assumptions.cached_fraction > 0.0,
     );
-    let mut total = PlanCost::default();
-    render_ops(
-        &pipeline.ops,
-        0,
-        1.0,
-        model,
-        assumptions,
-        &mut out,
-        &mut total,
-    );
-    let _ = writeln!(
-        out,
+    ctx.render_ops(&pipeline.ops, 0, 1.0);
+    ctx.w.line(format_args!(
         "TOTAL: {:.2} expected GEN calls, {:.2}s expected latency",
-        total.expected_gen_calls,
-        total.expected_latency.as_secs_f64()
-    );
+        ctx.total.expected_gen_calls,
+        ctx.total.expected_latency.as_secs_f64()
+    ));
     for opp in &fusable {
-        let _ = writeln!(
-            out,
+        ctx.w.line(format_args!(
             "HINT: ops {}..{} are {} GENs on P[{:?}] — GEN fusion would save \
              ~{:.2}s (spear_optimizer::gen_fusion::fuse_pipeline)",
             opp.start,
@@ -110,9 +150,9 @@ pub fn explain(
             opp.len,
             opp.prompt_key,
             opp.estimated_saving.as_secs_f64(),
-        );
+        ));
     }
-    (out, total)
+    (ctx.w.finish(), ctx.total)
 }
 
 /// Render a lowered plan, one instruction per line with its slot index,
@@ -195,79 +235,63 @@ fn gen_cost(structured: bool, model: &CostModel, a: &ExplainAssumptions) -> Dura
     model.estimate_call(a.prompt_tokens - cached, cached, a.decode_tokens)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn render_ops(
-    ops: &[Op],
-    depth: usize,
-    weight: f64,
-    model: &CostModel,
-    a: &ExplainAssumptions,
-    out: &mut String,
-    total: &mut PlanCost,
-) {
-    let indent = "  ".repeat(depth + 1);
-    for op in ops {
-        match op {
-            Op::Gen { prompt, .. } => {
-                let structured = match prompt {
-                    PromptRef::Inline(_) => false,
-                    PromptRef::Lowered { identity, .. } => identity.is_some(),
-                    PromptRef::Key(_) | PromptRef::View { .. } => true,
-                };
-                let latency = gen_cost(structured, model, a);
-                total.add(
-                    PlanCost {
-                        expected_gen_calls: 1.0,
-                        expected_latency: latency,
-                    },
-                    weight,
-                );
-                let _ = writeln!(
-                    out,
-                    "{indent}{}  [est {:.2}s/call, {}]",
-                    op.describe(),
-                    latency.as_secs_f64(),
-                    if structured {
-                        "cacheable"
-                    } else {
-                        "opaque — no prefix reuse"
-                    }
-                );
-            }
-            Op::Check {
-                cond,
-                then_ops,
-                else_ops,
-            } => {
-                let _ = writeln!(
-                    out,
-                    "{indent}CHECK[{cond}]  [p≈{:.0}%]",
-                    a.branch_probability * 100.0
-                );
-                render_ops(
-                    then_ops,
-                    depth + 1,
-                    weight * a.branch_probability,
-                    model,
-                    a,
-                    out,
-                    total,
-                );
-                if !else_ops.is_empty() {
-                    let _ = writeln!(out, "{indent}ELSE");
-                    render_ops(
-                        else_ops,
-                        depth + 1,
-                        weight * (1.0 - a.branch_probability),
-                        model,
-                        a,
-                        out,
-                        total,
+impl RenderCtx<'_> {
+    fn render_ops(&mut self, ops: &[Op], depth: usize, weight: f64) {
+        for op in ops {
+            match op {
+                Op::Gen { prompt, .. } => {
+                    let structured = match prompt {
+                        PromptRef::Inline(_) => false,
+                        PromptRef::Lowered { identity, .. } => identity.is_some(),
+                        PromptRef::Key(_) | PromptRef::View { .. } => true,
+                    };
+                    let latency = gen_cost(structured, self.model, self.a);
+                    self.total.add(
+                        PlanCost {
+                            expected_gen_calls: 1.0,
+                            expected_latency: latency,
+                        },
+                        weight,
+                    );
+                    self.w.detail(
+                        depth,
+                        format_args!(
+                            "{}  [est {:.2}s/call, {}]",
+                            op.describe(),
+                            latency.as_secs_f64(),
+                            if structured {
+                                "cacheable"
+                            } else {
+                                "opaque — no prefix reuse"
+                            }
+                        ),
                     );
                 }
-            }
-            other => {
-                let _ = writeln!(out, "{indent}{}", other.describe());
+                Op::Check {
+                    cond,
+                    then_ops,
+                    else_ops,
+                } => {
+                    self.w.detail(
+                        depth,
+                        format_args!(
+                            "CHECK[{cond}]  [p≈{:.0}%]",
+                            self.a.branch_probability * 100.0
+                        ),
+                    );
+                    self.render_ops(then_ops, depth + 1, weight * self.a.branch_probability);
+                    if !else_ops.is_empty() {
+                        self.w.detail(depth, format_args!("ELSE"));
+                        self.render_ops(
+                            else_ops,
+                            depth + 1,
+                            weight * (1.0 - self.a.branch_probability),
+                        );
+                    }
+                }
+                other => {
+                    self.w.detail(depth, format_args!("{}", other.describe()));
+                }
             }
         }
     }

@@ -13,6 +13,9 @@
 //!   refiners in pipelines based on mined ref_log evidence,
 //! - [`explain`] — EXPLAIN-style plan rendering with cost estimates and
 //!   optimization hints ("instrumented like query plans"),
+//! - [`disasm`] — a byte-stable disassembler for compiled bytecode
+//!   programs (instruction stream with fused superinstructions, plus the
+//!   constant pool),
 //! - [`cost`] — a linear latency [`cost::CostModel`] calibrated online by
 //!   least squares from observed `(tokens, latency)` pairs,
 //! - [`prompt_cache`] — the **structured prompt cache** indexed by view
@@ -27,8 +30,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hot-path hygiene: these crates sit on the per-request fast path, where a
+// stray clone or to_string() is a real regression, not a style nit.
+#![deny(clippy::redundant_clone, clippy::inefficient_to_string)]
 
 pub mod cost;
+pub mod disasm;
 pub mod exec;
 pub mod explain;
 pub mod fusion;
@@ -42,6 +49,7 @@ pub mod refinement_planner;
 pub mod view_selector;
 
 pub use cost::{CostModel, CostObservation};
+pub use disasm::disasm;
 pub use exec::{run_plan, run_plan_with, ItemOutcome, PlanRunOptions, PlanRunReport};
 pub use explain::{explain, explain_lowered, ExplainAssumptions, PlanCost};
 pub use fusion::{

@@ -63,11 +63,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::redundant_clone, clippy::inefficient_to_string)]
 
 pub mod error;
 pub mod kv;
 pub mod loadgen;
 pub mod metrics;
+pub mod program_cache;
 pub mod queue;
 pub mod request;
 pub mod scheduler;
@@ -75,7 +77,8 @@ pub mod scheduler;
 pub use error::ServeError;
 pub use kv::KvPressureConfig;
 pub use loadgen::{generate, GeneratedWorkload, LoadGenConfig};
-pub use metrics::{ClassReport, Histogram, HistogramSummary, KvReport, ServeReport};
+pub use metrics::{ClassReport, CompileReport, Histogram, HistogramSummary, KvReport, ServeReport};
+pub use program_cache::ProgramCache;
 pub use queue::{AdmissionConfig, AdmissionQueue, ClassFifo};
 pub use request::{Priority, ServeRequest};
 pub use scheduler::{ServeConfig, ServeNode, ServeOutcome, ServeRun, ServeStatus};
@@ -85,7 +88,10 @@ pub mod prelude {
     pub use crate::error::ServeError;
     pub use crate::kv::KvPressureConfig;
     pub use crate::loadgen::{generate, GeneratedWorkload, LoadGenConfig};
-    pub use crate::metrics::{ClassReport, Histogram, HistogramSummary, KvReport, ServeReport};
+    pub use crate::metrics::{
+        ClassReport, CompileReport, Histogram, HistogramSummary, KvReport, ServeReport,
+    };
+    pub use crate::program_cache::ProgramCache;
     pub use crate::queue::{AdmissionConfig, AdmissionQueue, ClassFifo};
     pub use crate::request::{Priority, ServeRequest};
     pub use crate::scheduler::{ServeConfig, ServeNode, ServeOutcome, ServeRun, ServeStatus};

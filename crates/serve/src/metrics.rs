@@ -199,6 +199,10 @@ pub struct ServeReport {
     /// Defaults for reports written before memory pressure existed.
     #[serde(default)]
     pub kv: KvReport,
+    /// Plan-compilation counters from the program cache. Defaults for
+    /// reports written before the compiled hot path existed.
+    #[serde(default)]
+    pub compile: CompileReport,
 }
 
 /// Counters from the memory-pressure KV scheduler: the bounded block
@@ -248,6 +252,39 @@ impl KvReport {
             None
         } else {
             Some(self.reused_blocks as f64 / self.requested_blocks as f64)
+        }
+    }
+}
+
+/// Counters from the scheduler's [`crate::program_cache::ProgramCache`]:
+/// how many admissions compiled a fresh program, how many specialized one
+/// for an affinity family, and how many reused a cached program. All
+/// counters are lane-count-invariant — admission order is deterministic
+/// and compilation happens before dispatch.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CompileReport {
+    /// Programs compiled from a lowered plan (cache misses).
+    pub compiled: u64,
+    /// Compiled programs additionally specialized for their affinity
+    /// family (prefix constant-folded and pre-resolved through the token
+    /// interner).
+    pub specialized: u64,
+    /// Admissions served by an already-compiled cached program.
+    pub cache_hits: u64,
+    /// Cached programs evicted by capacity pressure.
+    pub evicted: u64,
+}
+
+impl CompileReport {
+    /// Fraction of admissions served from the program cache, in `[0, 1]`;
+    /// `None` before any admission.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.compiled + self.cache_hits;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / total as f64)
         }
     }
 }

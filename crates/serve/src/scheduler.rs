@@ -51,6 +51,7 @@ use spear_llm::SimLlm;
 use crate::error::ServeError;
 use crate::kv::{self, KvPressureConfig, SeqInput};
 use crate::metrics::{ClassReport, Histogram, ServeReport};
+use crate::program_cache::ProgramCache;
 use crate::queue::{AdmissionConfig, AdmissionQueue};
 use crate::request::{Priority, ServeRequest};
 
@@ -85,6 +86,12 @@ pub struct ServeConfig {
     /// bucket and plan verification still apply). `None` = unbounded
     /// memory, the classic lane scheduler.
     pub pressure: Option<KvPressureConfig>,
+    /// Capacity of the node's compiled-program cache
+    /// ([`crate::program_cache::ProgramCache`]): distinct
+    /// `(plan fingerprint, affinity key)` pairs held resident. Admissions
+    /// beyond capacity evict least-recently-used programs (counted in
+    /// [`crate::metrics::CompileReport`]).
+    pub program_cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +103,7 @@ impl Default for ServeConfig {
             admission: AdmissionConfig::default(),
             verify_admission: true,
             pressure: None,
+            program_cache_capacity: 64,
         }
     }
 }
@@ -200,6 +208,7 @@ pub struct ServeNode {
     config: ServeConfig,
     runner: BatchRunner,
     run_seq: AtomicU64,
+    programs: ProgramCache,
 }
 
 impl ServeNode {
@@ -207,10 +216,12 @@ impl ServeNode {
     #[must_use]
     pub fn new(config: ServeConfig) -> Self {
         let lanes = config.lanes.max(1);
+        let programs = ProgramCache::new(config.program_cache_capacity);
         Self {
             config: ServeConfig { lanes, ..config },
             runner: BatchRunner::new(lanes),
             run_seq: AtomicU64::new(0),
+            programs,
         }
     }
 
@@ -218,6 +229,12 @@ impl ServeNode {
     #[must_use]
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// The node's compiled-program cache (shared across runs).
+    #[must_use]
+    pub fn programs(&self) -> &ProgramCache {
+        &self.programs
     }
 
     /// Serve a workload to completion and return per-request outcomes
@@ -357,10 +374,12 @@ impl ServeNode {
                 request.state.deadline_us = request.deadline_us;
                 request.state.cancel = Some(request.cancel.clone());
                 meta.push((request.id, request.priority, request.arrival_us, lane));
+                let program = self.programs.get_or_compile(&request.plan, runtime, engine);
                 jobs.push(AssignedJob {
                     lane,
                     owner,
                     plan: Arc::clone(&request.plan),
+                    program,
                     state: std::mem::take(&mut request.state),
                 });
             }
@@ -449,6 +468,7 @@ impl ServeNode {
             batch: accum.remove(&Priority::Batch).unwrap_or_default().finish(),
             cache: Default::default(),
             kv: Default::default(),
+            compile: self.programs.drain_counters(),
         };
         if let (Some(engine), Some(before)) = (engine, cache_before) {
             report.cache = engine.cache_stats().delta_since(&before);
@@ -589,10 +609,12 @@ impl ServeNode {
                 shared_prefix_tokens,
                 family_seed,
             ));
+            let program = self.programs.get_or_compile(&request.plan, runtime, engine);
             jobs.push(AssignedJob {
                 lane,
                 owner,
                 plan: Arc::clone(&request.plan),
+                program,
                 state: std::mem::take(&mut request.state),
             });
         }
@@ -738,6 +760,7 @@ impl ServeNode {
             batch: accum.remove(&Priority::Batch).unwrap_or_default().finish(),
             cache: Default::default(),
             kv: sim.report,
+            compile: self.programs.drain_counters(),
         };
         if let (Some(engine), Some(before)) = (engine, cache_before) {
             report.cache = engine.cache_stats().delta_since(&before);

@@ -35,6 +35,7 @@ fn serve(
         },
         verify_admission: true,
         pressure: None,
+        program_cache_capacity: 64,
     });
     let run = node.run(&runtime, Some(&engine), workload.requests);
     let statuses = run
@@ -156,6 +157,7 @@ fn interactive_flood_cannot_starve_batch() {
         },
         verify_admission: true,
         pressure: None,
+        program_cache_capacity: 64,
     });
     let run = node.run(&runtime, None, requests);
 

@@ -39,6 +39,7 @@ fn config(lanes: usize, pressure: Option<KvPressureConfig>) -> ServeConfig {
         },
         verify_admission: true,
         pressure,
+        program_cache_capacity: 64,
     }
 }
 

@@ -25,6 +25,11 @@ bench:
     cargo run --release -p spear-bench --bin bench_batch
     cargo run --release -p spear-bench --bin bench_serve
 
+# Disassemble representative plans to bytecode listings (fused
+# superinstructions + constant pool; DESIGN.md §12).
+disasm:
+    cargo run -p spear-bench --bin disasm
+
 # Host fast-path throughput: interned/segmented prefill vs flat re-tokenize
 # (DESIGN.md §10). Writes BENCH_host.json and fails below 2x on the
 # warm-prefix serve workload.

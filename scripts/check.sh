@@ -6,5 +6,10 @@ set -eux
 cargo build --release
 cargo test -q
 cargo test --workspace -q
+# Named gates (already part of the workspace run, re-run here so a failure
+# is attributable at a glance): the three-way tree/interpreter/VM trace
+# equivalence and the compiled-program cache soundness suites.
+cargo test -p spear-core --test trace_equivalence -q
+cargo test -p spear-serve --test program_cache -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all -- --check
