@@ -1,0 +1,322 @@
+//! The cluster scale-out sweep behind `bench_cluster` (`BENCH_cluster.json`).
+//!
+//! Serves one seeded Zipf-skewed workload through [`spear_cluster`]
+//! fleets of growing size, under both placement policies:
+//!
+//! - **prefix** — prefix-aware rendezvous placement with hot-prefix
+//!   replication (the fabric's native policy);
+//! - **hash** — uniform request-id hashing, the scatter baseline.
+//!
+//! Acceptance gates (checked by the binary):
+//!
+//! 1. throughput at the gate node count (8 when swept) is at least
+//!    `0.7×` ideal linear scaling over the single-node run;
+//! 2. prefix-aware beats hash-random on fleet-wide cache hit rate at
+//!    every multi-node count;
+//! 3. the cluster trace fingerprint is identical across host worker-lane
+//!    counts — including a join → drain → leave churn schedule replayed
+//!    at each lane count.
+
+use std::time::Instant;
+
+use spear_cluster::prelude::*;
+use spear_llm::ModelProfile;
+use spear_serve::{generate, AdmissionConfig, LoadGenConfig, ServeConfig};
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterBenchConfig {
+    /// Workload (Zipf-skewed family popularity by default).
+    pub load: LoadGenConfig,
+    /// Model profile every node serves.
+    pub profile: ModelProfile,
+    /// Fleet sizes to sweep.
+    pub node_counts: Vec<usize>,
+    /// Worker lanes per node during the scaling sweep. 1 keeps the
+    /// scaling signal pure: fleet size is the only parallelism knob.
+    pub node_lanes: usize,
+    /// Host lane counts for the determinism checks.
+    pub lane_sweep: Vec<usize>,
+    /// Router tuning for the prefix-aware policy.
+    pub router: RouterConfig,
+}
+
+impl Default for ClusterBenchConfig {
+    fn default() -> Self {
+        Self {
+            load: LoadGenConfig {
+                seed: 140,
+                requests: 1536,
+                families: 12,
+                mean_interarrival_us: 250,
+                interactive_fraction: 0.6,
+                interactive_deadline_us: None,
+                gen_calls: 1,
+                family_zipf: 1.1,
+            },
+            profile: ModelProfile::qwen25_7b_instruct(),
+            node_counts: vec![1, 2, 4, 8, 16],
+            node_lanes: 1,
+            lane_sweep: vec![1, 4, 8],
+            router: RouterConfig {
+                // Aggressive enough that the Zipf head (≈35% of arrivals
+                // at s=1.1) spreads over several replicas; the tail stays
+                // unreplicated.
+                replicate_share: 0.08,
+                max_replicas: 6,
+                ..RouterConfig::default()
+            },
+        }
+    }
+}
+
+/// One swept fleet configuration.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ClusterRow {
+    /// Fleet size.
+    pub nodes: usize,
+    /// Placement policy (`prefix` or `hash`).
+    pub policy: String,
+    /// Requests completed fleet-wide.
+    pub completed: u64,
+    /// Completed requests per virtual second.
+    pub throughput_rps: f64,
+    /// Speed-up over the single-node run of the same policy.
+    pub scaling_x: f64,
+    /// `scaling_x / nodes` — fraction of ideal linear scaling.
+    pub efficiency: f64,
+    /// Fleet-wide prefix-cache hit rate, percent.
+    pub fleet_hit_pct: f64,
+    /// Max-over-mean node service time (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Virtual makespan, seconds.
+    pub makespan_s: f64,
+    /// Families handed off (0 — no churn in the sweep).
+    pub handoffs: u64,
+    /// Families that gained replicas.
+    pub replicated_families: u64,
+    /// Total replica expansions.
+    pub replica_expansions: u64,
+    /// Requests steered off the primary replica by p2c.
+    pub p2c_balanced: u64,
+    /// Host-side elapsed seconds (informational, machine-dependent).
+    pub host_wall_s: f64,
+    /// Fleet trace fingerprint (hex).
+    pub trace_fingerprint: String,
+    /// Full fleet report.
+    pub report: ClusterReport,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ClusterBenchReport {
+    /// Workload description.
+    pub workload: String,
+    /// Requests per configuration.
+    pub requests: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Zipf exponent of family popularity.
+    pub zipf: f64,
+    /// Node count the scaling gate applies at (8 when swept, else the
+    /// largest).
+    pub gate_nodes: usize,
+    /// Fraction of ideal linear scaling at `gate_nodes` (prefix policy).
+    pub scaling_efficiency: f64,
+    /// Prefix-aware beat hash-random on fleet hit rate at every
+    /// multi-node count.
+    pub prefix_beats_hash: bool,
+    /// Scaling-sweep fingerprints identical across `lane_sweep`.
+    pub lane_invariant: bool,
+    /// Churn-schedule fingerprints identical across `lane_sweep`.
+    pub churn_invariant: bool,
+    /// Fingerprint of the churn replay (hex).
+    pub churn_fingerprint: String,
+    /// Families handed off during the churn replay.
+    pub churn_handoffs: u64,
+    /// One row per (fleet size, policy).
+    pub rows: Vec<ClusterRow>,
+}
+
+/// Per-node scheduler config: generous admission so every fleet size
+/// serves the identical request set and throughput is the only variable.
+fn node_config(lanes: usize) -> ServeConfig {
+    ServeConfig {
+        lanes,
+        admission: AdmissionConfig {
+            max_depth: 100_000,
+            bucket_capacity: 1 << 40,
+            refill_per_us: 1_000_000.0,
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn run_once(
+    config: &ClusterBenchConfig,
+    nodes: usize,
+    policy: RouterPolicy,
+    lanes: usize,
+    churn: Vec<ChurnEvent>,
+) -> ClusterRun {
+    let cluster = Cluster::new(ClusterConfig {
+        initial_nodes: nodes,
+        node: node_config(lanes),
+        router: RouterConfig {
+            policy,
+            ..config.router.clone()
+        },
+        churn,
+        profile: config.profile.clone(),
+        ..ClusterConfig::default()
+    });
+    cluster.run(generate(&config.load))
+}
+
+/// A join → drain → leave schedule spanning the arrival horizon, used by
+/// the churn-replay determinism check.
+#[must_use]
+pub fn churn_schedule(config: &ClusterBenchConfig, nodes: usize) -> Vec<ChurnEvent> {
+    let horizon = config.load.requests as u64 * config.load.mean_interarrival_us;
+    vec![
+        ChurnEvent::join(horizon / 4, nodes as u64),
+        ChurnEvent::join(horizon * 3 / 10, nodes as u64 + 1),
+        ChurnEvent::drain(horizon / 2, 0),
+        ChurnEvent::leave(horizon * 3 / 4, 1),
+    ]
+}
+
+fn row(config: &ClusterBenchConfig, nodes: usize, policy: RouterPolicy) -> ClusterRow {
+    let start = Instant::now();
+    let run = run_once(config, nodes, policy, config.node_lanes, Vec::new());
+    let report = run.report;
+    ClusterRow {
+        nodes,
+        policy: match policy {
+            RouterPolicy::PrefixAware => "prefix".to_string(),
+            RouterPolicy::HashRandom => "hash".to_string(),
+        },
+        completed: report.completed,
+        throughput_rps: report.throughput_rps(),
+        scaling_x: 0.0,  // filled once the single-node row exists
+        efficiency: 0.0, // likewise
+        fleet_hit_pct: report.fleet_hit_rate().unwrap_or(0.0) * 100.0,
+        imbalance: report.imbalance,
+        makespan_s: report.makespan_us as f64 / 1e6,
+        handoffs: report.router.handoffs,
+        replicated_families: report.router.replicated_families,
+        replica_expansions: report.router.replica_expansions,
+        p2c_balanced: report.router.p2c_balanced,
+        host_wall_s: start.elapsed().as_secs_f64(),
+        trace_fingerprint: format!("{:016x}", report.trace_fingerprint),
+        report,
+    }
+}
+
+/// Run the full sweep plus both determinism checks.
+#[must_use]
+pub fn run(config: &ClusterBenchConfig) -> ClusterBenchReport {
+    let mut rows = Vec::new();
+    for &nodes in &config.node_counts {
+        for policy in [RouterPolicy::PrefixAware, RouterPolicy::HashRandom] {
+            rows.push(row(config, nodes, policy));
+        }
+    }
+    // Scale each row against its policy's single-node throughput.
+    for policy in ["prefix", "hash"] {
+        let base = rows
+            .iter()
+            .find(|r| r.policy == policy && r.nodes == 1)
+            .map(|r| r.throughput_rps)
+            .unwrap_or(0.0);
+        if base > 0.0 {
+            for r in rows.iter_mut().filter(|r| r.policy == policy) {
+                r.scaling_x = r.throughput_rps / base;
+                r.efficiency = r.scaling_x / r.nodes as f64;
+            }
+        }
+    }
+
+    let gate_nodes = if config.node_counts.contains(&8) {
+        8
+    } else {
+        config.node_counts.iter().copied().max().unwrap_or(1)
+    };
+    let scaling_efficiency = rows
+        .iter()
+        .find(|r| r.policy == "prefix" && r.nodes == gate_nodes)
+        .map(|r| r.efficiency)
+        .unwrap_or(0.0);
+    let prefix_beats_hash = config.node_counts.iter().filter(|&&n| n > 1).all(|&n| {
+        let hit = |policy: &str| {
+            rows.iter()
+                .find(|r| r.policy == policy && r.nodes == n)
+                .map(|r| r.fleet_hit_pct)
+                .unwrap_or(0.0)
+        };
+        hit("prefix") > hit("hash")
+    });
+
+    // Determinism: the gate-sized fleet must fingerprint identically at
+    // every host lane count, bare and under churn replay.
+    let lane_prints: Vec<u64> = config
+        .lane_sweep
+        .iter()
+        .map(|&lanes| {
+            run_once(
+                config,
+                gate_nodes,
+                RouterPolicy::PrefixAware,
+                lanes,
+                Vec::new(),
+            )
+            .report
+            .trace_fingerprint
+        })
+        .collect();
+    let lane_invariant = lane_prints.windows(2).all(|w| w[0] == w[1]);
+
+    let churn_runs: Vec<ClusterReport> = config
+        .lane_sweep
+        .iter()
+        .map(|&lanes| {
+            run_once(
+                config,
+                gate_nodes,
+                RouterPolicy::PrefixAware,
+                lanes,
+                churn_schedule(config, gate_nodes),
+            )
+            .report
+        })
+        .collect();
+    let churn_invariant = churn_runs
+        .windows(2)
+        .all(|w| w[0].trace_fingerprint == w[1].trace_fingerprint);
+
+    ClusterBenchReport {
+        workload: format!(
+            "{} requests, {} families, zipf {}, mean interarrival {} µs, {} lane(s)/node",
+            config.load.requests,
+            config.load.families,
+            config.load.family_zipf,
+            config.load.mean_interarrival_us,
+            config.node_lanes,
+        ),
+        requests: config.load.requests,
+        seed: config.load.seed,
+        zipf: config.load.family_zipf,
+        gate_nodes,
+        scaling_efficiency,
+        prefix_beats_hash,
+        lane_invariant,
+        churn_invariant,
+        churn_fingerprint: churn_runs
+            .first()
+            .map(|r| format!("{:016x}", r.trace_fingerprint))
+            .unwrap_or_default(),
+        churn_handoffs: churn_runs.first().map(|r| r.router.handoffs).unwrap_or(0),
+        rows,
+    }
+}

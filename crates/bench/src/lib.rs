@@ -16,6 +16,7 @@
 //! | `bench_batch` | concurrent batch-executor throughput sweep (`BENCH_batch.json`) |
 //! | `bench_serve` | serving-layer affinity-routing sweep (`BENCH_serve.json`) |
 //! | `bench_host` | host fast-path throughput: interned vs flat prefill (`BENCH_host.json`) |
+//! | `bench_cluster` | multi-node scale-out sweep with prefix-aware routing (`BENCH_cluster.json`) |
 //!
 //! All runs are deterministic (seeded corpus, seeded task model, virtual
 //! clock); re-running a binary reproduces the numbers bit-for-bit.
@@ -25,6 +26,7 @@
 
 pub mod ablations;
 pub mod batch_bench;
+pub mod cluster_bench;
 pub mod fusion_exp;
 pub mod host_bench;
 pub mod report;

@@ -49,6 +49,7 @@ impl Default for ServeBenchConfig {
                 interactive_fraction: 0.6,
                 interactive_deadline_us: None,
                 gen_calls: 1,
+                family_zipf: 0.0,
             },
             profile: ModelProfile::qwen25_7b_instruct(),
             lane_counts: vec![1, 4, 8],
@@ -71,6 +72,7 @@ pub fn pressure_config() -> ServeBenchConfig {
             interactive_fraction: 0.6,
             interactive_deadline_us: None,
             gen_calls: 6,
+            family_zipf: 0.0,
         },
         profile: ModelProfile::qwen25_7b_instruct(),
         lane_counts: vec![1, 4, 8],

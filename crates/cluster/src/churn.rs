@@ -1,0 +1,78 @@
+//! Membership churn: a virtual-time schedule of node join/drain/leave
+//! events, merged with the arrival stream by the fabric's event loop.
+//!
+//! Semantics (all in virtual microseconds, the same clock request
+//! arrivals use):
+//!
+//! - **Join** — the node starts admitting new placements at `at_us`.
+//!   Placement is sticky, so families placed before the join stay where
+//!   they are; only new families (and replica expansions) can land on it.
+//! - **Drain** — the node stops admitting at `at_us`. Requests already
+//!   assigned to it still run to completion; the families it served are
+//!   re-placed and the resulting family→node map delta is the cache
+//!   handoff the router reports.
+//! - **Leave** — the node is removed from the fabric. A leave without a
+//!   prior drain performs the drain implicitly.
+//!
+//! Events are applied in `at_us` order; an event tied with a request
+//! arrival applies *before* that arrival (membership changes take effect
+//! at the instant they are scheduled). Ties between events preserve
+//! schedule order. Because the merge is by virtual time only, a churn
+//! schedule replays identically at any host thread count.
+
+use serde::{Deserialize, Serialize};
+
+/// What happens to a node at a churn instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnAction {
+    /// Start admitting placements (add the node if it is new).
+    Join,
+    /// Stop admitting; hand the node's families off, finish in-flight
+    /// work.
+    Drain,
+    /// Remove the node (implies a drain when still admitting).
+    Leave,
+}
+
+/// One scheduled membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Virtual timestamp the change takes effect.
+    pub at_us: u64,
+    /// Target node id.
+    pub node: u64,
+    /// The change.
+    pub action: ChurnAction,
+}
+
+impl ChurnEvent {
+    /// A join at `at_us`.
+    #[must_use]
+    pub fn join(at_us: u64, node: u64) -> Self {
+        Self {
+            at_us,
+            node,
+            action: ChurnAction::Join,
+        }
+    }
+
+    /// A drain at `at_us`.
+    #[must_use]
+    pub fn drain(at_us: u64, node: u64) -> Self {
+        Self {
+            at_us,
+            node,
+            action: ChurnAction::Drain,
+        }
+    }
+
+    /// A leave at `at_us`.
+    #[must_use]
+    pub fn leave(at_us: u64, node: u64) -> Self {
+        Self {
+            at_us,
+            node,
+            action: ChurnAction::Leave,
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The fabric itself: a deterministic multi-node discrete-event loop.
+//!
+//! [`Cluster::run`] replays a generated workload against N simulated
+//! nodes in three phases, all driven by virtual time:
+//!
+//! 1. **placement** — churn events and request arrivals are merged in
+//!    `arrival_us` order; each arrival is routed by the front-end
+//!    [`Router`] using the plan's affinity identity, with churn applied
+//!    the instant it is scheduled;
+//! 2. **service** — each node (own engine: striped prefix cache, block
+//!    pool, interner; own program cache) runs its assigned slice through
+//!    [`spear_serve::ServeNode`], whose virtual-time loop is already
+//!    invariant to host thread count;
+//! 3. **roll-up** — per-node reports are stamped with their
+//!    [`spear_serve::ClusterLinkage`] and aggregated into a
+//!    [`ClusterReport`] with a fleet trace fingerprint.
+//!
+//! Placement happens entirely before service and depends only on the
+//! arrival-ordered stream, so the fabric inherits the repo-wide
+//! determinism invariant: identical fingerprints across host worker-lane
+//! counts, including under churn replay.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spear_core::llm::LlmClient;
+use spear_core::runtime::Runtime;
+use spear_llm::{EngineConfig, ModelProfile, SimLlm};
+use spear_serve::{ClusterLinkage, GeneratedWorkload, ServeConfig, ServeNode, ServeOutcome};
+
+use crate::churn::{ChurnAction, ChurnEvent};
+use crate::node::NodeHandle;
+use crate::report::{fleet_fingerprint, ClusterReport, NodeReport};
+use crate::router::{Handoff, Router, RouterConfig};
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Bootstrap nodes (ids `0..initial_nodes`), all admitting at t=0.
+    pub initial_nodes: usize,
+    /// Per-node scheduler configuration (lanes, quantum, admission, …).
+    pub node: ServeConfig,
+    /// Front-end routing configuration.
+    pub router: RouterConfig,
+    /// Membership churn schedule (applied in `at_us` order).
+    pub churn: Vec<ChurnEvent>,
+    /// Model profile every node serves.
+    pub profile: ModelProfile,
+    /// Engine template; each node's engine gets `seed + node_id` so node
+    /// identity never aliases correctness draws.
+    pub engine: EngineConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            initial_nodes: 4,
+            node: ServeConfig::default(),
+            router: RouterConfig::default(),
+            churn: Vec::new(),
+            profile: ModelProfile::qwen25_7b_instruct(),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Result of a cluster run.
+#[derive(Debug)]
+pub struct ClusterRun {
+    /// `(node id, outcome)` per request, sorted by request id.
+    pub outcomes: Vec<(u64, ServeOutcome)>,
+    /// Cache-handoff manifests produced by drains, in schedule order.
+    pub handoffs: Vec<Handoff>,
+    /// Aggregate fleet report.
+    pub report: ClusterReport,
+}
+
+/// A simulated multi-node serving fleet.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// A cluster from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial_nodes` is zero.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(
+            config.initial_nodes > 0,
+            "a cluster needs at least one node"
+        );
+        Self { config }
+    }
+
+    /// Replay `workload` through the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the churn schedule drains every node while requests
+    /// still arrive, or when requests are not sorted by arrival time
+    /// (a [`GeneratedWorkload`] always is).
+    #[must_use]
+    pub fn run(&self, workload: GeneratedWorkload) -> ClusterRun {
+        let mut nodes: BTreeMap<u64, NodeHandle> = (0..self.config.initial_nodes as u64)
+            .map(|id| (id, NodeHandle::new(id, 0)))
+            .collect();
+        let mut router = Router::new(self.config.router.clone(), nodes.keys().copied());
+
+        // Phase 1: merge churn with arrivals in virtual-time order and
+        // place every request. Stable sort keeps same-instant churn in
+        // schedule order.
+        let mut schedule = self.config.churn.clone();
+        schedule.sort_by_key(|e| e.at_us);
+        let mut churn = schedule.into_iter().peekable();
+        let mut handoffs = Vec::new();
+
+        for request in workload.requests {
+            while churn
+                .peek()
+                .is_some_and(|event| event.at_us <= request.arrival_us)
+            {
+                let event = churn.next().expect("peeked");
+                Self::apply_churn(event, &mut router, &mut nodes, &mut handoffs);
+            }
+            let target = router.route(request.plan.affinity_seed(), request.id, request.est_tokens);
+            nodes
+                .get_mut(&target)
+                .expect("router only targets known nodes")
+                .assigned
+                .push(request);
+        }
+        for event in churn {
+            Self::apply_churn(event, &mut router, &mut nodes, &mut handoffs);
+        }
+
+        // Phase 2: serve each node's slice on its own engine. Nodes run
+        // sequentially in id order — their clocks are virtual, so host
+        // ordering is irrelevant to the traces.
+        let mut outcomes: Vec<(u64, ServeOutcome)> = Vec::new();
+        let mut node_reports = Vec::new();
+        for (id, handle) in nodes {
+            let engine = Arc::new(SimLlm::with_config(
+                self.config.profile.clone(),
+                EngineConfig {
+                    seed: self.config.engine.seed.wrapping_add(id),
+                    ..self.config.engine.clone()
+                },
+            ));
+            let runtime = Runtime::builder()
+                .llm(Arc::clone(&engine) as Arc<dyn LlmClient>)
+                .views(workload.views.clone())
+                .build();
+            let serve_node = ServeNode::new(self.config.node.clone());
+            let assigned = handle.assigned.len() as u64;
+            let run = serve_node.run(&runtime, Some(&engine), handle.assigned);
+
+            let mut report = run.report;
+            report.cluster = Some(ClusterLinkage {
+                node_id: id,
+                joined_us: handle.joined_us,
+                drained: handle.drained,
+            });
+            let completed = report.interactive.completed + report.batch.completed;
+            let service_us: u64 = run.outcomes.iter().map(|o| o.service_us).sum();
+            node_reports.push(NodeReport {
+                node_id: id,
+                joined_us: handle.joined_us,
+                drained: handle.drained,
+                left: handle.left,
+                assigned,
+                completed,
+                service_us,
+                makespan_us: report.makespan_us,
+                report,
+            });
+            outcomes.extend(run.outcomes.into_iter().map(|o| (id, o)));
+        }
+        outcomes.sort_by_key(|(_, o)| o.id);
+
+        // Phase 3: roll up.
+        let report = Self::roll_up(node_reports, router, &outcomes);
+        ClusterRun {
+            outcomes,
+            handoffs,
+            report,
+        }
+    }
+
+    fn apply_churn(
+        event: ChurnEvent,
+        router: &mut Router,
+        nodes: &mut BTreeMap<u64, NodeHandle>,
+        handoffs: &mut Vec<Handoff>,
+    ) {
+        match event.action {
+            ChurnAction::Join => {
+                let handle = nodes
+                    .entry(event.node)
+                    .or_insert_with(|| NodeHandle::new(event.node, event.at_us));
+                handle.drained = false;
+                router.join(event.node);
+            }
+            ChurnAction::Drain => {
+                if let Some(handle) = nodes.get_mut(&event.node) {
+                    handle.drained = true;
+                }
+                handoffs.extend(router.drain(event.node));
+            }
+            ChurnAction::Leave => {
+                if let Some(handle) = nodes.get_mut(&event.node) {
+                    handle.drained = true;
+                    handle.left = true;
+                }
+                handoffs.extend(router.leave(event.node));
+            }
+        }
+    }
+
+    fn roll_up(
+        nodes: Vec<NodeReport>,
+        router: Router,
+        outcomes: &[(u64, ServeOutcome)],
+    ) -> ClusterReport {
+        let requests = outcomes.len() as u64;
+        let completed = nodes.iter().map(|n| n.completed).sum();
+        let fleet_prompt_tokens = nodes
+            .iter()
+            .map(|n| n.report.interactive.prompt_tokens + n.report.batch.prompt_tokens)
+            .sum();
+        let fleet_cached_tokens = nodes
+            .iter()
+            .map(|n| n.report.interactive.cached_tokens + n.report.batch.cached_tokens)
+            .sum();
+        let makespan_us = nodes.iter().map(|n| n.makespan_us).max().unwrap_or(0);
+        let serving: Vec<u64> = nodes
+            .iter()
+            .filter(|n| n.assigned > 0)
+            .map(|n| n.service_us)
+            .collect();
+        let imbalance = if serving.len() <= 1 {
+            1.0
+        } else {
+            let max = *serving.iter().max().expect("non-empty") as f64;
+            let mean = serving.iter().sum::<u64>() as f64 / serving.len() as f64;
+            if mean == 0.0 {
+                1.0
+            } else {
+                max / mean
+            }
+        };
+        ClusterReport {
+            router: router.report(),
+            nodes,
+            requests,
+            completed,
+            fleet_prompt_tokens,
+            fleet_cached_tokens,
+            makespan_us,
+            imbalance,
+            trace_fingerprint: fleet_fingerprint(outcomes),
+        }
+    }
+}

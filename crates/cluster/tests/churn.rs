@@ -1,0 +1,141 @@
+//! Membership-churn semantics end to end: joins admit, drains stop
+//! admission without dropping in-flight work, leaves imply drains, and
+//! every drain hands its families off with an explicit manifest.
+
+use spear_cluster::prelude::*;
+use spear_serve::{generate, AdmissionConfig, LoadGenConfig, ServeConfig};
+
+fn workload(requests: usize) -> spear_serve::GeneratedWorkload {
+    generate(&LoadGenConfig {
+        seed: 77,
+        requests,
+        families: 8,
+        mean_interarrival_us: 500,
+        family_zipf: 0.9,
+        ..LoadGenConfig::default()
+    })
+}
+
+fn config(initial_nodes: usize, churn: Vec<ChurnEvent>) -> ClusterConfig {
+    ClusterConfig {
+        initial_nodes,
+        node: ServeConfig {
+            lanes: 2,
+            admission: AdmissionConfig {
+                max_depth: 100_000,
+                bucket_capacity: 1 << 40,
+                refill_per_us: 1_000_000.0,
+                ..AdmissionConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        churn,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Arrival timestamp of the request with the given index.
+fn arrival_of(requests: usize, index: usize) -> u64 {
+    let w = workload(requests);
+    w.requests[index].arrival_us
+}
+
+#[test]
+fn drained_node_finishes_assigned_work_but_admits_nothing_new() {
+    let requests = 128;
+    let mid = arrival_of(requests, requests / 2);
+    let run = Cluster::new(config(2, vec![ChurnEvent::drain(mid, 0)])).run(workload(requests));
+
+    let node0 = &run.report.nodes[0];
+    assert!(node0.drained);
+    assert!(!node0.left);
+    assert!(node0.assigned > 0, "node 0 served the first half");
+    assert_eq!(
+        node0.completed, node0.assigned,
+        "drain never drops in-flight or queued work"
+    );
+    // Everything arriving after the drain went to node 1.
+    let late_on_0 = run
+        .report
+        .nodes
+        .iter()
+        .find(|n| n.node_id == 0)
+        .map(|n| n.assigned)
+        .unwrap();
+    let rerun_without_churn = Cluster::new(config(2, Vec::new())).run(workload(requests));
+    let full_on_0 = rerun_without_churn.report.nodes[0].assigned;
+    assert!(
+        late_on_0 < full_on_0,
+        "drain diverted traffic: {late_on_0} assigned with churn vs {full_on_0} without"
+    );
+    assert!(run.report.router.handoffs > 0, "families were handed off");
+    assert!(!run.handoffs.is_empty());
+    for handoff in &run.handoffs {
+        assert_eq!(handoff.from, 0);
+        // Re-placed families can only land on node 1; families that
+        // already had a replica there are absorbed (`to: None`).
+        assert!(matches!(handoff.to, Some(1) | None));
+    }
+    assert_eq!(run.report.completed, requests as u64);
+}
+
+#[test]
+fn joined_node_serves_new_families_only() {
+    let requests = 128;
+    let early = arrival_of(requests, 8);
+    let run = Cluster::new(config(1, vec![ChurnEvent::join(early, 1)])).run(workload(requests));
+
+    let joined = run
+        .report
+        .nodes
+        .iter()
+        .find(|n| n.node_id == 1)
+        .expect("joined node reports");
+    assert_eq!(joined.joined_us, early);
+    // All 8 families arrive within the first few requests with seed 77,
+    // so stickiness keeps most (possibly all) traffic on node 0; what
+    // matters is that the join changed nothing retroactively.
+    assert_eq!(run.report.completed, requests as u64);
+    assert_eq!(run.report.router.joins, 1);
+    // Cluster linkage is stamped on both node reports.
+    for node in &run.report.nodes {
+        let linkage = node.report.cluster.as_ref().expect("stamped");
+        assert_eq!(linkage.node_id, node.node_id);
+        assert_eq!(linkage.joined_us, node.joined_us);
+        assert_eq!(linkage.drained, node.drained);
+    }
+}
+
+#[test]
+fn leave_without_prior_drain_implies_one() {
+    let requests = 96;
+    let mid = arrival_of(requests, requests / 2);
+    let run = Cluster::new(config(3, vec![ChurnEvent::leave(mid, 2)])).run(workload(requests));
+    let gone = run
+        .report
+        .nodes
+        .iter()
+        .find(|n| n.node_id == 2)
+        .expect("left node still reports its slice");
+    assert!(gone.drained && gone.left);
+    assert_eq!(gone.completed, gone.assigned, "leave is graceful");
+    assert_eq!(run.report.router.drains, 1);
+    assert_eq!(run.report.router.leaves, 1);
+    assert_eq!(run.report.completed, requests as u64);
+}
+
+#[test]
+fn churn_after_the_last_arrival_still_applies() {
+    let run = Cluster::new(config(2, vec![ChurnEvent::drain(u64::MAX, 1)])).run(workload(64));
+    assert_eq!(run.report.router.drains, 1);
+    let node1 = run.report.nodes.iter().find(|n| n.node_id == 1).unwrap();
+    assert!(node1.drained, "post-stream drain is recorded");
+}
+
+#[test]
+#[should_panic(expected = "unplaced")]
+fn draining_the_whole_fleet_mid_stream_panics() {
+    let requests = 64;
+    let early = arrival_of(requests, 4);
+    let _ = Cluster::new(config(1, vec![ChurnEvent::drain(early, 0)])).run(workload(requests));
+}

@@ -1,0 +1,112 @@
+//! The fabric's determinism contract: for a fixed cluster configuration,
+//! [`ClusterReport::trace_fingerprint`] — and the placement behind it —
+//! is byte-identical across host worker-lane counts, with and without
+//! membership churn. This is the repo-wide invariant (virtual time, not
+//! host time, orders everything) extended to the multi-node loop.
+
+use spear_cluster::prelude::*;
+use spear_serve::{generate, AdmissionConfig, LoadGenConfig, ServeConfig};
+
+fn workload_config() -> LoadGenConfig {
+    LoadGenConfig {
+        seed: 1409,
+        requests: 192,
+        families: 10,
+        mean_interarrival_us: 400,
+        family_zipf: 1.1,
+        ..LoadGenConfig::default()
+    }
+}
+
+fn node_config(lanes: usize) -> ServeConfig {
+    ServeConfig {
+        lanes,
+        admission: AdmissionConfig {
+            max_depth: 100_000,
+            bucket_capacity: 1 << 40,
+            refill_per_us: 1_000_000.0,
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn run_at(lanes: usize, churn: Vec<ChurnEvent>) -> ClusterReport {
+    let cluster = Cluster::new(ClusterConfig {
+        initial_nodes: 4,
+        node: node_config(lanes),
+        churn,
+        ..ClusterConfig::default()
+    });
+    cluster.run(generate(&workload_config())).report
+}
+
+fn churn_schedule() -> Vec<ChurnEvent> {
+    // Horizon ≈ 192 × 400 µs; join two nodes early, drain one bootstrap
+    // node mid-stream, lose another near the end.
+    vec![
+        ChurnEvent::join(15_000, 4),
+        ChurnEvent::join(20_000, 5),
+        ChurnEvent::drain(38_000, 0),
+        ChurnEvent::leave(60_000, 1),
+    ]
+}
+
+#[test]
+fn fingerprint_is_invariant_across_host_lane_counts() {
+    let baseline = run_at(1, Vec::new());
+    for lanes in [4, 8] {
+        let report = run_at(lanes, Vec::new());
+        assert_eq!(
+            report.trace_fingerprint, baseline.trace_fingerprint,
+            "lanes={lanes} diverged from lanes=1"
+        );
+        // Placement itself is identical, not just the digest fold.
+        for (a, b) in report.nodes.iter().zip(&baseline.nodes) {
+            assert_eq!(a.node_id, b.node_id);
+            assert_eq!(a.assigned, b.assigned, "node {} placement moved", a.node_id);
+        }
+        assert_eq!(report.router, baseline.router);
+    }
+}
+
+#[test]
+fn churn_replay_is_invariant_across_host_lane_counts() {
+    let baseline = run_at(1, churn_schedule());
+    assert!(baseline.router.joins == 2 && baseline.router.drains >= 2);
+    assert!(baseline.router.handoffs > 0, "drains moved families");
+    for lanes in [4, 8] {
+        let report = run_at(lanes, churn_schedule());
+        assert_eq!(
+            report.trace_fingerprint, baseline.trace_fingerprint,
+            "churn replay at lanes={lanes} diverged"
+        );
+        assert_eq!(report.router, baseline.router, "router counters diverged");
+    }
+}
+
+#[test]
+fn repeated_runs_are_bitwise_stable() {
+    let a = run_at(4, churn_schedule());
+    let b = run_at(4, churn_schedule());
+    assert_eq!(a, b, "identical config must reproduce the identical report");
+}
+
+#[test]
+fn every_request_gets_exactly_one_outcome() {
+    let cluster = Cluster::new(ClusterConfig {
+        initial_nodes: 4,
+        node: node_config(2),
+        churn: churn_schedule(),
+        ..ClusterConfig::default()
+    });
+    let run = cluster.run(generate(&workload_config()));
+    assert_eq!(run.outcomes.len(), 192);
+    for (i, (_, outcome)) in run.outcomes.iter().enumerate() {
+        assert_eq!(outcome.id, i as u64, "outcomes sorted and complete");
+    }
+    assert_eq!(
+        run.report.completed, 192,
+        "generous admission completes all"
+    );
+}

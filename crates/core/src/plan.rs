@@ -174,6 +174,18 @@ impl LoweredPlan {
         None
     }
 
+    /// The plan's affinity key folded to a stable `u64` seed — the hashed
+    /// form every placement decision keys on: the serve scheduler's lane
+    /// pinning, the KV scheduler's shared-prefix grouping, and the cluster
+    /// router's consistent node placement all derive from this one value,
+    /// so "same family" means the same thing at every layer. `None` iff
+    /// [`LoweredPlan::affinity_key`] is `None`.
+    #[must_use]
+    pub fn affinity_seed(&self) -> Option<u64> {
+        self.affinity_key()
+            .map(|key| spear_kv::shard::fnv1a(key.as_bytes()))
+    }
+
     /// Content fingerprint over the plan's canonical serialization. Two
     /// plans fingerprint equal iff they serialize identically, so the
     /// serving layer can use this as a compilation-cache key: equal
@@ -410,6 +422,29 @@ mod tests {
             .gen("a", "p")
             .build();
         assert_ne!(lower(&r).unwrap().affinity_key(), Some(key));
+    }
+
+    #[test]
+    fn affinity_seed_is_the_hashed_key_and_tracks_its_presence() {
+        let keyed = Pipeline::builder("seeded")
+            .create_text("p", "shared base text", RefinementMode::Manual)
+            .gen("a", "p")
+            .build();
+        let plan = lower(&keyed).unwrap();
+        let key = plan.affinity_key().unwrap();
+        assert_eq!(
+            plan.affinity_seed(),
+            Some(spear_kv::shard::fnv1a(key.as_bytes()))
+        );
+
+        let opaque = Pipeline::builder("op")
+            .gen_with(
+                "a",
+                PromptRef::Inline("ad hoc {{ctx:q}}".into()),
+                crate::llm::GenOptions::default(),
+            )
+            .build();
+        assert_eq!(lower(&opaque).unwrap().affinity_seed(), None);
     }
 
     #[test]

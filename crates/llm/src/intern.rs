@@ -52,6 +52,18 @@ pub fn chain_key(prev: u64, segment_hash: u64) -> u64 {
     fnv1a_extend(prev, &segment_hash.to_le_bytes())
 }
 
+/// Fold a plan's [`affinity seed`](spear_core::plan::LoweredPlan::affinity_seed)
+/// into the interner's chain-key space: the root chain key of the prompt
+/// family that seed identifies. Cluster routing scores are further
+/// [`chain_key`] folds over this value (one fold per placement salt), so
+/// "the node a family is placed on" and "the interner chain a family's
+/// prefix lives in" derive from the same keyed fold — a request routed by
+/// this key lands where its longest memoized prefix already is.
+#[must_use]
+pub fn affinity_chain_key(affinity_seed: u64) -> u64 {
+    chain_key(CHAIN_SEED, affinity_seed)
+}
+
 /// The memoized encoding of one segment chain.
 #[derive(Debug, Clone)]
 pub struct InternedChain {
@@ -231,6 +243,17 @@ mod tests {
         assert_eq!(got.block_hashes.as_ref(), &[7]);
         let s = interner.stats();
         assert_eq!((s.hits, s.misses, s.insertions, s.resident), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn affinity_chain_key_is_the_seeded_root_fold() {
+        assert_eq!(affinity_chain_key(7), chain_key(CHAIN_SEED, 7));
+        assert_ne!(affinity_chain_key(7), affinity_chain_key(8));
+        // Placement salts extend the family chain without colliding with it.
+        assert_ne!(
+            chain_key(affinity_chain_key(7), 0),
+            chain_key(affinity_chain_key(7), 1)
+        );
     }
 
     #[test]

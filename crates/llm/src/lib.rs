@@ -52,7 +52,9 @@ pub use cache::{
 };
 pub use clock::{SimClock, MAX_LANES};
 pub use engine::{EngineConfig, SimLlm};
-pub use intern::{chain_key, InternStats, InternedChain, TokenInterner, CHAIN_SEED};
+pub use intern::{
+    affinity_chain_key, chain_key, InternStats, InternedChain, TokenInterner, CHAIN_SEED,
+};
 pub use pool::{AllocGrant, BlockPool, PoolExhausted, PoolStats, DEFAULT_POOL_STRIPES};
 pub use profile::{ModelProfile, PromptFeatures, QualityWeights, TaskKind};
 pub use tokenizer::{StreamingEncoder, Token, Tokenizer};

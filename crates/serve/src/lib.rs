@@ -77,7 +77,9 @@ pub mod scheduler;
 pub use error::ServeError;
 pub use kv::KvPressureConfig;
 pub use loadgen::{generate, GeneratedWorkload, LoadGenConfig};
-pub use metrics::{ClassReport, CompileReport, Histogram, HistogramSummary, KvReport, ServeReport};
+pub use metrics::{
+    ClassReport, ClusterLinkage, CompileReport, Histogram, HistogramSummary, KvReport, ServeReport,
+};
 pub use program_cache::ProgramCache;
 pub use queue::{AdmissionConfig, AdmissionQueue, ClassFifo};
 pub use request::{Priority, ServeRequest};
@@ -89,7 +91,8 @@ pub mod prelude {
     pub use crate::kv::KvPressureConfig;
     pub use crate::loadgen::{generate, GeneratedWorkload, LoadGenConfig};
     pub use crate::metrics::{
-        ClassReport, CompileReport, Histogram, HistogramSummary, KvReport, ServeReport,
+        ClassReport, ClusterLinkage, CompileReport, Histogram, HistogramSummary, KvReport,
+        ServeReport,
     };
     pub use crate::program_cache::ProgramCache;
     pub use crate::queue::{AdmissionConfig, AdmissionQueue, ClassFifo};

@@ -47,6 +47,14 @@ pub struct LoadGenConfig {
     /// requests' KV footprints *grow* enough to fight for pool blocks.
     /// The default of 1 produces exactly the classic single-GEN plan.
     pub gen_calls: usize,
+    /// Zipf exponent for family popularity. `0.0` (the default) keeps the
+    /// historical uniform draw — byte-identical workloads, so existing
+    /// BENCH fingerprints are preserved. `s > 0.0` samples family `k`
+    /// (0-indexed rank) with probability proportional to `1/(k+1)^s`,
+    /// reproducing the skewed family popularity real prompt corpora
+    /// exhibit — the regime cluster routing's hot-prefix replication is
+    /// built for.
+    pub family_zipf: f64,
 }
 
 impl Default for LoadGenConfig {
@@ -59,6 +67,7 @@ impl Default for LoadGenConfig {
             interactive_fraction: 0.6,
             interactive_deadline_us: None,
             gen_calls: 1,
+            family_zipf: 0.0,
         }
     }
 }
@@ -157,6 +166,24 @@ pub fn generate(config: &LoadGenConfig) -> GeneratedWorkload {
         ));
     }
 
+    // Family-popularity CDF. `None` keeps the historical uniform
+    // `gen_range` draw — the exact same RNG consumption as before the knob
+    // existed, so default-config workloads stay byte-identical.
+    let zipf_cdf: Option<Vec<f64>> = (config.family_zipf > 0.0).then(|| {
+        let weights: Vec<f64> = (0..families)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(config.family_zipf))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect()
+    });
+
     let mut requests = Vec::with_capacity(config.requests);
     let mut arrival_us = 0u64;
     for id in 0..config.requests as u64 {
@@ -165,7 +192,13 @@ pub fn generate(config: &LoadGenConfig) -> GeneratedWorkload {
         let dt = (-(1.0 - unit).ln() * config.mean_interarrival_us as f64).round() as u64;
         arrival_us += dt.max(1);
 
-        let family = rng.gen_range(0..families);
+        let family = match &zipf_cdf {
+            None => rng.gen_range(0..families),
+            Some(cdf) => {
+                let u = rng.gen_unit();
+                cdf.iter().position(|&c| u < c).unwrap_or(families - 1)
+            }
+        };
         let interactive = rng.gen_bool(config.interactive_fraction);
         let priority = if interactive {
             Priority::Interactive
@@ -280,6 +313,62 @@ mod tests {
             .requests
             .iter()
             .any(|r| r.priority == Priority::Interactive));
+    }
+
+    #[test]
+    fn zipf_skews_family_popularity_deterministically() {
+        let config = LoadGenConfig {
+            requests: 400,
+            families: 8,
+            family_zipf: 1.2,
+            ..LoadGenConfig::default()
+        };
+        let w = generate(&config);
+        let keys: Vec<String> = (0..8)
+            .map(|f| w.plans[f].affinity_key().expect("view-backed"))
+            .collect();
+        let mut counts = vec![0usize; 8];
+        for r in &w.requests {
+            let key = r.affinity_key().unwrap();
+            let family = keys.iter().position(|k| *k == key).unwrap();
+            counts[family] += 1;
+        }
+        // Rank-0 dominates; the tail is thin. (Zipf 1.2 over 8 families
+        // gives rank 0 ≈ 41% and rank 7 ≈ 3.4% of mass.)
+        assert!(
+            counts[0] > counts[7] * 3,
+            "rank 0 should dwarf rank 7: {counts:?}"
+        );
+        assert!(
+            counts[0] * 100 > 400 * 25,
+            "rank 0 should hold >25% of requests: {counts:?}"
+        );
+        // All families still sampled (the CDF covers the whole range).
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+
+        // Deterministic: same config, same stream.
+        let v = generate(&config);
+        for (a, b) in w.requests.iter().zip(&v.requests) {
+            assert_eq!(a.affinity_key(), b.affinity_key());
+            assert_eq!(a.arrival_us, b.arrival_us);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_the_uniform_sampler() {
+        // `family_zipf: 0.0` takes the exact historical uniform code path:
+        // the config equals the default, and the draw sequence (hence the
+        // whole workload) is the default workload.
+        let uniform = generate(&LoadGenConfig {
+            family_zipf: 0.0,
+            ..LoadGenConfig::default()
+        });
+        let default = generate(&LoadGenConfig::default());
+        for (a, b) in uniform.requests.iter().zip(&default.requests) {
+            assert_eq!(a.affinity_key(), b.affinity_key());
+            assert_eq!(a.arrival_us, b.arrival_us);
+            assert_eq!(a.priority, b.priority);
+        }
     }
 
     #[test]

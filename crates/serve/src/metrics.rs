@@ -203,6 +203,28 @@ pub struct ServeReport {
     /// reports written before the compiled hot path existed.
     #[serde(default)]
     pub compile: CompileReport,
+    /// Linkage to the cluster run this node-level report was produced
+    /// under, stamped by the cluster fabric after the node run completes.
+    /// `None` for standalone (single-node) serving and for reports written
+    /// before the cluster existed.
+    #[serde(default)]
+    pub cluster: Option<ClusterLinkage>,
+}
+
+/// How a node-level [`ServeReport`] relates to the cluster run that
+/// produced it. Every post-PR-3 `ServeReport` field carries
+/// `#[serde(default)]`, so reports written by any earlier schema — and
+/// standalone reports written today — deserialize under the current one
+/// (pinned by `tests/report_compat.rs` against the checked-in BENCH
+/// artifacts).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterLinkage {
+    /// The node's id within the cluster.
+    pub node_id: u64,
+    /// Virtual timestamp the node joined the cluster (0 for seed nodes).
+    pub joined_us: u64,
+    /// Whether the node was draining (or drained) when the run ended.
+    pub drained: bool,
 }
 
 /// Counters from the memory-pressure KV scheduler: the bounded block

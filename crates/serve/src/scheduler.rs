@@ -355,13 +355,12 @@ impl ServeNode {
                 let (owner, lane) = if self.config.affinity_routing {
                     match request.affinity_key() {
                         Some(key) => {
-                            let slot = groups.entry((request.priority, key)).or_insert_with_key(
-                                |(_, key)| {
-                                    let owner = owner_base + next_owner;
-                                    next_owner += 1;
-                                    (owner, (fnv1a(key.as_bytes()) % lanes as u64) as usize)
-                                },
-                            );
+                            let seed = request.plan.affinity_seed().unwrap_or_default();
+                            let slot = groups.entry((request.priority, key)).or_insert_with(|| {
+                                let owner = owner_base + next_owner;
+                                next_owner += 1;
+                                (owner, (seed % lanes as u64) as usize)
+                            });
                             *slot
                         }
                         None => {
@@ -469,6 +468,7 @@ impl ServeNode {
             cache: Default::default(),
             kv: Default::default(),
             compile: self.programs.drain_counters(),
+            cluster: None,
         };
         if let (Some(engine), Some(before)) = (engine, cache_before) {
             report.cache = engine.cache_stats().delta_since(&before);
@@ -573,15 +573,12 @@ impl ServeNode {
             let (owner, lane, family_seed, grouped) = if self.config.affinity_routing {
                 match request.affinity_key() {
                     Some(key) => {
-                        let seed = fnv1a(key.as_bytes());
-                        let slot =
-                            groups
-                                .entry((request.priority, key))
-                                .or_insert_with_key(|(_, key)| {
-                                    let owner = owner_base + next_owner;
-                                    next_owner += 1;
-                                    (owner, (fnv1a(key.as_bytes()) % lanes as u64) as usize)
-                                });
+                        let seed = request.plan.affinity_seed().unwrap_or_default();
+                        let slot = groups.entry((request.priority, key)).or_insert_with(|| {
+                            let owner = owner_base + next_owner;
+                            next_owner += 1;
+                            (owner, (seed % lanes as u64) as usize)
+                        });
                         (slot.0, slot.1, seed, true)
                     }
                     None => {
@@ -761,6 +758,7 @@ impl ServeNode {
             cache: Default::default(),
             kv: sim.report,
             compile: self.programs.drain_counters(),
+            cluster: None,
         };
         if let (Some(engine), Some(before)) = (engine, cache_before) {
             report.cache = engine.cache_stats().delta_since(&before);

@@ -70,6 +70,7 @@ proptest! {
             interactive_fraction: f64::from(interactive_pct) / 100.0,
             interactive_deadline_us: None,
             gen_calls: 1,
+            family_zipf: 0.0,
         };
         let (s1, d1, r1) = serve(&load, 1, affinity);
         let (s4, d4, r4) = serve(&load, 4, affinity);
@@ -104,6 +105,7 @@ proptest! {
             interactive_fraction: 0.7,
             interactive_deadline_us: Some(deadline_us),
             gen_calls: 1,
+            family_zipf: 0.0,
         };
         let (s1, d1, _) = serve(&load, 1, true);
         let (s8, d8, _) = serve(&load, 8, true);
@@ -202,6 +204,7 @@ fn affinity_routing_buys_cache_hit_rate() {
         interactive_fraction: 0.5,
         interactive_deadline_us: None,
         gen_calls: 1,
+        family_zipf: 0.0,
     };
     let (_, _, with_affinity) = serve(&load, 4, true);
     let (_, _, without) = serve(&load, 4, false);

@@ -68,6 +68,7 @@ fn bursty_load(seed: u64, requests: usize) -> LoadGenConfig {
         // Six GEN slots: long decode phases make running requests' KV
         // footprints grow, which is what forces mid-flight preemption.
         gen_calls: 6,
+        family_zipf: 0.0,
     }
 }
 

@@ -41,3 +41,9 @@ bench-host:
 # pool visibly evicted and preempted, identically at every lane count).
 bench-serve *ARGS:
     cargo run --release -p spear-bench --bin bench_serve -- {{ARGS}}
+
+# Cluster scale-out sweep: 1→16 prefix-aware nodes vs hash-random
+# scatter under Zipf traffic (BENCH_cluster.json; fails below 0.7x ideal
+# scaling at 8 nodes or if hash-random matches the fleet hit rate).
+bench-cluster *ARGS:
+    cargo run --release -p spear-bench --bin bench_cluster -- {{ARGS}}

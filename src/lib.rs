@@ -21,6 +21,9 @@
 //! - [`serve`] — an admission-controlled serving layer scheduling request
 //!   streams onto executor lanes with cache-affinity routing, priority
 //!   classes, deadlines, and a seeded open-loop load generator,
+//! - [`cluster`] — a sharded multi-node serving fabric: prefix-aware
+//!   request placement over simulated nodes, hot-prefix replication for
+//!   skewed families, and deterministic membership churn,
 //! - [`dl`] — SPEAR-DL, the declarative language for views and pipelines,
 //! - [`data`] — synthetic datasets and metrics used by the benchmarks.
 //!
@@ -71,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use spear_cluster as cluster;
 pub use spear_core as core;
 pub use spear_data as data;
 pub use spear_dl as dl;

@@ -163,6 +163,25 @@ pub fn __field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Res
     }
 }
 
+/// Like [`__field`], but for fields marked `#[serde(default)]`: an absent
+/// field takes `T::default()` instead of going through
+/// [`Deserialize::deserialize_missing`].
+///
+/// # Errors
+///
+/// Propagates field deserialization errors for present fields.
+pub fn __field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::deserialize_content(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Serialize impls for std types
 // ---------------------------------------------------------------------------

@@ -12,6 +12,8 @@
 //! - enums with unit, tuple, and struct variants, externally tagged
 //!   (serde's default representation)
 //! - `#[serde(untagged)]` enums: variants are tried in declaration order
+//! - `#[serde(default)]` on named fields: an absent field takes the
+//!   field type's `Default` instead of erroring
 //!
 //! Unknown fields are ignored and missing `Option` fields deserialize to
 //! `None`, matching serde's defaults.
@@ -60,9 +62,15 @@ struct Item {
 }
 
 enum ItemKind {
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent fields take the type's `Default`.
+    default: bool,
 }
 
 struct Variant {
@@ -73,7 +81,7 @@ struct Variant {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 impl Item {
@@ -86,7 +94,7 @@ impl Item {
         // (doc comments, #[derive(...)] of other traits, etc.).
         while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                if attr_is_serde_untagged(g.stream()) {
+                if attr_is_serde_word(g.stream(), "untagged") {
                     untagged = true;
                 }
             }
@@ -243,7 +251,11 @@ impl Item {
                     format!("Self::{vname}({}) => {content},\n", binds.join(", "))
                 }
                 VariantShape::Struct(fields) => {
-                    let binds = fields.join(", ");
+                    let binds = fields
+                        .iter()
+                        .map(|f| f.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     let inner = ser_named_fields_body(fields, "", "");
                     let content = if self.untagged {
                         inner
@@ -376,13 +388,14 @@ fn tag_map(tag: &str, inner: &str) -> String {
 
 /// Serialize named fields (struct body or struct-variant body).
 /// `access` is `"self."` for structs and `""` for variant bindings.
-fn ser_named_fields_body(fields: &[String], access: &str, _unused: &str) -> String {
+fn ser_named_fields_body(fields: &[Field], access: &str, _unused: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
         .map(|f| {
+            let name = &f.name;
             format!(
-                "(::std::string::String::from({f:?}), \
-                 ::serde::Serialize::serialize_content(&{access}{f}))"
+                "(::std::string::String::from({name:?}), \
+                 ::serde::Serialize::serialize_content(&{access}{name}))"
             )
         })
         .collect();
@@ -390,15 +403,23 @@ fn ser_named_fields_body(fields: &[String], access: &str, _unused: &str) -> Stri
 }
 
 /// Deserialize named fields from the top-level content `__c`.
-fn de_named_fields_body(ty: &str, fields: &[String], constructor: &str) -> String {
+fn de_named_fields_body(ty: &str, fields: &[Field], constructor: &str) -> String {
     de_named_fields_from(ty, fields, constructor, "__c")
 }
 
 /// Deserialize named fields from content expression `src`.
-fn de_named_fields_from(ty: &str, fields: &[String], constructor: &str, src: &str) -> String {
+fn de_named_fields_from(ty: &str, fields: &[Field], constructor: &str, src: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| format!("{f}: ::serde::__field(__m, {f:?})?"))
+        .map(|f| {
+            let name = &f.name;
+            let helper = if f.default {
+                "__field_or_default"
+            } else {
+                "__field"
+            };
+            format!("{name}: ::serde::{helper}(__m, {name:?})?")
+        })
         .collect();
     format!(
         "let __m = {src}.as_map_for({ty:?})?;\n\
@@ -432,8 +453,8 @@ fn de_tuple_expr(ty: &str, vname: &str, arity: usize, src: &str) -> String {
 // Token-stream parsing helpers
 // ---------------------------------------------------------------------------
 
-/// Does this attribute group (the `[...]` after `#`) say `serde(untagged)`?
-fn attr_is_serde_untagged(stream: TokenStream) -> bool {
+/// Does this attribute group (the `[...]` after `#`) say `serde(<word>)`?
+fn attr_is_serde_word(stream: TokenStream, word: &str) -> bool {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
@@ -441,7 +462,7 @@ fn attr_is_serde_untagged(stream: TokenStream) -> bool {
         {
             args.stream()
                 .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "untagged"))
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == word))
         }
         _ => false,
     }
@@ -471,13 +492,21 @@ fn split_top_level_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
     out
 }
 
-/// Parse `{ field: Ty, ... }` contents into field names.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
-    let mut names = Vec::new();
+/// Parse `{ field: Ty, ... }` contents into fields, noting which carry
+/// `#[serde(default)]`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
     for field_tokens in split_top_level_commas(stream.into_iter().collect()) {
         let mut i = 0usize;
-        // Attributes (doc comments etc.).
+        let mut default = false;
+        // Attributes: record #[serde(default)], skip the rest (doc
+        // comments etc.).
         while matches!(&field_tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = field_tokens.get(i + 1) {
+                if attr_is_serde_word(g.stream(), "default") {
+                    default = true;
+                }
+            }
             i += 2;
         }
         if field_tokens.get(i).is_none() {
@@ -495,12 +524,15 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(colon)))
                 if colon.as_char() == ':' =>
             {
-                names.push(name.to_string());
+                fields.push(Field {
+                    name: name.to_string(),
+                    default,
+                });
             }
             other => return Err(format!("unsupported field syntax: {other:?}")),
         }
     }
-    Ok(names)
+    Ok(fields)
 }
 
 /// Parse enum body contents into variants.

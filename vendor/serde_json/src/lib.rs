@@ -90,6 +90,368 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     T::deserialize_content(&content).map_err(Error::data)
 }
 
+/// Interpret a [`Value`] tree as an instance of `T`.
+///
+/// # Errors
+///
+/// Returns a data-shape [`Error`] when the tree does not fit `T`.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_content(&value.into_content()).map_err(Error::data)
+}
+
+/// Lower `value` into a generic [`Value`] tree.
+///
+/// # Errors
+///
+/// Practically infallible for the types in this workspace; the `Result`
+/// mirrors `serde_json`'s signature.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(Value::from_content(value.serialize_content()))
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document of unknown shape: the shim's answer to
+/// `serde_json::Value`. Objects preserve insertion order, like
+/// `serde_json`'s `preserve_order` feature.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (integer or float).
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Map),
+}
+
+/// A JSON number: an `i64`, a `u64` above `i64::MAX`, or an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(NumberRepr);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NumberRepr {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl Number {
+    /// The value as an `i64`, when it fits exactly.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            NumberRepr::I64(i) => Some(i),
+            NumberRepr::U64(u) => i64::try_from(u).ok(),
+            NumberRepr::F64(_) => None,
+        }
+    }
+
+    /// The value as a `u64`, when it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            NumberRepr::I64(i) => u64::try_from(i).ok(),
+            NumberRepr::U64(u) => Some(u),
+            NumberRepr::F64(_) => None,
+        }
+    }
+
+    /// The value as an `f64` (lossy for large integers).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            NumberRepr::I64(i) => Some(i as f64),
+            NumberRepr::U64(u) => Some(u as f64),
+            NumberRepr::F64(f) => Some(f),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            NumberRepr::I64(i) => write!(f, "{i}"),
+            NumberRepr::U64(u) => write!(f, "{u}"),
+            NumberRepr::F64(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map of [`Value`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The value under `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable access to the value under `key`, if present.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Insert `value` under `key`, returning the displaced value if the
+    /// key was already present (its position is kept).
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.get_mut(&key) {
+            Some(slot) => Some(std::mem::replace(slot, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Remove and return the value under `key`, if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let index = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(index).1)
+    }
+
+    /// Whether `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl Value {
+    fn from_content(content: Content) -> Self {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::I64(i) => Value::Number(Number(NumberRepr::I64(i))),
+            Content::U64(u) => Value::Number(Number(NumberRepr::U64(u))),
+            Content::F64(f) => Value::Number(Number(NumberRepr::F64(f))),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Self::from_content).collect())
+            }
+            Content::Map(entries) => Value::Object(Map {
+                entries: entries
+                    .into_iter()
+                    .map(|(k, v)| (k, Self::from_content(v)))
+                    .collect(),
+            }),
+        }
+    }
+
+    fn into_content(self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(b),
+            Value::Number(Number(NumberRepr::I64(i))) => Content::I64(i),
+            Value::Number(Number(NumberRepr::U64(u))) => Content::U64(u),
+            Value::Number(Number(NumberRepr::F64(f))) => Content::F64(f),
+            Value::String(s) => Content::Str(s),
+            Value::Array(items) => {
+                Content::Seq(items.into_iter().map(Self::into_content).collect())
+            }
+            Value::Object(map) => Content::Map(
+                map.entries
+                    .into_iter()
+                    .map(|(k, v)| (k, Self::into_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Whether this is JSON `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, when this is a JSON boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string slice, when this is a JSON string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, when it fits.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when it fits.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is a JSON array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Mutable elements, when this is a JSON array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, when this is a JSON object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Mutable entries, when this is a JSON object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The value under `key`, when this is an object that has it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|map| map.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_content(&self.clone().into_content(), &mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_content(&self) -> Content {
+        self.clone().into_content()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_content(content: &Content) -> Result<Self, serde::DeError> {
+        Ok(Self::from_content(content.clone()))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// `value["key"]`: the member, or `Null` when absent or not an
+    /// object — mirroring `serde_json`'s non-panicking read indexing.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// `value["key"] = …`: inserts `Null` under a missing key first.
+    /// Unlike the read side this panics when `self` is not an object,
+    /// because there is nowhere coherent to write.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let map = self
+            .as_object_mut()
+            .unwrap_or_else(|| panic!("cannot index non-object value with key {key:?}"));
+        if !map.contains_key(key) {
+            map.insert(key.to_string(), Value::Null);
+        }
+        map.get_mut(key).expect("just inserted")
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// `value[i]`: the element, or `Null` when out of bounds or not an
+    /// array.
+    fn index(&self, index: usize) -> &Value {
+        self.as_array()
+            .and_then(|items| items.get(index))
+            .unwrap_or(&NULL)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
@@ -486,5 +848,51 @@ mod tests {
         assert_eq!(to_string(&Option::<i64>::None).unwrap(), "null");
         assert_eq!(from_str::<Option<i64>>("null").unwrap(), None);
         assert_eq!(from_str::<Option<i64>>("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn value_parses_and_indexes() {
+        let v: Value = from_str(r#"{"rows":[{"n":1},{"n":2}],"ok":true}"#).unwrap();
+        let rows = v["rows"].as_array().expect("rows is an array");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1]["n"].as_i64(), Some(2));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert!(v["missing"].is_null());
+        assert!(v["rows"][9].is_null());
+        assert_eq!(v.to_string(), r#"{"rows":[{"n":1},{"n":2}],"ok":true}"#);
+    }
+
+    #[test]
+    fn value_object_mutation() {
+        let mut v: Value = from_str(r#"{"a":{"x":1,"y":2},"b":3}"#).unwrap();
+        let a = v["a"].as_object_mut().expect("a is an object");
+        assert_eq!(a.remove("y").and_then(|y| y.as_i64()), Some(2));
+        assert!(a.remove("y").is_none());
+        let obj = v.as_object_mut().expect("root is an object");
+        assert!(obj.remove("b").is_some());
+        assert_eq!(v.to_string(), r#"{"a":{"x":1}}"#);
+        v["c"] = from_str("[true]").unwrap();
+        assert_eq!(v["c"][0].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn value_round_trips_typed_data() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1i64, 2]);
+        let v = to_value(&m).unwrap();
+        assert_eq!(v["k"].as_array().map(Vec::len), Some(2));
+        let back: BTreeMap<String, Vec<i64>> = from_value(v).unwrap();
+        assert_eq!(back, m);
+        assert!(from_value::<bool>(Value::Null).is_err());
+    }
+
+    #[test]
+    fn value_number_widths() {
+        let v: Value = from_str("[1, -2, 18446744073709551615, 2.5]").unwrap();
+        assert_eq!(v[0].as_u64(), Some(1));
+        assert_eq!(v[1].as_i64(), Some(-2));
+        assert_eq!(v[2].as_u64(), Some(u64::MAX));
+        assert_eq!(v[2].as_i64(), None);
+        assert_eq!(v[3].as_f64(), Some(2.5));
     }
 }
