@@ -21,9 +21,11 @@
 //! counts, including under churn replay.
 
 use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use spear_core::llm::LlmClient;
+use spear_core::plan::LoweredPlan;
 use spear_core::runtime::Runtime;
 use spear_llm::{EngineConfig, ModelProfile, SimLlm};
 use spear_serve::{ClusterLinkage, GeneratedWorkload, ServeConfig, ServeNode, ServeOutcome};
@@ -118,6 +120,10 @@ impl Cluster {
         let mut churn = schedule.into_iter().peekable();
         let mut handoffs = Vec::new();
 
+        // Static token upper bounds, memoized per plan fingerprint: the
+        // load signal for requests that arrive without a caller-provided
+        // estimate.
+        let mut bound_memo: HashMap<u64, u64> = HashMap::new();
         for request in workload.requests {
             while churn
                 .peek()
@@ -126,7 +132,18 @@ impl Cluster {
                 let event = churn.next().expect("peeked");
                 Self::apply_churn(event, &mut router, &mut nodes, &mut handoffs);
             }
-            let target = router.route(request.plan.affinity_seed(), request.id, request.est_tokens);
+            // Derived-facts routing: when the caller provides no token
+            // estimate, the bytecode abstract interpreter's static upper
+            // bound stands in (0 when the plan is unbounded or invalid —
+            // the router then applies its own floor).
+            let est_tokens = if request.est_tokens == 0 {
+                *bound_memo
+                    .entry(request.plan.fingerprint())
+                    .or_insert_with(|| static_token_upper_bound(&request.plan))
+            } else {
+                request.est_tokens
+            };
+            let target = router.route(request.plan.affinity_seed(), request.id, est_tokens);
             nodes
                 .get_mut(&target)
                 .expect("router only targets known nodes")
@@ -263,5 +280,56 @@ impl Cluster {
             imbalance,
             trace_fingerprint: fleet_fingerprint(outcomes),
         }
+    }
+}
+
+/// The statically derived worst-case completion-token count of `plan`:
+/// compile it to bytecode and take the abstract interpreter's token
+/// interval upper bound. Returns `0` — "no information", router applies
+/// its own floor — when the plan fails structural verification or when
+/// the bound is unbounded (cyclic bytecode).
+#[must_use]
+pub fn static_token_upper_bound(plan: &LoweredPlan) -> u64 {
+    let Ok(program) = spear_core::vm::compile(plan) else {
+        return 0;
+    };
+    let bounds =
+        spear_core::analysis::analyze(&program, &spear_core::analysis::ResourceModel::default());
+    if bounds.tokens.hi == u64::MAX {
+        0
+    } else {
+        bounds.tokens.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_core::history::RefinementMode;
+    use spear_core::pipeline::Pipeline;
+    use spear_core::plan::{lower, LoweredOp};
+
+    #[test]
+    fn static_upper_bound_sums_gen_budgets() {
+        let plan = lower(
+            &Pipeline::builder("two-gens")
+                .create_text("p", "base", RefinementMode::Manual)
+                .gen("a", "p")
+                .gen("b", "p")
+                .build(),
+        )
+        .unwrap();
+        // Two GENs at the default 256-token cap each.
+        assert_eq!(static_token_upper_bound(&plan), 512);
+    }
+
+    #[test]
+    fn invalid_plans_yield_no_information() {
+        let plan = LoweredPlan {
+            name: "broken".into(),
+            source_size: 1,
+            ops: vec![LoweredOp::Jump { target: usize::MAX }],
+        };
+        assert_eq!(static_token_upper_bound(&plan), 0);
     }
 }

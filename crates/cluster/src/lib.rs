@@ -66,7 +66,7 @@ pub mod report;
 pub mod router;
 
 pub use churn::{ChurnAction, ChurnEvent};
-pub use cluster::{Cluster, ClusterConfig, ClusterRun};
+pub use cluster::{static_token_upper_bound, Cluster, ClusterConfig, ClusterRun};
 pub use node::NodeHandle;
 pub use report::{fleet_fingerprint, ClusterReport, NodeReport};
 pub use router::{Handoff, Router, RouterConfig, RouterPolicy, RouterReport};

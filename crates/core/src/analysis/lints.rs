@@ -139,6 +139,24 @@ pub const BUDGET_AT_RISK: Lint = Lint {
     summary: "worst-case path may exceed the budget",
 };
 
+/// A compiled `VmOp` is unreachable in the bytecode CFG — typically the
+/// shadow of a fused refusal path or a branch pruned by specialization —
+/// even though the source slot looked live at the IR level.
+pub const VM_UNREACHABLE: Lint = Lint {
+    code: "SPEAR-W004",
+    severity: Severity::Warning,
+    summary: "compiled VmOp is unreachable after fusion/optimization",
+};
+
+/// A CHECK branch can never be taken because its condition is statically
+/// decided (e.g. `true` / `false` under family specialization); the live
+/// branch always runs and the other side is dead weight.
+pub const DEAD_CHECK_BRANCH: Lint = Lint {
+    code: "SPEAR-W005",
+    severity: Severity::Warning,
+    summary: "CHECK branch is statically dead under specialization",
+};
+
 /// Every registered lint, in code order. Future passes add theirs here so
 /// tooling can enumerate the full set.
 pub const REGISTRY: &[Lint] = &[
@@ -156,6 +174,8 @@ pub const REGISTRY: &[Lint] = &[
     UNREACHABLE_SLOT,
     AFFINITY_MISMATCH,
     BUDGET_AT_RISK,
+    VM_UNREACHABLE,
+    DEAD_CHECK_BRANCH,
 ];
 
 /// Look a lint up by its stable code.

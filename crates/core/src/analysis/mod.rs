@@ -19,28 +19,41 @@
 //!   deadline/token budget, and affinity-key consistency across fused
 //!   stages — plus the [`LintPass`] trait future passes implement;
 //! - [`lints`] is the registry of stable diagnostic codes
-//!   (`SPEAR-E001`…) every pass draws from.
+//!   (`SPEAR-E001`…) every pass draws from;
+//! - [`absint`] re-runs the analysis below the compiler: an abstract
+//!   interpreter over compiled [`crate::vm::Program`] bytecode deriving
+//!   sound interval bounds (tokens, LLM calls, latency floor, unwind
+//!   depth, KV footprint), plus the opt-in [`BytecodePass`] surfacing
+//!   `SPEAR-W004`/`SPEAR-W005`;
+//! - [`tv`] is translation validation: symbolic equivalence checks of
+//!   `vm::compile` output against its source plan, and of optimized
+//!   bytecode against the original — the proof obligation gating
+//!   [`crate::vm::optimize`].
 //!
 //! [`Verifier`] ties them together; [`crate::runtime::Runtime::execute`]
 //! and spear-serve admission run it as a default-on gate that rejects
 //! with [`crate::error::SpearError::InvalidPlan`].
 
+pub mod absint;
 pub mod cfg;
 pub mod dataflow;
 pub mod lints;
 pub mod passes;
+pub mod tv;
 
 use std::collections::BTreeSet;
 
 use crate::plan::LoweredPlan;
 use crate::runtime::Runtime;
 
+pub use absint::{analyze, static_cond, BytecodePass, Interval, ProgramBounds, SlotBounds};
 pub use cfg::Cfg;
 pub use dataflow::{fixpoint, Analysis};
 pub use lints::{lint, Diagnostic, Lint, Severity, REGISTRY};
 pub use passes::{
     AffinityPass, DefUsePass, LintPass, PassContext, ReachabilityPass, ResourceModel, ResourcePass,
 };
+pub use tv::{validate_compile, validate_optimized, TvFailure};
 
 /// The structural checks that make a slot program safe to hand to the
 /// interpreter at all: every target in bounds, no lowering placeholders,

@@ -129,7 +129,7 @@ pub use store::PromptStore;
 pub use validate::{ValidationIssue, Validator};
 pub use value::Value;
 pub use view::{ParamSpec, ViewCatalog, ViewDef};
-pub use vm::{compile, CheckSpec, ConstPool, LeafSpec, Program, VmOp};
+pub use vm::{compile, optimize, CheckSpec, ConstPool, LeafSpec, Program, VmOp};
 
 /// Convenient glob-import of the most-used types.
 pub mod prelude {

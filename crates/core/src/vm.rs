@@ -111,7 +111,7 @@ pub enum VmOp {
 /// A data operator's compiled form: the operator plus pool indices for
 /// every string the spine can emit on its behalf, and the pre-parsed
 /// template of an inline/lowered GEN prompt.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LeafSpec {
     pub(crate) op: Op,
     pub(crate) describe: u32,
@@ -157,7 +157,7 @@ impl LeafSpec {
 
 /// A condition's compiled form: the condition plus its pooled
 /// `CHECK[{cond}]` label and unwind frames.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CheckSpec {
     pub(crate) cond: Cond,
     pub(crate) label: u32,
@@ -186,7 +186,7 @@ impl CheckSpec {
 
 /// The compiled constants of one program: interned strings (describe
 /// lines, check labels, frames, triggers), leaf specs, and check specs.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ConstPool {
     strings: Vec<Arc<str>>,
     leaves: Vec<LeafSpec>,
@@ -708,6 +708,118 @@ pub(crate) fn run_program(
     Ok(())
 }
 
+/// Resolve `pc` through chains of free `Jump`s to the first observable
+/// instruction (or the exit, `code.len()`). `None` on a jump-only cycle.
+fn resolve_jumps(code: &[VmOp], mut pc: usize) -> Option<usize> {
+    let len = code.len();
+    let mut hops = 0usize;
+    loop {
+        pc = pc.min(len);
+        match code.get(pc) {
+            Some(VmOp::Jump { target }) => {
+                pc = *target as usize;
+                hops += 1;
+                if hops > len {
+                    return None;
+                }
+            }
+            _ => return Some(pc),
+        }
+    }
+}
+
+/// Optimize a compiled program — jump threading, statically-decided CHECK
+/// else-edge redirection, and cond-refined unreachable-op elimination —
+/// gated by translation validation
+/// ([`crate::analysis::tv::validate_optimized`]).
+///
+/// Reachable CHECKs are always kept: they gate, consume budget, and emit
+/// trace events exactly like the interpreter, so optimization never
+/// changes statuses, traces, digests, or usage. It only shortens jump
+/// chains and drops code no execution can reach (fused refusal shadows,
+/// branches dead under a statically-decided condition). Returns `None`
+/// when the program is already optimal, contains a jump-only cycle, or —
+/// fail-closed — when the optimized candidate does not symbolically
+/// bisimulate the original; callers then keep the original program.
+#[must_use]
+pub fn optimize(program: &Program) -> Option<Program> {
+    let len = program.code.len();
+    let mut code = program.code.clone();
+
+    // Jump threading: every explicit target resolves through chains of
+    // free Jumps straight to the first observable instruction.
+    for op in &mut code {
+        match op {
+            VmOp::Check { on_false, .. } | VmOp::GenCheck { on_false, .. } => {
+                *on_false = resolve_jumps(&program.code, *on_false as usize)? as u32;
+            }
+            VmOp::Jump { target } | VmOp::DelegateJump { target, .. } => {
+                *target = resolve_jumps(&program.code, *target as usize)? as u32;
+            }
+            VmOp::Leaf { .. } | VmOp::RetMerge { .. } => {}
+        }
+    }
+
+    // A statically-true CHECK can never take its else edge; pointing that
+    // edge at the fall-through makes the dead branch unreachable without
+    // changing behavior (the check itself still gates and traces). The
+    // statically-false case needs no rewrite: the implicit fall-through is
+    // never taken, and refined reachability below prunes the then-branch.
+    for pc in 0..len {
+        let decided = match code[pc] {
+            VmOp::Check { check, .. } | VmOp::GenCheck { check, .. } => {
+                crate::analysis::absint::static_cond(program.pool.check(check).cond())
+            }
+            _ => None,
+        };
+        if decided == Some(true) {
+            let fall = resolve_jumps(&code, pc + 1)? as u32;
+            if let VmOp::Check { on_false, .. } | VmOp::GenCheck { on_false, .. } = &mut code[pc] {
+                *on_false = fall;
+            }
+        }
+    }
+
+    // Cond-refined reachability over the rewritten code, then compaction.
+    // Every explicit target on a live op now lands on a live op (threading
+    // skips Jumps; dead else edges were redirected to live fall-throughs),
+    // so the remap below is total over the targets that remain.
+    let live = crate::analysis::absint::reachable(&code, &program.pool);
+    let mut remap = vec![0u32; len + 1];
+    let mut kept: Vec<VmOp> = Vec::with_capacity(len);
+    for (pc, &op) in code.iter().enumerate() {
+        remap[pc] = kept.len() as u32;
+        if live[pc] {
+            kept.push(op);
+        }
+    }
+    remap[len] = kept.len() as u32;
+    for op in &mut kept {
+        match op {
+            VmOp::Check { on_false, .. } | VmOp::GenCheck { on_false, .. } => {
+                *on_false = remap[*on_false as usize];
+            }
+            VmOp::Jump { target } | VmOp::DelegateJump { target, .. } => {
+                *target = remap[*target as usize];
+            }
+            VmOp::Leaf { .. } | VmOp::RetMerge { .. } => {}
+        }
+    }
+
+    if kept == program.code {
+        return None;
+    }
+    let candidate = Program {
+        name: program.name.clone(),
+        source_size: program.source_size,
+        code: kept,
+        pool: program.pool.clone(),
+        prefix: program.prefix.clone(),
+    };
+    crate::analysis::tv::validate_optimized(program, &candidate).ok()?;
+    Some(candidate)
+}
+
 /// The family-fixed template text a plan's prompt family renders — the
 /// text whose leading literal is constant across every request of the
 /// family — derived from the same instruction [`LoweredPlan::affinity_key`]
@@ -960,5 +1072,64 @@ mod tests {
         assert_eq!(first.text(), prefix.as_ref());
         assert_eq!(first.hash(), hash);
         assert!(first.is_literal());
+    }
+
+    #[test]
+    fn optimize_prunes_a_statically_dead_else_branch() {
+        let p = Pipeline::builder("opt-else")
+            .create_text("p", "base", RefinementMode::Manual)
+            .check_else(Cond::Always, |b| b.gen("a", "p"), |b| b.gen("b", "p"))
+            .build();
+        let prog = compiled(&p);
+        let opt = optimize(&prog).expect("dead else branch optimizes");
+        assert!(
+            opt.code().len() < prog.code().len(),
+            "else branch removed: {:?} -> {:?}",
+            prog.code(),
+            opt.code()
+        );
+        // The CHECK itself survives — it still gates, budgets, and traces.
+        assert!(opt
+            .code()
+            .iter()
+            .any(|op| matches!(op, VmOp::Check { .. } | VmOp::GenCheck { .. })));
+        // And the optimized form bisimulates the original.
+        assert!(crate::analysis::tv::validate_optimized(&prog, &opt).is_ok());
+    }
+
+    #[test]
+    fn optimize_prunes_a_never_taken_then_branch() {
+        let p = Pipeline::builder("opt-then")
+            .create_text("p", "base", RefinementMode::Manual)
+            .check(Cond::Never, |b| b.expand("p", "dead").expand("p", "weight"))
+            .gen("a", "p")
+            .build();
+        let prog = compiled(&p);
+        let opt = optimize(&prog).expect("dead then branch optimizes");
+        assert!(opt.code().len() < prog.code().len());
+        assert!(crate::analysis::tv::validate_optimized(&prog, &opt).is_ok());
+    }
+
+    #[test]
+    fn optimize_returns_none_when_nothing_improves() {
+        let p = Pipeline::builder("already-tight")
+            .create_text("p", "base", RefinementMode::Manual)
+            .gen("warm", "p")
+            .check(Cond::low_confidence(0.9), |b| b.expand("p", "retry"))
+            .gen("final", "p")
+            .build();
+        assert!(optimize(&compiled(&p)).is_none());
+    }
+
+    #[test]
+    fn optimize_bails_on_jump_cycles() {
+        let cyclic = Program {
+            name: "cycle".into(),
+            source_size: 1,
+            code: vec![VmOp::Jump { target: 0 }],
+            pool: ConstPool::default(),
+            prefix: None,
+        };
+        assert!(optimize(&cyclic).is_none());
     }
 }

@@ -210,6 +210,77 @@ fn golden_w003_budget_at_risk() {
     );
 }
 
+/// A verifier with the opt-in bytecode pass registered: IR-level lints
+/// plus `SPEAR-W004`/`SPEAR-W005` from the abstract interpreter's
+/// cond-refined bytecode CFG.
+fn bytecode_verifier() -> Verifier<'static> {
+    Verifier::new().register_pass(Box::new(spear_core::analysis::BytecodePass))
+}
+
+#[test]
+fn golden_w004_w005_statically_dead_else_branch() {
+    // `check_else(Always, …)` is the specialization idiom: the condition
+    // is decided at plan-build time, so the else branch is dead weight the
+    // IR reachability pass cannot see (it treats CHECK edges as opaque).
+    let p = lower(
+        &Pipeline::builder("specialized")
+            .create_text("p", "base", RefinementMode::Manual)
+            .check_else(
+                Cond::Always,
+                |t| t.expand("p", "then"),
+                |e| e.expand("p", "else"),
+            )
+            .gen("a", "p")
+            .build(),
+    )
+    .expect("lowers");
+    assert_eq!(
+        rendered(&bytecode_verifier(), &p),
+        "warning[SPEAR-W005] in plan \"specialized\": condition `true` always holds: the else \
+         branch can never be taken\n\
+         \x20 0001  CHECK[true] else -> 0004\n\
+         warning[SPEAR-W004] in plan \"specialized\": slot 0004 compiles to bytecode pc 0004, \
+         which no execution can reach once statically-decided CHECKs are folded\n\
+         \x20 0004  REF[APPEND, append] on P[\"p\"]\n"
+    );
+}
+
+#[test]
+fn golden_w004_w005_never_taken_then_branch() {
+    // The dual: a `Never` guard whose then-branch — here fused into a
+    // GEN+CHECK superinstruction — can never run.
+    let p = lower(
+        &Pipeline::builder("gated")
+            .create_text("p", "base", RefinementMode::Manual)
+            .gen("a", "p")
+            .check(Cond::Never, |t| t.gen("b", "p"))
+            .build(),
+    )
+    .expect("lowers");
+    assert_eq!(
+        rendered(&bytecode_verifier(), &p),
+        "warning[SPEAR-W005] in plan \"gated\": condition `false` never holds: the then branch \
+         can never be taken\n\
+         \x20 0002  CHECK[false] else -> 0004\n\
+         warning[SPEAR-W004] in plan \"gated\": slot 0003 compiles to bytecode pc 0002, which \
+         no execution can reach once statically-decided CHECKs are folded\n\
+         \x20 0003  GEN[\"b\"] using P[\"p\"]\n"
+    );
+}
+
+#[test]
+fn bytecode_pass_is_quiet_on_dynamic_plans() {
+    let p = lower(
+        &Pipeline::builder("dynamic")
+            .create_text("p", "base", RefinementMode::Manual)
+            .gen("a", "p")
+            .check(Cond::low_confidence(0.5), |t| t.gen("b", "p"))
+            .build(),
+    )
+    .expect("lowers");
+    assert_eq!(rendered(&bytecode_verifier(), &p), "");
+}
+
 #[test]
 fn lowering_rejects_placeholder_leaks_end_to_end() {
     // `lower()` fails closed: a leaked placeholder comes back as

@@ -1,14 +1,18 @@
-//! Differential testing of the three executors: random small pipelines
-//! must produce **byte-identical** traces and reports whether they run
+//! Differential testing of the executors: random small pipelines must
+//! produce **byte-identical** traces and reports whether they run
 //! through the reference tree walk (`Runtime::execute_tree`), the lowered
-//! IR interpreter (`Runtime::execute_lowered_interpreted`), or the
-//! compiled bytecode VM (`Runtime::execute_lowered`) — including pipelines
+//! IR interpreter (`Runtime::execute_lowered_interpreted`), the
+//! compiled bytecode VM (`Runtime::execute_lowered`), or the *optimized*
+//! bytecode VM (`vm::optimize` + `Runtime::execute_program`) — including
+//! pipelines
 //! that fail mid-run, whose error unwind (one `Error` trace event per
 //! enclosing CHECK) both lowered spines replay from their baked-in frames;
 //! pipelines aborted mid-run by an operator budget; and pipelines entered
 //! with an already-cancelled token. A second property pins batch
 //! determinism: running the lowered plan on a [`BatchRunner`] returns the
-//! same per-job bytes at 1, 4, and 8 workers.
+//! same per-job bytes at 1, 4, and 8 workers. Every compiled program in
+//! the corpus must also pass translation validation
+//! (`analysis::validate_compile`) against its source plan.
 
 use std::sync::Arc;
 
@@ -155,9 +159,19 @@ proptest! {
         let mut tree_state = seeded_state(&tweet);
         let mut int_state = tree_state.deep_clone();
         let mut vm_state = tree_state.deep_clone();
+        let mut opt_state = tree_state.deep_clone();
         let tree_result = rt.execute_tree(&p, &mut tree_state);
         let int_result = rt.execute_lowered_interpreted(&lowered, &mut int_state);
         let vm_result = rt.execute_lowered(&lowered, &mut vm_state);
+
+        // Translation validation holds over the whole random corpus, and
+        // the verified-optimized program replays the same observable run.
+        let program = spear_core::compile(&lowered).expect("builder plans compile");
+        if let Err(failures) = spear_core::analysis::validate_compile(&lowered, &program) {
+            prop_assert!(false, "TV failed: {:?}, pipeline: {:?}", failures, p);
+        }
+        let optimized = spear_core::optimize(&program).unwrap_or(program);
+        let opt_result = rt.execute_program(&optimized, &mut opt_state);
 
         let tree = fingerprint(&tree_result, &tree_state);
         prop_assert_eq!(
@@ -169,6 +183,11 @@ proptest! {
             &tree,
             &fingerprint(&vm_result, &vm_state),
             "tree vs VM, pipeline: {:?}", p
+        );
+        prop_assert_eq!(
+            &tree,
+            &fingerprint(&opt_result, &opt_state),
+            "tree vs optimized VM, pipeline: {:?}", p
         );
     }
 
@@ -194,9 +213,13 @@ proptest! {
         }
         let mut int_state = tree_state.deep_clone();
         let mut vm_state = tree_state.deep_clone();
+        let mut opt_state = tree_state.deep_clone();
         let tree_result = rt.execute_tree(&p, &mut tree_state);
         let int_result = rt.execute_lowered_interpreted(&lowered, &mut int_state);
         let vm_result = rt.execute_lowered(&lowered, &mut vm_state);
+        let program = spear_core::compile(&lowered).expect("builder plans compile");
+        let optimized = spear_core::optimize(&program).unwrap_or(program);
+        let opt_result = rt.execute_program(&optimized, &mut opt_state);
 
         let tree = fingerprint(&tree_result, &tree_state);
         prop_assert_eq!(
@@ -209,6 +232,12 @@ proptest! {
             &tree,
             &fingerprint(&vm_result, &vm_state),
             "tree vs VM, max_ops={}, cancelled={}, pipeline: {:?}",
+            max_ops, cancelled, p
+        );
+        prop_assert_eq!(
+            &tree,
+            &fingerprint(&opt_result, &opt_state),
+            "tree vs optimized VM, max_ops={}, cancelled={}, pipeline: {:?}",
             max_ops, cancelled, p
         );
     }
@@ -247,10 +276,27 @@ proptest! {
                 }
             })
             .collect();
+        // The verified-optimized program is a fourth independent spine:
+        // its solo runs must match the batch bytes at every worker count.
+        let program = spear_core::compile(&lowered).expect("builder plans compile");
+        let optimized = spear_core::optimize(&program).unwrap_or(program);
+        let solo_opt: Vec<String> = tweets
+            .iter()
+            .map(|t| {
+                let rt = runtime();
+                let mut state = seeded_state(t);
+                let result = rt.execute_program(&optimized, &mut state);
+                match result {
+                    Ok(report) => fingerprint(&Ok(report), &state),
+                    Err(e) => format!("err:{e:?}"),
+                }
+            })
+            .collect();
 
         let one = run(1);
         prop_assert_eq!(&one, &run(4), "worker count 4 changed results");
         prop_assert_eq!(&one, &run(8), "worker count 8 changed results");
         prop_assert_eq!(&one, &solo, "batch diverges from solo tree walk");
+        prop_assert_eq!(&one, &solo_opt, "batch diverges from optimized VM");
     }
 }

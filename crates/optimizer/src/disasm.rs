@@ -14,6 +14,7 @@
 //! renderers, so slot lines and indentation match `explain_lowered`'s
 //! view of the same plan.
 
+use spear_core::analysis::{analyze, Interval, ResourceModel};
 use spear_core::vm::{Program, VmOp};
 
 use crate::explain::PlanWriter;
@@ -121,6 +122,36 @@ pub fn disasm(program: &Program) -> String {
                 frames(check.frame_ids()),
             ),
         );
+    }
+    let bounds = analyze(program, &ResourceModel::default());
+    w.line(format_args!(
+        "STATIC BOUNDS  tokens={} llm_calls={} latency>={}us unwind<={}{}",
+        bounds.tokens,
+        bounds.llm_calls,
+        bounds.latency_lo_us,
+        bounds.unwind_depth,
+        if bounds.terminates {
+            ""
+        } else {
+            "  (may not terminate)"
+        },
+    ));
+    for (pc, per_op) in bounds.per_op.iter().enumerate() {
+        match per_op {
+            Some(b) if b.tokens != Interval::exact(0) || b.llm_calls != Interval::exact(0) => {
+                w.detail(
+                    1,
+                    format_args!(
+                        "{pc:04}  tokens={} llm_calls={} latency>={}us",
+                        b.tokens, b.llm_calls, b.latency_lo_us
+                    ),
+                );
+            }
+            Some(_) => {}
+            None => {
+                w.detail(1, format_args!("{pc:04}  unreachable"));
+            }
+        }
     }
     if let Some(prefix) = program.prefix() {
         w.line(format_args!("SPECIALIZED PREFIX  {prefix:?}"));

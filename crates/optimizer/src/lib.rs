@@ -51,7 +51,9 @@ pub mod view_selector;
 pub use cost::{CostModel, CostObservation};
 pub use disasm::disasm;
 pub use exec::{run_plan, run_plan_with, ItemOutcome, PlanRunOptions, PlanRunReport};
-pub use explain::{explain, explain_lowered, ExplainAssumptions, PlanCost};
+pub use explain::{
+    explain, explain_lowered, explain_lowered_with_lints, ExplainAssumptions, PlanCost,
+};
 pub use fusion::{
     classify_adjacent, decide, FusionDecision, GenRelation, PlanEstimates, StageEstimate,
 };

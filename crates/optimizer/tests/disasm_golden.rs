@@ -115,6 +115,10 @@ CONST POOL  (18 strings, 10 leaves, 3 checks)
     c00  label=s04  frames=[]
     c01  label=s08  frames=[]
     c02  label=s13  frames=[]
+STATIC BOUNDS  tokens=[1, 768] llm_calls=[1, 3] latency>=100us unwind<=2
+    0002  tokens=[1, 256] llm_calls=[1, 1] latency>=100us
+    0004  tokens=[1, 256] llm_calls=[1, 1] latency>=100us
+    0009  tokens=[1, 256] llm_calls=[1, 1] latency>=100us
 ";
     assert_eq!(disasm(&program), expected);
 }
@@ -153,6 +157,9 @@ CONST POOL  (5 strings, 3 leaves, 1 checks)
     l02  describe=s03  trigger=s04  frames=[s02]  template=parsed
   checks:
     c00  label=s02  frames=[]
+STATIC BOUNDS  tokens=[1, 128] llm_calls=[1, 2] latency>=100us unwind<=2
+    0000  tokens=[1, 64] llm_calls=[1, 1] latency>=100us
+    0003  tokens=[1, 64] llm_calls=[1, 1] latency>=100us
 ";
     assert_eq!(disasm(&program), expected);
 }

@@ -4,7 +4,7 @@
 //! targets, or prompt templates shows up here as a readable diff.
 
 use spear_optimizer::plan::{PhysicalPlan, SemanticPlan};
-use spear_optimizer::{explain_lowered, lower_physical};
+use spear_optimizer::{explain_lowered, explain_lowered_with_lints, lower_physical};
 
 fn map_filter() -> SemanticPlan {
     SemanticPlan::map_then_filter("Clean up the tweet.", "Keep negative tweets.")
@@ -54,4 +54,57 @@ EXPLAIN LOWERED PLAN \"physical([Filter] [Map])\"  (4 source ops, 4 slots)
         prompt: \"Clean up the tweet. Use at most 25 words.\\nTweet: {{ctx:item}}\"  [opaque — no prefix reuse]
 ";
     assert_eq!(explain_lowered(&lowered), expected);
+}
+
+#[test]
+fn bytecode_lints_render_inline_after_the_listing() {
+    // The abstract-interpreter pass's W004/W005 diagnostics flow through
+    // the same EXPLAIN tail as the IR lints: listing first, rendered
+    // diagnostics appended verbatim.
+    use spear_core::analysis::Verifier;
+    use spear_core::condition::Cond;
+    use spear_core::history::RefinementMode;
+    use spear_core::pipeline::Pipeline;
+    use spear_core::plan::lower;
+
+    let verifier = Verifier::new().register_pass(Box::new(spear_core::analysis::BytecodePass));
+    let plan = lower(
+        &Pipeline::builder("gated")
+            .create_text("p", "base", RefinementMode::Manual)
+            .gen("a", "p")
+            .check(Cond::Never, |t| t.gen("b", "p"))
+            .build(),
+    )
+    .expect("lowers");
+    let expected = "\
+EXPLAIN LOWERED PLAN \"gated\"  (4 source ops, 4 slots)
+  0000  REF[CREATE, set_text] on P[\"p\"]
+  0001  GEN[\"a\"] using P[\"p\"]
+  0002  CHECK[false]  else -> 0004
+  0003  GEN[\"b\"] using P[\"p\"]  (when false)
+warning[SPEAR-W005] in plan \"gated\": condition `false` never holds: the then branch can never be taken
+  0002  CHECK[false] else -> 0004
+warning[SPEAR-W004] in plan \"gated\": slot 0003 compiles to bytecode pc 0002, which no execution can reach once statically-decided CHECKs are folded
+  0003  GEN[\"b\"] using P[\"p\"]
+";
+    assert_eq!(
+        explain_lowered_with_lints(&plan, &verifier.verify(&plan)),
+        expected
+    );
+
+    // Plans the bytecode pass has nothing to say about stay clean.
+    let clean = lower(
+        &Pipeline::builder("clean")
+            .create_text("p", "base", RefinementMode::Manual)
+            .gen("a", "p")
+            .build(),
+    )
+    .expect("lowers");
+    assert_eq!(
+        explain_lowered_with_lints(&clean, &verifier.verify(&clean)),
+        "EXPLAIN LOWERED PLAN \"clean\"  (2 source ops, 2 slots)\n\
+         \x20 0000  REF[CREATE, set_text] on P[\"p\"]\n\
+         \x20 0001  GEN[\"a\"] using P[\"p\"]\n\
+         verifier: clean (2 slots checked)\n"
+    );
 }

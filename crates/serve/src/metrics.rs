@@ -295,6 +295,16 @@ pub struct CompileReport {
     pub cache_hits: u64,
     /// Cached programs evicted by capacity pressure.
     pub evicted: u64,
+    /// Freshly compiled programs additionally improved by the verified
+    /// bytecode optimizer (translation validation passed and at least one
+    /// op was removed or rethreaded).
+    #[serde(default)]
+    pub optimized: u64,
+    /// Admission verifications skipped because an identical plan family
+    /// (fingerprint + assumed prompts + deadline) already verified clean
+    /// this run.
+    #[serde(default)]
+    pub verify_memo_hits: u64,
 }
 
 impl CompileReport {

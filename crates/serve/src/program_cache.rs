@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::sync::Mutex;
 
+use spear_core::analysis::{analyze, ProgramBounds, ResourceModel};
 use spear_core::plan::LoweredPlan;
 use spear_core::runtime::Runtime;
 use spear_core::segment::{SegmentedText, TextSegment};
@@ -34,6 +35,7 @@ type Key = (u64, Option<String>);
 
 struct Slot {
     program: Arc<Program>,
+    bounds: Arc<ProgramBounds>,
     last_used: u64,
 }
 
@@ -124,6 +126,18 @@ impl ProgramCache {
         let mut program = compiled.ok()?;
         inner.counters.compiled += 1;
 
+        // Verified bytecode optimization: jump threading, dead else-edge
+        // redirection, and unreachable-op pruning — accepted only when the
+        // optimized form symbolically bisimulates the original
+        // (`vm::optimize` is fail-closed), so traces stay byte-identical.
+        if let Some(optimized) = vm::optimize(&program) {
+            program = optimized;
+            inner.counters.optimized += 1;
+        }
+
+        // Static cost envelope for the code that will actually run.
+        let bounds = Arc::new(analyze(&program, &ResourceModel::default()));
+
         // Per-affinity specialization: constant-fold the family's fixed
         // prompt prefix and pre-resolve its token chain.
         if key.1.is_some() {
@@ -145,6 +159,7 @@ impl ProgramCache {
             key,
             Slot {
                 program: Arc::clone(&program),
+                bounds,
                 last_used: tick,
             },
         );
@@ -164,6 +179,23 @@ impl ProgramCache {
             }
         }
         Some(program)
+    }
+
+    /// The static cost envelope derived for `plan`'s resident program, if
+    /// any (any affinity variant: bounds depend only on the plan's code,
+    /// which is fingerprint-determined, not on the specialized prefix).
+    #[must_use]
+    pub fn bounds_of(&self, plan: &LoweredPlan) -> Option<Arc<ProgramBounds>> {
+        let fingerprint = plan.fingerprint();
+        let guard = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard
+            .map
+            .iter()
+            .find(|(k, _)| k.0 == fingerprint)
+            .map(|(_, slot)| Arc::clone(&slot.bounds))
     }
 
     /// Take the counters accumulated since the last drain (the per-run

@@ -39,7 +39,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use spear_core::batch::{AssignedJob, BatchRunner};
 use spear_core::error::SpearError;
@@ -59,6 +59,11 @@ use crate::request::{Priority, ServeRequest};
 /// `BatchRunner`'s small sequential ids and from `SimLlm::submit_many`'s
 /// `1 << 63` namespace.
 const SERVE_OWNER_BASE: u64 = 1 << 62;
+
+/// Distinct plan families the admission-verification memo holds before
+/// resetting (overflow means an adversarially diverse workload; clearing
+/// just re-verifies, it never changes decisions).
+const VERIFY_MEMO_CAPACITY: usize = 1024;
 
 /// Scheduler configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +205,18 @@ impl ClassAccum {
     }
 }
 
+/// Per-run memo of admission-verification results, keyed by plan family
+/// (plan fingerprint ⊕ assumed prompt keys ⊕ deadline). Verification also
+/// depends on the runtime's registries, and each run may bring a
+/// different runtime, so the memo is cleared at the start of every run —
+/// within a run the full `Verifier` executes once per family instead of
+/// once per request.
+#[derive(Debug, Default)]
+struct VerifyMemo {
+    map: HashMap<u64, Option<Vec<String>>>,
+    hits: u64,
+}
+
 /// The long-lived serving node: a scheduler plus its worker-lane pool.
 /// One node can serve many successive [`ServeNode::run`] calls; owner ids
 /// never alias across runs.
@@ -209,6 +226,7 @@ pub struct ServeNode {
     runner: BatchRunner,
     run_seq: AtomicU64,
     programs: ProgramCache,
+    verify_memo: Mutex<VerifyMemo>,
 }
 
 impl ServeNode {
@@ -222,7 +240,76 @@ impl ServeNode {
             runner: BatchRunner::new(lanes),
             run_seq: AtomicU64::new(0),
             programs,
+            verify_memo: Mutex::new(VerifyMemo::default()),
         }
+    }
+
+    /// Memoized admission verification: the full [`verify_for_admission`]
+    /// runs once per plan family per run; later family members reuse the
+    /// cached verdict (including rejection details).
+    fn verify_admission_memoized(
+        &self,
+        runtime: &Runtime,
+        request: &ServeRequest,
+    ) -> Option<Vec<String>> {
+        let key = Self::verify_key(request);
+        {
+            let mut memo = match self.verify_memo.lock() {
+                Ok(memo) => memo,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(cached) = memo.map.get(&key).cloned() {
+                memo.hits += 1;
+                return cached;
+            }
+        }
+        // Verify outside the lock: the memo only makes the common
+        // (already-seen family) case cheap.
+        let verdict = verify_for_admission(runtime, request);
+        let mut memo = match self.verify_memo.lock() {
+            Ok(memo) => memo,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if memo.map.len() >= VERIFY_MEMO_CAPACITY {
+            memo.map.clear();
+        }
+        memo.map.insert(key, verdict.clone());
+        verdict
+    }
+
+    /// The memo key: everything [`verify_for_admission`] reads from the
+    /// request (the runtime's contribution is handled by clearing the memo
+    /// each run).
+    fn verify_key(request: &ServeRequest) -> u64 {
+        let mut bytes = Vec::with_capacity(64);
+        bytes.extend_from_slice(&request.plan.fingerprint().to_le_bytes());
+        for key in request.state.prompts.keys() {
+            bytes.extend_from_slice(key.as_bytes());
+            bytes.push(0xff);
+        }
+        bytes.extend_from_slice(&request.deadline_us.unwrap_or(u64::MAX).to_le_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Reset the memo for a fresh run (a new run may bring a different
+    /// runtime, whose registries verification depends on).
+    fn reset_verify_memo(&self) {
+        let mut memo = match self.verify_memo.lock() {
+            Ok(memo) => memo,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        memo.map.clear();
+        memo.hits = 0;
+    }
+
+    /// Take the memo hits accumulated this run (for
+    /// [`crate::metrics::CompileReport::verify_memo_hits`]).
+    fn drain_verify_memo_hits(&self) -> u64 {
+        let mut memo = match self.verify_memo.lock() {
+            Ok(memo) => memo,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        std::mem::take(&mut memo.hits)
     }
 
     /// The configuration in effect.
@@ -261,6 +348,7 @@ impl ServeNode {
                 .all(|w| w[0].arrival_us <= w[1].arrival_us),
             "requests must arrive in non-decreasing virtual-time order"
         );
+        self.reset_verify_memo();
         if let Some(pressure) = self.config.pressure.clone() {
             return self.run_pressured(runtime, engine, requests, &pressure);
         }
@@ -292,7 +380,7 @@ impl ServeNode {
                 let class = request.priority;
                 let entry = accum.entry(class).or_default();
                 if self.config.verify_admission {
-                    if let Some(details) = verify_for_admission(runtime, &request) {
+                    if let Some(details) = self.verify_admission_memoized(runtime, &request) {
                         entry.report.rejected += 1;
                         outcomes.push(ServeOutcome {
                             id: request.id,
@@ -467,7 +555,11 @@ impl ServeNode {
             batch: accum.remove(&Priority::Batch).unwrap_or_default().finish(),
             cache: Default::default(),
             kv: Default::default(),
-            compile: self.programs.drain_counters(),
+            compile: {
+                let mut compile = self.programs.drain_counters();
+                compile.verify_memo_hits = self.drain_verify_memo_hits();
+                compile
+            },
             cluster: None,
         };
         if let (Some(engine), Some(before)) = (engine, cache_before) {
@@ -511,7 +603,7 @@ impl ServeNode {
             let entry = accum.entry(class).or_default();
             entry.report.submitted += 1;
             if self.config.verify_admission {
-                if let Some(details) = verify_for_admission(runtime, &request) {
+                if let Some(details) = self.verify_admission_memoized(runtime, &request) {
                     entry.report.rejected += 1;
                     outcomes.push(ServeOutcome {
                         id: request.id,
@@ -757,7 +849,11 @@ impl ServeNode {
             batch: accum.remove(&Priority::Batch).unwrap_or_default().finish(),
             cache: Default::default(),
             kv: sim.report,
-            compile: self.programs.drain_counters(),
+            compile: {
+                let mut compile = self.programs.drain_counters();
+                compile.verify_memo_hits = self.drain_verify_memo_hits();
+                compile
+            },
             cluster: None,
         };
         if let (Some(engine), Some(before)) = (engine, cache_before) {
@@ -808,8 +904,15 @@ impl ServeNode {
 /// Statically verify a request's plan at admission: full IR verification
 /// against the runtime's registries, seeded with the prompt keys already
 /// present in the request's starting state, with the request's service
-/// deadline as the feasibility budget. Returns the rendered error-severity
-/// diagnostics, or `None` when the plan is sound enough to run.
+/// deadline as the feasibility budget. When the IR verifier is clean and
+/// a deadline is set, the decision is refined with the bytecode abstract
+/// interpreter's interval bounds
+/// ([`spear_core::analysis::absint::analyze`]): its latency floor walks
+/// only paths that survive statically-decided CHECKs, so it is at least
+/// the IR floor and can expose infeasibility the slot-order walk misses —
+/// refinement only ever *adds* rejections, keeping the previous decisions
+/// a strict subset. Returns the rendered error-severity diagnostics, or
+/// `None` when the plan is sound enough to run.
 fn verify_for_admission(runtime: &Runtime, request: &ServeRequest) -> Option<Vec<String>> {
     let mut verifier = spear_core::analysis::Verifier::with_runtime(runtime);
     for key in request.state.prompts.keys() {
@@ -818,12 +921,35 @@ fn verify_for_admission(runtime: &Runtime, request: &ServeRequest) -> Option<Vec
     if let Some(deadline) = request.deadline_us {
         verifier = verifier.deadline_us(deadline);
     }
-    let details: Vec<String> = verifier
+    let mut details: Vec<String> = verifier
         .verify(&request.plan)
         .iter()
         .filter(|d| d.is_error())
         .map(ToString::to_string)
         .collect();
+    if details.is_empty() {
+        if let Some(deadline) = request.deadline_us {
+            if let Ok(program) = spear_core::vm::compile(&request.plan) {
+                let bounds = spear_core::analysis::analyze(
+                    &program,
+                    &spear_core::analysis::ResourceModel::default(),
+                );
+                if bounds.latency_lo_us > deadline {
+                    details.push(
+                        spear_core::analysis::Diagnostic::plan_level(
+                            &spear_core::analysis::lints::BUDGET_INFEASIBLE,
+                            format!(
+                                "every executable path needs at least {} µs of generation \
+                                 but the deadline is {deadline} µs (bytecode interval bounds)",
+                                bounds.latency_lo_us
+                            ),
+                        )
+                        .to_string(),
+                    );
+                }
+            }
+        }
+    }
     if details.is_empty() {
         None
     } else {
@@ -894,6 +1020,28 @@ mod tests {
         assert!(run.report.makespan_us > 0);
         assert!(run.outcome(7).is_some());
         assert!(run.outcome(99).is_none());
+    }
+
+    #[test]
+    fn admission_verification_is_memoized_per_plan_family() {
+        // Ten requests sharing one plan family (same fingerprint, same
+        // prompt keys, no deadline): the first admission verifies, the
+        // other nine hit the memo.
+        let node = ServeNode::new(ServeConfig::default());
+        let rt = runtime();
+        let requests: Vec<_> = (0..10)
+            .map(|i| request(i, Priority::Interactive, i * 10))
+            .collect();
+        let run = node.run(&rt, None, requests);
+        assert_eq!(run.report.compile.verify_memo_hits, 9);
+
+        // The memo is per-run state: a second run on the same node
+        // re-verifies once, it does not carry 10 stale entries over.
+        let requests: Vec<_> = (0..10)
+            .map(|i| request(i, Priority::Interactive, i * 10))
+            .collect();
+        let run = node.run(&rt, None, requests);
+        assert_eq!(run.report.compile.verify_memo_hits, 9);
     }
 
     #[test]

@@ -187,3 +187,41 @@ proptest! {
         prop_assert_eq!(&spec_warm, &gen_warm, "warm traces diverge");
     }
 }
+
+#[test]
+fn cached_programs_carry_static_bounds_and_optimize_on_admission() {
+    let cache = ProgramCache::new(4);
+    let rt = runtime();
+
+    // A plain one-GEN plan: bounds are stored with the slot, optimizer
+    // finds nothing to rewrite.
+    let plan = plain_plan("bounded");
+    cache.get_or_compile(&plan, &rt, None).expect("compiles");
+    let bounds = cache
+        .bounds_of(&plan)
+        .expect("bounds stored with the program");
+    assert_eq!(bounds.llm_calls, spear_core::analysis::Interval::exact(1));
+    assert_eq!(bounds.tokens.hi, 256);
+    assert!(bounds.terminates);
+    let counters = cache.drain_counters();
+    assert_eq!(counters.compiled, 1);
+    assert_eq!(counters.optimized, 0);
+
+    // A statically-gated plan: the verified optimizer folds the Never
+    // branch, the counter ticks, and the stored bounds reflect the
+    // optimized program (one reachable GEN, not two).
+    let gated = lower(
+        &Pipeline::builder("gated")
+            .create_text("p", "Q: {{ctx:q}}", RefinementMode::Manual)
+            .gen("a", "p")
+            .check(Cond::Never, |t| t.gen("b", "p"))
+            .build(),
+    )
+    .expect("pipeline lowers");
+    cache.get_or_compile(&gated, &rt, None).expect("compiles");
+    let counters = cache.drain_counters();
+    assert_eq!(counters.compiled, 1);
+    assert_eq!(counters.optimized, 1);
+    let bounds = cache.bounds_of(&gated).expect("bounds stored");
+    assert_eq!(bounds.llm_calls, spear_core::analysis::Interval::exact(1));
+}

@@ -30,6 +30,13 @@ bench:
 disasm:
     cargo run -p spear-bench --bin disasm
 
+# Static-analysis gate over the golden plan corpus: bytecode lints
+# (W004/W005), translation validation, verified-optimizer bisimulation,
+# and abstract cost bounds (DESIGN.md §14). Exits non-zero on any
+# error-class diagnostic or TV failure.
+analyze:
+    cargo run -p spear-bench --bin analyze
+
 # Host fast-path throughput: interned/segmented prefill vs flat re-tokenize
 # (DESIGN.md §10). Writes BENCH_host.json and fails below 2x on the
 # warm-prefix serve workload.

@@ -11,6 +11,9 @@ cargo test --workspace -q
 # equivalence and the compiled-program cache soundness suites.
 cargo test -p spear-core --test trace_equivalence -q
 cargo test -p spear-serve --test program_cache -q
+# Static-analysis gate: bytecode lints, translation validation, and the
+# verified optimizer's bisimulation check over the golden plan corpus.
+cargo run --release -p spear-bench --bin analyze
 # Cluster scale-out gate: exits non-zero below 0.7x ideal scaling at 8
 # nodes, if hash-random matches prefix-aware on fleet hit rate, or on
 # any cross-lane fingerprint divergence (incl. churn replay).
