@@ -14,9 +14,18 @@
 //! requires the pool to have visibly contended (`evicted_blocks > 0`,
 //! `preempted > 0`) and the contended counters — not just the
 //! fingerprints — to be identical at every lane count.
+//!
+//! With `--reuse`, runs the generation-reuse sweep instead (emitting
+//! `BENCH_reuse.json` by default): a duplicate-heavy multi-GEN workload
+//! served with the whole-call memo on and off at each lane count.
+//! Acceptance: host throughput with reuse on at least `1.5×` reuse off,
+//! memo hits and single-flight coalescing both exercised (`hits > 0`,
+//! `coalesced > 0`), reuse-on trace fingerprints identical to reuse-off
+//! at every lane count, and the reuse ledger identical across lane
+//! counts.
 
 use spear_bench::report::{f, Table};
-use spear_bench::serve_bench::{pressure_config, run, ServeBenchConfig};
+use spear_bench::serve_bench::{pressure_config, reuse_config, run, run_reuse, ServeBenchConfig};
 
 fn arg(name: &str, default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -40,7 +49,103 @@ fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+fn reuse_main() {
+    let mut config = reuse_config();
+    config.load.requests = arg("--n", config.load.requests as u64) as usize;
+    config.load.seed = arg("--seed", config.load.seed);
+    config.load.families = arg("--families", config.load.families as u64) as usize;
+    let out_path = arg_str("--out", "BENCH_reuse.json");
+    eprintln!(
+        "bench_serve --reuse: {} requests ({:.0}% duplicates), {} families, seed {}, \
+         {} GEN slots/plan, lanes {:?}, model {} (simulated)",
+        config.load.requests,
+        config.load.duplicate_share * 100.0,
+        config.load.families,
+        config.load.seed,
+        config.load.gen_calls,
+        config.lane_counts,
+        config.profile.name
+    );
+    let report = run_reuse(&config);
+
+    let mut table = Table::new(&[
+        "Lanes",
+        "Reuse",
+        "Completed",
+        "Host wall (s)",
+        "Host req/s",
+        "Hits",
+        "Coalesced",
+        "Inserted",
+        "Saved tokens",
+        "Makespan (s)",
+        "Fingerprint",
+    ]);
+    for r in &report.rows {
+        table.row(vec![
+            r.lanes.to_string(),
+            if r.reuse { "on" } else { "off" }.to_string(),
+            r.completed.to_string(),
+            f(r.host_wall_s, 3),
+            f(r.host_rps, 0),
+            r.reuse_report.hits.to_string(),
+            r.reuse_report.coalesced.to_string(),
+            r.reuse_report.inserted.to_string(),
+            r.reuse_report.saved_tokens.to_string(),
+            f(r.makespan_s, 2),
+            r.trace_fingerprint.clone(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "reuse speedup: {:.2}x host throughput; digests match reuse-off: {}; \
+         ledger lane-invariant: {}",
+        report.speedup_x, report.digests_match, report.counters_lane_invariant
+    );
+
+    let json = serde_json::to_string(&report).expect("serializable report");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report JSON");
+    eprintln!("wrote {out_path}");
+
+    if !report.digests_match {
+        eprintln!(
+            "FAIL: reuse-on trace fingerprints differ from reuse-off — the memo \
+             must be observationally invisible"
+        );
+        std::process::exit(1);
+    }
+    if !report.counters_lane_invariant {
+        eprintln!("FAIL: reuse ledger differs across lane counts");
+        std::process::exit(1);
+    }
+    if report.hits == 0 || report.coalesced == 0 {
+        eprintln!(
+            "FAIL: the sweep must exercise both plain memo hits and single-flight \
+             coalescing, got hits {} coalesced {}",
+            report.hits, report.coalesced
+        );
+        std::process::exit(1);
+    }
+    if report.speedup_x < 1.5 {
+        eprintln!(
+            "FAIL: acceptance requires >= 1.5x host throughput with reuse on, \
+             got {:.2}x",
+            report.speedup_x
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "reuse gate: {:.2}x >= 1.5x, hits {} > 0, coalesced {} > 0, digests and \
+         ledger pinned",
+        report.speedup_x, report.hits, report.coalesced
+    );
+}
+
 fn main() {
+    if flag("--reuse") {
+        reuse_main();
+        return;
+    }
     let pressure = flag("--pressure");
     let mut config = if pressure {
         pressure_config()

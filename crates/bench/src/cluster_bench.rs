@@ -53,6 +53,7 @@ impl Default for ClusterBenchConfig {
                 interactive_deadline_us: None,
                 gen_calls: 1,
                 family_zipf: 1.1,
+                duplicate_share: 0.0,
             },
             profile: ModelProfile::qwen25_7b_instruct(),
             node_counts: vec![1, 2, 4, 8, 16],
@@ -134,6 +135,13 @@ pub struct ClusterBenchReport {
     pub churn_fingerprint: String,
     /// Families handed off during the churn replay.
     pub churn_handoffs: u64,
+    /// Host-side elapsed seconds for the whole sweep (informational,
+    /// machine-dependent).
+    pub host_wall_s: f64,
+    /// Host-wall speedup of the parallel phase-2 node loop over the
+    /// sequential reference at the gate fleet size (informational,
+    /// machine-dependent; outputs are pinned identical by test).
+    pub host_parallel_speedup_x: f64,
     /// One row per (fleet size, policy).
     pub rows: Vec<ClusterRow>,
 }
@@ -217,6 +225,7 @@ fn row(config: &ClusterBenchConfig, nodes: usize, policy: RouterPolicy) -> Clust
 /// Run the full sweep plus both determinism checks.
 #[must_use]
 pub fn run(config: &ClusterBenchConfig) -> ClusterBenchReport {
+    let sweep_started = Instant::now();
     let mut rows = Vec::new();
     for &nodes in &config.node_counts {
         for policy in [RouterPolicy::PrefixAware, RouterPolicy::HashRandom] {
@@ -295,6 +304,36 @@ pub fn run(config: &ClusterBenchConfig) -> ClusterBenchReport {
         .windows(2)
         .all(|w| w[0].trace_fingerprint == w[1].trace_fingerprint);
 
+    // Host-parallel phase 2: time the gate-sized fleet against the
+    // sequential reference loop. Same outputs (pinned by the cluster
+    // determinism tests); only the host wall differs. Recorded, not
+    // gated: the ratio tracks available cores, and a single-core host
+    // legitimately reports <= 1x (thread overhead, no parallelism).
+    let host_parallel_speedup_x = {
+        let cluster = Cluster::new(ClusterConfig {
+            initial_nodes: gate_nodes,
+            node: node_config(config.node_lanes),
+            router: config.router.clone(),
+            profile: config.profile.clone(),
+            ..ClusterConfig::default()
+        });
+        let started = Instant::now();
+        let parallel = cluster.run(generate(&config.load));
+        let parallel_s = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let sequential = cluster.run_sequential(generate(&config.load));
+        let sequential_s = started.elapsed().as_secs_f64();
+        assert_eq!(
+            parallel.report.trace_fingerprint, sequential.report.trace_fingerprint,
+            "parallel phase 2 changed the fleet fingerprint"
+        );
+        if parallel_s > 0.0 {
+            sequential_s / parallel_s
+        } else {
+            0.0
+        }
+    };
+
     ClusterBenchReport {
         workload: format!(
             "{} requests, {} families, zipf {}, mean interarrival {} µs, {} lane(s)/node",
@@ -317,6 +356,8 @@ pub fn run(config: &ClusterBenchConfig) -> ClusterBenchReport {
             .map(|r| format!("{:016x}", r.trace_fingerprint))
             .unwrap_or_default(),
         churn_handoffs: churn_runs.first().map(|r| r.router.handoffs).unwrap_or(0),
+        host_wall_s: sweep_started.elapsed().as_secs_f64(),
+        host_parallel_speedup_x,
         rows,
     }
 }

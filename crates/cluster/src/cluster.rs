@@ -100,6 +100,12 @@ impl Cluster {
 
     /// Replay `workload` through the fabric.
     ///
+    /// Node slices are served on one host thread per node (scoped): each
+    /// node owns its engine, runtime, and scheduler, shares nothing with
+    /// its peers, and keeps time on its own virtual clock — so host
+    /// interleaving cannot reach any observable output, and the fleet
+    /// fingerprint equals [`Cluster::run_sequential`]'s (pinned by test).
+    ///
     /// # Panics
     ///
     /// Panics when the churn schedule drains every node while requests
@@ -107,6 +113,18 @@ impl Cluster {
     /// (a [`GeneratedWorkload`] always is).
     #[must_use]
     pub fn run(&self, workload: GeneratedWorkload) -> ClusterRun {
+        self.run_inner(workload, true)
+    }
+
+    /// Reference implementation of [`Cluster::run`] that serves node
+    /// slices one at a time on the calling thread. Same outputs, none of
+    /// the host parallelism — tests pin `run`'s fingerprints against it.
+    #[must_use]
+    pub fn run_sequential(&self, workload: GeneratedWorkload) -> ClusterRun {
+        self.run_inner(workload, false)
+    }
+
+    fn run_inner(&self, workload: GeneratedWorkload, parallel: bool) -> ClusterRun {
         let mut nodes: BTreeMap<u64, NodeHandle> = (0..self.config.initial_nodes as u64)
             .map(|id| (id, NodeHandle::new(id, 0)))
             .collect();
@@ -154,47 +172,36 @@ impl Cluster {
             Self::apply_churn(event, &mut router, &mut nodes, &mut handoffs);
         }
 
-        // Phase 2: serve each node's slice on its own engine. Nodes run
-        // sequentially in id order — their clocks are virtual, so host
-        // ordering is irrelevant to the traces.
-        let mut outcomes: Vec<(u64, ServeOutcome)> = Vec::new();
-        let mut node_reports = Vec::new();
-        for (id, handle) in nodes {
-            let engine = Arc::new(SimLlm::with_config(
-                self.config.profile.clone(),
-                EngineConfig {
-                    seed: self.config.engine.seed.wrapping_add(id),
-                    ..self.config.engine.clone()
-                },
-            ));
-            let runtime = Runtime::builder()
-                .llm(Arc::clone(&engine) as Arc<dyn LlmClient>)
-                .views(workload.views.clone())
-                .build();
-            let serve_node = ServeNode::new(self.config.node.clone());
-            let assigned = handle.assigned.len() as u64;
-            let run = serve_node.run(&runtime, Some(&engine), handle.assigned);
+        // Phase 2: serve each node's slice on its own engine — one scoped
+        // host thread per node when `parallel`. Nodes share nothing (own
+        // engine, runtime, scheduler) and keep virtual time, so host
+        // interleaving cannot affect any output; joining in spawn (= id)
+        // order restores the deterministic collection order.
+        let entries: Vec<(u64, NodeHandle)> = nodes.into_iter().collect();
+        let views = &workload.views;
+        let node_runs: Vec<(NodeReport, Vec<(u64, ServeOutcome)>)> = if parallel {
+            std::thread::scope(|scope| {
+                let joins: Vec<_> = entries
+                    .into_iter()
+                    .map(|(id, handle)| scope.spawn(move || self.serve_slice(id, handle, views)))
+                    .collect();
+                joins
+                    .into_iter()
+                    .map(|j| j.join().expect("node serving threads do not panic"))
+                    .collect()
+            })
+        } else {
+            entries
+                .into_iter()
+                .map(|(id, handle)| self.serve_slice(id, handle, views))
+                .collect()
+        };
 
-            let mut report = run.report;
-            report.cluster = Some(ClusterLinkage {
-                node_id: id,
-                joined_us: handle.joined_us,
-                drained: handle.drained,
-            });
-            let completed = report.interactive.completed + report.batch.completed;
-            let service_us: u64 = run.outcomes.iter().map(|o| o.service_us).sum();
-            node_reports.push(NodeReport {
-                node_id: id,
-                joined_us: handle.joined_us,
-                drained: handle.drained,
-                left: handle.left,
-                assigned,
-                completed,
-                service_us,
-                makespan_us: report.makespan_us,
-                report,
-            });
-            outcomes.extend(run.outcomes.into_iter().map(|o| (id, o)));
+        let mut outcomes: Vec<(u64, ServeOutcome)> = Vec::new();
+        let mut node_reports = Vec::with_capacity(node_runs.len());
+        for (node_report, node_outcomes) in node_runs {
+            node_reports.push(node_report);
+            outcomes.extend(node_outcomes);
         }
         outcomes.sort_by_key(|(_, o)| o.id);
 
@@ -205,6 +212,53 @@ impl Cluster {
             handoffs,
             report,
         }
+    }
+
+    /// Serve one node's assigned slice on a fresh engine + runtime +
+    /// scheduler (phase 2's unit of work; host-thread-safe because the
+    /// node shares nothing and keeps virtual time).
+    fn serve_slice(
+        &self,
+        id: u64,
+        handle: NodeHandle,
+        views: &spear_core::view::ViewCatalog,
+    ) -> (NodeReport, Vec<(u64, ServeOutcome)>) {
+        let engine = Arc::new(SimLlm::with_config(
+            self.config.profile.clone(),
+            EngineConfig {
+                seed: self.config.engine.seed.wrapping_add(id),
+                ..self.config.engine.clone()
+            },
+        ));
+        let runtime = Runtime::builder()
+            .llm(Arc::clone(&engine) as Arc<dyn LlmClient>)
+            .views(views.clone())
+            .build();
+        let serve_node = ServeNode::new(self.config.node.clone());
+        let assigned = handle.assigned.len() as u64;
+        let run = serve_node.run(&runtime, Some(&engine), handle.assigned);
+
+        let mut report = run.report;
+        report.cluster = Some(ClusterLinkage {
+            node_id: id,
+            joined_us: handle.joined_us,
+            drained: handle.drained,
+        });
+        let completed = report.interactive.completed + report.batch.completed;
+        let service_us: u64 = run.outcomes.iter().map(|o| o.service_us).sum();
+        let node_report = NodeReport {
+            node_id: id,
+            joined_us: handle.joined_us,
+            drained: handle.drained,
+            left: handle.left,
+            assigned,
+            completed,
+            service_us,
+            makespan_us: report.makespan_us,
+            report,
+        };
+        let outcomes = run.outcomes.into_iter().map(|o| (id, o)).collect();
+        (node_report, outcomes)
     }
 
     fn apply_churn(

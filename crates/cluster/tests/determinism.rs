@@ -86,6 +86,33 @@ fn churn_replay_is_invariant_across_host_lane_counts() {
 }
 
 #[test]
+fn parallel_node_serving_matches_the_sequential_reference() {
+    // Phase 2 runs one host thread per node; the sequential reference
+    // serves the same slices on the calling thread. Everything observable
+    // — fleet fingerprint, per-node reports, per-request outcomes — must
+    // be identical, with and without churn.
+    for churn in [Vec::new(), churn_schedule()] {
+        let cluster = Cluster::new(ClusterConfig {
+            initial_nodes: 4,
+            node: node_config(2),
+            churn,
+            ..ClusterConfig::default()
+        });
+        let parallel = cluster.run(generate(&workload_config()));
+        let sequential = cluster.run_sequential(generate(&workload_config()));
+        assert_eq!(
+            parallel.report, sequential.report,
+            "parallel phase 2 must be invisible in the report"
+        );
+        assert_eq!(parallel.outcomes.len(), sequential.outcomes.len());
+        for ((pn, po), (sn, so)) in parallel.outcomes.iter().zip(&sequential.outcomes) {
+            assert_eq!(pn, sn, "request {} placed differently", po.id);
+            assert_eq!(po, so, "request {} served differently", po.id);
+        }
+    }
+}
+
+#[test]
 fn repeated_runs_are_bitwise_stable() {
     let a = run_at(4, churn_schedule());
     let b = run_at(4, churn_schedule());

@@ -95,18 +95,26 @@ pub(crate) fn run(
         requested_by: "GEN".into(),
     })?;
     let resolved = resolve_prompt_with(rt, prompt, parsed, state)?;
-    let response = llm.generate(&GenRequest {
-        text: resolved.text,
-        identity: resolved.identity,
-        options: options.clone(),
-        segments: Some(resolved.segments),
-    })?;
+    let (response, reuse) = llm.generate_with_reuse(
+        &GenRequest {
+            text: resolved.text,
+            identity: resolved.identity,
+            options: options.clone(),
+            segments: Some(resolved.segments),
+        },
+        state.reuse,
+    )?;
     state
         .context
         .set_attributed(label, response.text.clone(), state.step, "GEN");
     state
         .metadata
         .record_gen(response.usage, response.latency, response.confidence);
+    if let Some(reuse) = reuse {
+        state
+            .metadata
+            .record_reuse(reuse.key, reuse.reused, response.usage);
+    }
     state
         .metadata
         .set(format!("confidence:{label}"), response.confidence);

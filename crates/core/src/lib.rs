@@ -117,8 +117,10 @@ pub use context::Context;
 pub use error::{Result, SpearError};
 pub use features::PromptFeatures;
 pub use history::{RefAction, RefLogRecord, RefinementMode};
-pub use llm::{EchoLlm, GenOptions, GenRequest, GenResponse, LlmClient, PromptIdentity};
-pub use metadata::{Metadata, TokenUsage};
+pub use llm::{
+    EchoLlm, GenOptions, GenRequest, GenResponse, GenReuse, LlmClient, PromptIdentity, ReusePolicy,
+};
+pub use metadata::{Metadata, ReuseEvent, TokenUsage};
 pub use ops::{MergePolicy, Op, PayloadSpec, PromptRef};
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use plan::{lower, LoweredOp, LoweredPlan};
@@ -143,9 +145,10 @@ pub mod prelude {
     pub use crate::features::PromptFeatures;
     pub use crate::history::{RefAction, RefinementMode};
     pub use crate::llm::{
-        EchoLlm, GenOptions, GenRequest, GenResponse, LlmClient, PromptIdentity, ScriptedLlm,
+        EchoLlm, GenOptions, GenRequest, GenResponse, GenReuse, LlmClient, PromptIdentity,
+        ReusePolicy, ScriptedLlm,
     };
-    pub use crate::metadata::{Metadata, TokenUsage};
+    pub use crate::metadata::{Metadata, ReuseEvent, TokenUsage};
     pub use crate::ops::{MergePolicy, Op, PayloadSpec, PromptRef};
     pub use crate::pipeline::{Pipeline, PipelineBuilder};
     pub use crate::plan::{lower, LoweredOp, LoweredPlan};

@@ -131,6 +131,40 @@ impl Deserialize for GenRequest {
     }
 }
 
+/// Whole-call generation-reuse policy carried by the execution state and
+/// consulted by backends that implement
+/// [`LlmClient::generate_with_reuse`].
+///
+/// Reuse is sound precisely because prompts are first-class data: two
+/// requests whose rendered text, identity class, model, and decode
+/// parameters are identical must produce identical [`GenResponse`]s, so
+/// the backend may answer the second from a memo of the first. The policy
+/// defaults to `Off` at the core layer — standalone pipeline runs keep
+/// their exact historical behaviour — and the serving layer opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReusePolicy {
+    /// Never consult the memo; every GEN executes end-to-end.
+    #[default]
+    Off,
+    /// Exact-match reuse: identical (rendered prompt ⊕ identity class ⊕
+    /// model ⊕ decode params) requests share one execution.
+    Exact,
+}
+
+/// How a generation call interacted with the backend's reuse memo.
+/// Returned by [`LlmClient::generate_with_reuse`] alongside the response
+/// so callers can account for saved work without touching the response
+/// itself (which stays byte-identical either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenReuse {
+    /// The memo key derived from the request's reuse identity.
+    pub key: u64,
+    /// `true` when the response was adopted from a completed prior
+    /// execution (memo hit or coalesced single-flight follower); `false`
+    /// when this call executed the generation and seeded the memo.
+    pub reused: bool,
+}
+
 /// Why decoding stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FinishReason {
@@ -166,6 +200,29 @@ pub trait LlmClient: Send + Sync {
     ///
     /// Returns [`SpearError::Llm`] on backend failure.
     fn generate(&self, request: &GenRequest) -> Result<GenResponse>;
+
+    /// Run one generation under a reuse policy.
+    ///
+    /// Backends with a generation memo (e.g. `spear-llm`'s `GenMemo`)
+    /// override this to satisfy exact-match duplicates from one shared
+    /// execution. The contract is strict: the returned response must be
+    /// byte-identical to what [`LlmClient::generate`] would have produced
+    /// for the same request in the same backend state — reuse may only
+    /// change *host* cost, never anything observable. The default
+    /// implementation ignores the policy and reports no reuse.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LlmClient::generate`]. Errors are never
+    /// memoized.
+    fn generate_with_reuse(
+        &self,
+        request: &GenRequest,
+        policy: ReusePolicy,
+    ) -> Result<(GenResponse, Option<GenReuse>)> {
+        let _ = policy;
+        self.generate(request).map(|response| (response, None))
+    }
 
     /// Stable model name (used in traces and benchmark labels).
     fn model_name(&self) -> &str;

@@ -49,6 +49,23 @@ impl TokenUsage {
     }
 }
 
+/// One GEN's interaction with the backend's generation-reuse memo
+/// (recorded only when the execution ran under
+/// [`crate::llm::ReusePolicy::Exact`]). The serving layer harvests these
+/// to build its deterministic reuse ledger; they never feed the trace, so
+/// digests are reuse-invariant by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseEvent {
+    /// The backend's memo key for this call's reuse identity.
+    pub key: u64,
+    /// Whether the call adopted a memoized execution (vs seeding one).
+    pub reused: bool,
+    /// Prompt tokens of the call (what reuse avoids re-prefilling).
+    pub prompt_tokens: u64,
+    /// Completion tokens of the call (what reuse avoids re-decoding).
+    pub completion_tokens: u64,
+}
+
 /// The metadata store **M**: named signals plus standing counters.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Metadata {
@@ -64,6 +81,11 @@ pub struct Metadata {
     /// Accumulated (virtual) latency across all LLM and retrieval calls,
     /// in microseconds. Stored as an integer so M serializes exactly.
     pub latency_us: u64,
+    /// Per-GEN reuse ledger (empty unless the run executed with reuse
+    /// enabled). `#[serde(default)]` keeps pre-reuse serialized states
+    /// deserializable.
+    #[serde(default)]
+    pub reuse_events: Vec<ReuseEvent>,
 }
 
 impl Metadata {
@@ -116,6 +138,17 @@ impl Metadata {
         self.set("confidence", confidence);
         self.set("latency_ms", latency.as_secs_f64() * 1e3);
         self.set("tokens", usage.total());
+    }
+
+    /// Append one GEN's reuse-memo interaction to the ledger (see
+    /// [`ReuseEvent`]).
+    pub fn record_reuse(&mut self, key: u64, reused: bool, usage: TokenUsage) {
+        self.reuse_events.push(ReuseEvent {
+            key,
+            reused,
+            prompt_tokens: usage.prompt_tokens,
+            completion_tokens: usage.completion_tokens,
+        });
     }
 
     /// Snapshot of all signals (for ref_log records and traces).

@@ -89,6 +89,11 @@ pub struct ExecState {
     /// the serving layer for per-request timeouts; deterministic because it
     /// never consults wall time.
     pub deadline_us: Option<u64>,
+    /// Whole-call generation-reuse policy handed to the LLM backend on
+    /// every GEN (see [`crate::llm::ReusePolicy`]). `Off` by default so
+    /// standalone runs behave exactly as before; the serving layer stamps
+    /// `Exact` per request when its `ServeConfig::reuse` knob is on.
+    pub reuse: crate::llm::ReusePolicy,
 }
 
 impl ExecState {
@@ -113,6 +118,7 @@ impl ExecState {
             // primary should stop its shadows too.
             cancel: self.cancel.clone(),
             deadline_us: self.deadline_us,
+            reuse: self.reuse,
         }
     }
 }

@@ -17,7 +17,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use spear_core::error::Result;
-use spear_core::llm::{FinishReason, GenRequest, GenResponse, LlmClient, PromptIdentity};
+use spear_core::llm::{
+    FinishReason, GenRequest, GenResponse, GenReuse, LlmClient, PromptIdentity, ReusePolicy,
+};
 use spear_core::metadata::TokenUsage;
 use spear_core::scope;
 use spear_core::segment::SegmentedText;
@@ -27,6 +29,7 @@ use crate::cache::{
 };
 use crate::clock::SimClock;
 use crate::intern::{chain_key, InternStats, InternedChain, TokenInterner, CHAIN_SEED};
+use crate::memo::{GenMemo, Lookup, MemoEntry, MemoStats};
 use crate::profile::ModelProfile;
 use crate::task::{self, TaskParams};
 use crate::tokenizer::{StreamingEncoder, Token, Tokenizer};
@@ -52,6 +55,12 @@ pub struct EngineConfig {
     /// (the host fast path, DESIGN.md §10). Pure host-side optimization:
     /// responses are byte-identical with it on or off.
     pub intern_enabled: bool,
+    /// Capacity (completed entries) of the whole-call generation memo
+    /// consulted under [`spear_core::llm::ReusePolicy::Exact`]
+    /// (DESIGN.md §15). The memo is always constructed; requests only
+    /// touch it when their execution state opts in, so the default policy
+    /// pays nothing.
+    pub reuse_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +73,7 @@ impl Default for EngineConfig {
             cache_shards: DEFAULT_NUM_SHARDS,
             seed: 42,
             intern_enabled: true,
+            reuse_capacity: 8192,
         }
     }
 }
@@ -74,6 +84,7 @@ pub struct SimLlm {
     tokenizer: Tokenizer,
     cache: StripedPrefixCache,
     interner: TokenInterner,
+    memo: GenMemo,
     clock: SimClock,
     config: EngineConfig,
 }
@@ -122,6 +133,7 @@ impl SimLlm {
                 config.cache_shards,
             ),
             interner: TokenInterner::with_defaults(),
+            memo: GenMemo::new(config.reuse_capacity),
             clock: SimClock::new(),
             config,
         }
@@ -166,6 +178,15 @@ impl SimLlm {
         self.interner.stats()
     }
 
+    /// Generation-reuse memo statistics (DESIGN.md §15). Physical host
+    /// counters — serve reports derive their lane-invariant reuse ledger
+    /// from per-request metadata instead, and only use the deterministic
+    /// subset of these (insertions, evictions, resident bytes).
+    #[must_use]
+    pub fn reuse_stats(&self) -> MemoStats {
+        self.memo.stats()
+    }
+
     /// Pre-resolve a prompt family's shared prefix through the token
     /// interner: tokenize `segments` and intern the leading literal-run
     /// chains so the first real request of the family starts warm. Used by
@@ -203,15 +224,34 @@ impl SimLlm {
     /// equivalent by the streaming-encoder and hashed-cache interop tests
     /// plus the segmented-encoding property test.
     fn prefill(&self, request: &GenRequest) -> (u64, u64) {
+        self.prefill_capturing(request, None)
+    }
+
+    /// [`Self::prefill`], optionally copying the prompt's full-block
+    /// hash chain into `capture` — the content-pure identity the
+    /// generation memo stores so later hits can replay cache admission
+    /// without re-tokenizing (see [`Self::generate_with_reuse`]).
+    fn prefill_capturing(
+        &self,
+        request: &GenRequest,
+        capture: Option<&mut Vec<u64>>,
+    ) -> (u64, u64) {
         let cacheable = self.cacheable(&request.identity);
         let (prompt_tokens, cached_tokens) = SCRATCH.with(|scratch| {
             let scratch = &mut *scratch.borrow_mut();
-            match &request.segments {
+            let counts = match &request.segments {
                 Some(segments) if self.config.intern_enabled && !segments.is_empty() => {
                     self.segmented_prefill(segments, cacheable, scratch)
                 }
-                _ => self.whole_text_prefill(&request.text, cacheable, scratch),
+                _ => self.whole_text_prefill(&request.text, cacheable, scratch, capture.is_some()),
+            };
+            if let Some(out) = capture {
+                // Both paths leave the full-block chain in scratch.hashes
+                // (the segmented path always, the flat path on demand).
+                out.clear();
+                out.extend_from_slice(&scratch.hashes);
             }
+            counts
         });
         debug_assert_eq!(
             prompt_tokens,
@@ -222,10 +262,25 @@ impl SimLlm {
     }
 
     /// The original prefill: encode the flat text (into a reused buffer)
-    /// and walk the cache by tokens.
-    fn whole_text_prefill(&self, text: &str, cacheable: bool, scratch: &mut Scratch) -> (u64, u64) {
+    /// and walk the cache by tokens. `hash` additionally folds the token
+    /// stream through a [`BlockHasher`] into `scratch.hashes` (the memo's
+    /// leader path needs the chain; plain generation skips the work).
+    fn whole_text_prefill(
+        &self,
+        text: &str,
+        cacheable: bool,
+        scratch: &mut Scratch,
+        hash: bool,
+    ) -> (u64, u64) {
         self.tokenizer.encode_into(text, &mut scratch.tokens);
         let prompt_tokens = scratch.tokens.len() as u64;
+        if hash {
+            scratch.hashes.clear();
+            let mut hasher = BlockHasher::new(self.config.block_size);
+            for &t in &scratch.tokens {
+                hasher.push(t, &mut scratch.hashes);
+            }
+        }
         let cached = if cacheable {
             // The owner comes from the ambient execution scope: pipeline
             // instances under a BatchRunner each see shared (pre-warmed)
@@ -439,10 +494,13 @@ impl SimLlm {
     }
 }
 
-impl LlmClient for SimLlm {
-    fn generate(&self, request: &GenRequest) -> Result<GenResponse> {
-        let (prompt_tokens, cached_tokens) = self.prefill(request);
-
+impl SimLlm {
+    /// Everything after prefill: the behavioural task model, `max_tokens`
+    /// truncation, the latency model, and the clock advance. Pure in the
+    /// request given fixed engine config — only prefill depends on live
+    /// cache state, which is why the reuse memo stores this part's output
+    /// and replays prefill accounting live.
+    fn decode(&self, request: &GenRequest, prompt_tokens: u64, cached_tokens: u64) -> GenResponse {
         let structured = matches!(request.identity, PromptIdentity::Structured { .. });
         let mut outcome = task::detect_and_run(
             request.options.task.as_deref(),
@@ -483,7 +541,7 @@ impl LlmClient for SimLlm {
         let latency = std::time::Duration::from_micros(latency_us as u64);
         self.clock.advance(latency);
 
-        Ok(GenResponse {
+        GenResponse {
             text: outcome.text,
             confidence: outcome.confidence,
             usage: TokenUsage {
@@ -494,7 +552,133 @@ impl LlmClient for SimLlm {
             latency,
             model: self.profile.name.clone(),
             finish,
-        })
+        }
+    }
+
+    /// The memo key of `request`: a chain-key fold over everything the
+    /// response observably depends on — the rendered content (segment-hash
+    /// chain when a segmented rendering exists, a tagged hash of the flat
+    /// text otherwise; the two keyspaces are disjoint, so a prompt that
+    /// arrives both ways executes twice rather than ever aliasing), the
+    /// identity class (structured vs opaque feeds the task model and the
+    /// cacheability gate), and the decode parameters. Engine-fixed inputs
+    /// (model, seed, config) need no folding: the memo lives inside one
+    /// engine.
+    fn reuse_key(&self, request: &GenRequest) -> u64 {
+        const SEGMENTED_TAG: u64 = 0x7365_676d;
+        const FLAT_TAG: u64 = 0x666c_6174;
+        let mut key = match &request.segments {
+            Some(segments) if !segments.is_empty() => {
+                let mut key = chain_key(CHAIN_SEED, SEGMENTED_TAG);
+                for seg in segments.segments() {
+                    key = chain_key(key, seg.hash());
+                }
+                key
+            }
+            _ => chain_key(
+                chain_key(CHAIN_SEED, FLAT_TAG),
+                spear_kv::shard::fnv1a(request.text.as_bytes()),
+            ),
+        };
+        key = chain_key(
+            key,
+            u64::from(matches!(
+                request.identity,
+                PromptIdentity::Structured { .. }
+            )),
+        );
+        key = chain_key(key, u64::from(request.options.max_tokens));
+        key = chain_key(key, request.options.temperature.to_bits());
+        key = chain_key(
+            key,
+            request
+                .options
+                .task
+                .as_deref()
+                .map_or(0, |t| spear_kv::shard::fnv1a(t.as_bytes())),
+        );
+        key
+    }
+
+    /// Serve a memo hit: adopt the entry's content-pure outputs and
+    /// *replay* the per-request state transitions a real execution would
+    /// have performed — the exact prefix-cache admission (`cached_tokens`,
+    /// LRU touches, stats) via the entry's block-hash chain, the latency
+    /// model over the live hit count, and the clock advance. The response
+    /// is byte-identical to re-executing; only tokenization and the task
+    /// model are skipped.
+    fn replay(&self, request: &GenRequest, entry: &MemoEntry) -> GenResponse {
+        let cached_tokens = if self.cacheable(&request.identity) {
+            self.cache.lookup_insert_hashed(
+                &entry.block_hashes,
+                entry.prompt_tokens as usize,
+                scope::owner(),
+            ) as u64
+        } else {
+            0
+        };
+        let latency_us = self.profile.latency_us(
+            entry.prompt_tokens - cached_tokens,
+            cached_tokens,
+            entry.completion_tokens,
+        );
+        let latency = std::time::Duration::from_micros(latency_us as u64);
+        self.clock.advance(latency);
+        GenResponse {
+            text: entry.text.clone(),
+            confidence: entry.confidence,
+            usage: TokenUsage {
+                prompt_tokens: entry.prompt_tokens,
+                cached_tokens,
+                completion_tokens: entry.completion_tokens,
+            },
+            latency,
+            model: self.profile.name.clone(),
+            finish: entry.finish,
+        }
+    }
+}
+
+impl LlmClient for SimLlm {
+    fn generate(&self, request: &GenRequest) -> Result<GenResponse> {
+        let (prompt_tokens, cached_tokens) = self.prefill(request);
+        Ok(self.decode(request, prompt_tokens, cached_tokens))
+    }
+
+    fn generate_with_reuse(
+        &self,
+        request: &GenRequest,
+        policy: ReusePolicy,
+    ) -> Result<(GenResponse, Option<GenReuse>)> {
+        if policy == ReusePolicy::Off {
+            return self.generate(request).map(|response| (response, None));
+        }
+        let key = self.reuse_key(request);
+        match self.memo.lookup_or_lead(key) {
+            Lookup::Hit(entry) => Ok((
+                self.replay(request, &entry),
+                Some(GenReuse { key, reused: true }),
+            )),
+            Lookup::Lead(guard) => {
+                // Leader: execute for real, capturing the block-hash chain
+                // so hits can replay admission. The guard is drop-safe —
+                // if decode ever grew an error path, followers would be
+                // released to retry rather than adopt a poisoned slot.
+                let mut block_hashes = Vec::new();
+                let (prompt_tokens, cached_tokens) =
+                    self.prefill_capturing(request, Some(&mut block_hashes));
+                let response = self.decode(request, prompt_tokens, cached_tokens);
+                guard.complete(MemoEntry {
+                    text: response.text.clone(),
+                    confidence: response.confidence,
+                    prompt_tokens,
+                    completion_tokens: response.usage.completion_tokens,
+                    finish: response.finish,
+                    block_hashes,
+                });
+                Ok((response, Some(GenReuse { key, reused: false })))
+            }
+        }
     }
 
     fn model_name(&self) -> &str {
@@ -872,6 +1056,95 @@ mod tests {
             resp.usage.completion_tokens,
             Tokenizer::new().count(&resp.text) as u64
         );
+    }
+
+    #[test]
+    fn reuse_replay_is_byte_identical_for_flat_prompts() {
+        // A duplicate prompt under `ReusePolicy::Exact` must produce the
+        // same response the duplicate would have produced *live* — which
+        // runs warm (block-cache hits from the first call), so the replay
+        // path has to re-account prefill against the live cache rather
+        // than echo the leader's cold usage.
+        let with = engine();
+        let without = engine();
+        let items = [
+            "Tweet: awful homework tonight",
+            "Tweet: great sunshine",
+            "Tweet: awful homework tonight",
+            "Tweet: awful homework tonight",
+        ];
+        let mut reuse_flags = Vec::new();
+        for item in items {
+            let req =
+                GenRequest::structured(format!("{}{item}", long_instruction()), "view:v@1#0/v1");
+            let (on, reuse) = with
+                .generate_with_reuse(&req, spear_core::llm::ReusePolicy::Exact)
+                .unwrap();
+            let off = without.generate(&req).unwrap();
+            assert_eq!(on, off, "reuse must be invisible for {item:?}");
+            reuse_flags.push(reuse.expect("Exact policy always reports").reused);
+        }
+        assert_eq!(reuse_flags, [false, false, true, true]);
+        let stats = with.reuse_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(with.clock().elapsed(), without.clock().elapsed());
+        assert_eq!(with.cache_stats(), without.cache_stats());
+    }
+
+    #[test]
+    fn reuse_replay_is_byte_identical_for_segmented_prompts() {
+        let instruction: Arc<str> = Arc::from(long_instruction());
+        let with = engine();
+        let without = engine();
+        for item in ["Tweet: a bad exam", "Tweet: b", "Tweet: a bad exam"] {
+            let req = segmented_request(&instruction, item);
+            let (on, reuse) = with
+                .generate_with_reuse(&req, spear_core::llm::ReusePolicy::Exact)
+                .unwrap();
+            let off = without.generate(&req).unwrap();
+            assert_eq!(on, off, "segmented reuse must be invisible for {item:?}");
+            assert!(reuse.is_some());
+        }
+        assert_eq!(with.reuse_stats().hits, 1);
+        assert_eq!(with.clock().elapsed(), without.clock().elapsed());
+    }
+
+    #[test]
+    fn reuse_keys_separate_decode_params_and_identity() {
+        // Same text, different max_tokens / identity kind ⇒ distinct memo
+        // entries, never cross-served.
+        let e = engine();
+        let text = format!("{}Tweet: mixed feelings", long_instruction());
+        let policy = spear_core::llm::ReusePolicy::Exact;
+        let base = GenRequest::structured(text.clone(), "view:v@1#0/v1");
+        let truncated = GenRequest {
+            options: GenOptions {
+                max_tokens: 1,
+                ..GenOptions::default()
+            },
+            ..GenRequest::structured(text.clone(), "view:v@1#0/v1")
+        };
+        let opaque = GenRequest::opaque(text);
+        e.generate_with_reuse(&base, policy).unwrap();
+        e.generate_with_reuse(&truncated, policy).unwrap();
+        e.generate_with_reuse(&opaque, policy).unwrap();
+        let stats = e.reuse_stats();
+        assert_eq!(stats.hits, 0, "no false sharing across keys: {stats:?}");
+        assert_eq!(stats.insertions, 3);
+    }
+
+    #[test]
+    fn reuse_off_policy_never_touches_the_memo() {
+        let e = engine();
+        let req =
+            GenRequest::structured(format!("{}Tweet: x", long_instruction()), "view:v@1#0/v1");
+        let (_, reuse) = e
+            .generate_with_reuse(&req, spear_core::llm::ReusePolicy::Off)
+            .unwrap();
+        assert!(reuse.is_none());
+        let stats = e.reuse_stats();
+        assert_eq!((stats.leads, stats.insertions, stats.hits), (0, 0, 0));
     }
 
     #[test]

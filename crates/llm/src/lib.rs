@@ -41,6 +41,7 @@ pub mod cache;
 pub mod clock;
 pub mod engine;
 pub mod intern;
+pub mod memo;
 pub mod pool;
 pub mod profile;
 pub mod task;
@@ -55,6 +56,7 @@ pub use engine::{EngineConfig, SimLlm};
 pub use intern::{
     affinity_chain_key, chain_key, InternStats, InternedChain, TokenInterner, CHAIN_SEED,
 };
+pub use memo::{GenMemo, LeadGuard, Lookup, MemoEntry, MemoStats};
 pub use pool::{AllocGrant, BlockPool, PoolExhausted, PoolStats, DEFAULT_POOL_STRIPES};
 pub use profile::{ModelProfile, PromptFeatures, QualityWeights, TaskKind};
 pub use tokenizer::{StreamingEncoder, Token, Tokenizer};

@@ -78,7 +78,8 @@ pub use error::ServeError;
 pub use kv::KvPressureConfig;
 pub use loadgen::{generate, GeneratedWorkload, LoadGenConfig};
 pub use metrics::{
-    ClassReport, ClusterLinkage, CompileReport, Histogram, HistogramSummary, KvReport, ServeReport,
+    ClassReport, ClusterLinkage, CompileReport, Histogram, HistogramSummary, KvReport, ReuseReport,
+    ServeReport,
 };
 pub use program_cache::ProgramCache;
 pub use queue::{AdmissionConfig, AdmissionQueue, ClassFifo};
@@ -92,7 +93,7 @@ pub mod prelude {
     pub use crate::loadgen::{generate, GeneratedWorkload, LoadGenConfig};
     pub use crate::metrics::{
         ClassReport, ClusterLinkage, CompileReport, Histogram, HistogramSummary, KvReport,
-        ServeReport,
+        ReuseReport, ServeReport,
     };
     pub use crate::program_cache::ProgramCache;
     pub use crate::queue::{AdmissionConfig, AdmissionQueue, ClassFifo};

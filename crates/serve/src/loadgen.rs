@@ -55,6 +55,13 @@ pub struct LoadGenConfig {
     /// exhibit — the regime cluster routing's hot-prefix replication is
     /// built for.
     pub family_zipf: f64,
+    /// Probability a request is an exact duplicate of an earlier request in
+    /// the stream: same family *and* same item payload, so it renders to the
+    /// byte-identical prompt (the regime the generation memo serves). `0.0`
+    /// (the default) draws nothing extra from the RNG, so existing BENCH
+    /// fingerprints are preserved byte-for-byte. Duplicates keep their own
+    /// fresh arrival time and priority draw.
+    pub duplicate_share: f64,
 }
 
 impl Default for LoadGenConfig {
@@ -68,6 +75,7 @@ impl Default for LoadGenConfig {
             interactive_deadline_us: None,
             gen_calls: 1,
             family_zipf: 0.0,
+            duplicate_share: 0.0,
         }
     }
 }
@@ -185,6 +193,9 @@ pub fn generate(config: &LoadGenConfig) -> GeneratedWorkload {
     });
 
     let mut requests = Vec::with_capacity(config.requests);
+    // (family, item) of every *original* request generated so far —
+    // duplicate draws replay one of these verbatim.
+    let mut originals: Vec<(usize, String)> = Vec::new();
     let mut arrival_us = 0u64;
     for id in 0..config.requests as u64 {
         // Exponential inter-arrival on the virtual clock.
@@ -192,11 +203,28 @@ pub fn generate(config: &LoadGenConfig) -> GeneratedWorkload {
         let dt = (-(1.0 - unit).ln() * config.mean_interarrival_us as f64).round() as u64;
         arrival_us += dt.max(1);
 
-        let family = match &zipf_cdf {
-            None => rng.gen_range(0..families),
-            Some(cdf) => {
-                let u = rng.gen_unit();
-                cdf.iter().position(|&c| u < c).unwrap_or(families - 1)
+        // The duplicate gate only consumes RNG when the knob is on, so
+        // `duplicate_share: 0.0` keeps the historical draw sequence (and
+        // thus the existing BENCH fingerprints) byte-identical.
+        let duplicate_of: Option<usize> = (config.duplicate_share > 0.0)
+            .then(|| {
+                let u: f64 = rng.gen_unit();
+                (u < config.duplicate_share && !originals.is_empty())
+                    .then(|| rng.gen_range(0..originals.len()))
+            })
+            .flatten();
+
+        let (family, item) = match duplicate_of {
+            Some(idx) => originals[idx].clone(),
+            None => {
+                let family = match &zipf_cdf {
+                    None => rng.gen_range(0..families),
+                    Some(cdf) => {
+                        let u = rng.gen_unit();
+                        cdf.iter().position(|&c| u < c).unwrap_or(families - 1)
+                    }
+                };
+                (family, String::new())
             }
         };
         let interactive = rng.gen_bool(config.interactive_fraction);
@@ -207,12 +235,19 @@ pub fn generate(config: &LoadGenConfig) -> GeneratedWorkload {
         };
 
         // Unique per-request payload: same family => shared instruction
-        // prefix, distinct suffix.
-        let mut item = format!("case {id}:");
-        for _ in 0..12 {
-            item.push(' ');
-            item.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
-        }
+        // prefix, distinct suffix. (Duplicates reuse their source's payload
+        // wholesale, so they render to the byte-identical prompt.)
+        let item = if duplicate_of.is_some() {
+            item
+        } else {
+            let mut item = format!("case {id}:");
+            for _ in 0..12 {
+                item.push(' ');
+                item.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+            }
+            originals.push((family, item.clone()));
+            item
+        };
         let mut state = ExecState::new();
         state.context.set("item", item.as_str());
 
@@ -368,6 +403,67 @@ mod tests {
             assert_eq!(a.affinity_key(), b.affinity_key());
             assert_eq!(a.arrival_us, b.arrival_us);
             assert_eq!(a.priority, b.priority);
+        }
+    }
+
+    #[test]
+    fn zero_duplicate_share_is_the_historical_stream() {
+        // `duplicate_share: 0.0` draws nothing extra, so the workload is
+        // byte-identical to the pre-knob generator (pinning the existing
+        // BENCH fingerprints).
+        let plain = generate(&LoadGenConfig::default());
+        let gated = generate(&LoadGenConfig {
+            duplicate_share: 0.0,
+            ..LoadGenConfig::default()
+        });
+        for (a, b) in plain.requests.iter().zip(&gated.requests) {
+            assert_eq!(a.arrival_us, b.arrival_us);
+            assert_eq!(a.priority, b.priority);
+            assert_eq!(a.affinity_key(), b.affinity_key());
+            assert_eq!(
+                a.state.context.get_ref("item"),
+                b.state.context.get_ref("item")
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_replay_family_and_item_verbatim() {
+        let config = LoadGenConfig {
+            requests: 200,
+            duplicate_share: 0.6,
+            ..LoadGenConfig::default()
+        };
+        let w = generate(&config);
+        // A duplicate shares (affinity key, item) with an earlier request;
+        // count requests whose payload pair appeared before them.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut duplicates = 0usize;
+        for r in &w.requests {
+            let item = format!("{:?}", r.state.context.get_ref("item"));
+            let pair = (r.affinity_key(), item);
+            if !seen.insert(pair) {
+                duplicates += 1;
+            }
+        }
+        assert!(
+            duplicates > 60,
+            "share 0.6 over 200 requests should replay many payloads, got {duplicates}"
+        );
+        // Arrivals still strictly ordered with unique ids.
+        assert!(w
+            .requests
+            .windows(2)
+            .all(|p| p[0].arrival_us <= p[1].arrival_us));
+
+        // Deterministic: same config, same duplicate pattern.
+        let v = generate(&config);
+        for (a, b) in w.requests.iter().zip(&v.requests) {
+            assert_eq!(a.arrival_us, b.arrival_us);
+            assert_eq!(
+                a.state.context.get_ref("item"),
+                b.state.context.get_ref("item")
+            );
         }
     }
 

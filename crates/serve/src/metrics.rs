@@ -209,6 +209,43 @@ pub struct ServeReport {
     /// before the cluster existed.
     #[serde(default)]
     pub cluster: Option<ClusterLinkage>,
+    /// Whole-call generation-reuse counters (all zeros with
+    /// `ServeConfig::reuse` off). Defaults for reports written before the
+    /// reuse layer existed.
+    #[serde(default)]
+    pub reuse: ReuseReport,
+}
+
+/// Counters from the whole-call generation-reuse layer (DESIGN.md §15).
+///
+/// The hit/coalesced split and the savings ledger are derived from
+/// per-request reuse metadata by a deterministic post-pass over requests
+/// in arrival order — a duplicate whose arrival falls inside its nominal
+/// leader's service window counts as `coalesced` (it would have raced the
+/// leader on an unloaded node), later duplicates as `hits` — so, like
+/// [`KvReport`], every number here is lane-count-invariant for a fixed
+/// workload: physical condvar races decide host speed, never counters.
+/// Traces report each reused call's *original* usage (responses are
+/// byte-identical to reuse-off); `saved_tokens`/`saved_calls` record what
+/// the backend did not actually execute.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ReuseReport {
+    /// Duplicate GEN calls served from a completed memo entry.
+    pub hits: u64,
+    /// Duplicate GEN calls that arrived inside their leader's service
+    /// window (single-flight coalescing on an unloaded node).
+    pub coalesced: u64,
+    /// Entries completed into the memo during the run.
+    pub inserted: u64,
+    /// Entries evicted by the memo's LRU bound during the run.
+    pub evicted: u64,
+    /// Approximate bytes resident in the memo at the end of the run.
+    pub bytes: u64,
+    /// Prompt + completion tokens of reused calls — work the backend
+    /// skipped (the traces still report the original usage).
+    pub saved_tokens: u64,
+    /// GEN executions the memo absorbed.
+    pub saved_calls: u64,
 }
 
 /// How a node-level [`ServeReport`] relates to the cluster run that

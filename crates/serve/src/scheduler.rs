@@ -37,20 +37,22 @@
 //! scale with capacity — that is the point of adding lanes — so the
 //! *report* is per-configuration while the *traces* are not.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use spear_core::batch::{AssignedJob, BatchRunner};
 use spear_core::error::SpearError;
-use spear_core::metadata::TokenUsage;
+use spear_core::llm::ReusePolicy;
+use spear_core::metadata::{ReuseEvent, TokenUsage};
 use spear_core::runtime::Runtime;
 use spear_kv::shard::fnv1a;
-use spear_llm::SimLlm;
+use spear_llm::{MemoStats, SimLlm};
 
 use crate::error::ServeError;
 use crate::kv::{self, KvPressureConfig, SeqInput};
-use crate::metrics::{ClassReport, Histogram, ServeReport};
+use crate::metrics::{ClassReport, Histogram, ReuseReport, ServeReport};
 use crate::program_cache::ProgramCache;
 use crate::queue::{AdmissionConfig, AdmissionQueue};
 use crate::request::{Priority, ServeRequest};
@@ -97,6 +99,14 @@ pub struct ServeConfig {
     /// beyond capacity evict least-recently-used programs (counted in
     /// [`crate::metrics::CompileReport`]).
     pub program_cache_capacity: usize,
+    /// Whole-call generation reuse (DESIGN.md §15): stamp each request's
+    /// execution state with [`ReusePolicy::Exact`] so duplicate GENs are
+    /// served from the engine's single-flight memo. Observably invisible —
+    /// statuses, digests, per-request usage, and cache counters are
+    /// byte-identical to reuse-off (pinned by proptest); only host cost
+    /// and the [`crate::metrics::ReuseReport`] ledger change. Default on:
+    /// serving is exactly where duplicate-heavy traffic lives.
+    pub reuse: bool,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +119,7 @@ impl Default for ServeConfig {
             verify_admission: true,
             pressure: None,
             program_cache_capacity: 64,
+            reuse: true,
         }
     }
 }
@@ -353,6 +364,8 @@ impl ServeNode {
             return self.run_pressured(runtime, engine, requests, &pressure);
         }
         let cache_before = engine.map(|e| e.cache_stats());
+        let reuse_before = engine.map(|e| e.reuse_stats());
+        let reuse_policy = self.reuse_policy();
         let run_nonce = self.run_seq.fetch_add(1, Ordering::Relaxed);
         let owner_base = SERVE_OWNER_BASE | (run_nonce << 32);
 
@@ -367,6 +380,9 @@ impl ServeNode {
         let mut round_robin = 0usize;
         let mut lane_clock = vec![0u64; lanes];
         let mut now = 0u64;
+        // (arrival_us, id, service_us, per-GEN reuse events) of completed
+        // requests, for the deterministic reuse ledger.
+        let mut reuse_rows: Vec<(u64, u64, u64, Vec<ReuseEvent>)> = Vec::new();
 
         requests.reverse(); // pop() takes the earliest arrival
         for r in &requests {
@@ -460,6 +476,7 @@ impl ServeNode {
                 };
                 request.state.deadline_us = request.deadline_us;
                 request.state.cancel = Some(request.cancel.clone());
+                request.state.reuse = reuse_policy;
                 meta.push((request.id, request.priority, request.arrival_us, lane));
                 let program = self.programs.get_or_compile(&request.plan, runtime, engine);
                 jobs.push(AssignedJob {
@@ -478,12 +495,16 @@ impl ServeNode {
                 let start_us = lane_clock[lane].max(now);
                 let entry = accum.entry(priority).or_default();
                 let (status, service_us, digest, usage) = match result {
-                    Ok(outcome) => {
+                    Ok(mut outcome) => {
                         let service = outcome.state.metadata.latency_us;
                         let digest = outcome.state.trace.digest().ok();
                         entry.report.completed += 1;
                         entry.report.prompt_tokens += outcome.state.metadata.usage.prompt_tokens;
                         entry.report.cached_tokens += outcome.state.metadata.usage.cached_tokens;
+                        let events = std::mem::take(&mut outcome.state.metadata.reuse_events);
+                        if !events.is_empty() {
+                            reuse_rows.push((arrival_us, id, service, events));
+                        }
                         (
                             ServeStatus::Completed,
                             service,
@@ -561,9 +582,13 @@ impl ServeNode {
                 compile
             },
             cluster: None,
+            reuse: Self::reuse_ledger(reuse_rows),
         };
         if let (Some(engine), Some(before)) = (engine, cache_before) {
             report.cache = engine.cache_stats().delta_since(&before);
+        }
+        if let (Some(engine), Some(before)) = (engine, reuse_before) {
+            Self::stamp_memo_stats(&mut report.reuse, &before, &engine.reuse_stats());
         }
         ServeRun { outcomes, report }
     }
@@ -583,6 +608,8 @@ impl ServeNode {
         pressure: &KvPressureConfig,
     ) -> ServeRun {
         let cache_before = engine.map(|e| e.cache_stats());
+        let reuse_before = engine.map(|e| e.reuse_stats());
+        let reuse_policy = self.reuse_policy();
         let run_nonce = self.run_seq.fetch_add(1, Ordering::Relaxed);
         let owner_base = SERVE_OWNER_BASE | (run_nonce << 32);
         let lanes = self.config.lanes;
@@ -691,6 +718,7 @@ impl ServeNode {
             };
             request.state.deadline_us = request.deadline_us;
             request.state.cancel = Some(request.cancel.clone());
+            request.state.reuse = reuse_policy;
             meta.push((
                 request.id,
                 request.priority,
@@ -715,18 +743,28 @@ impl ServeNode {
         // footprint but keep their measured partial service time.
         let mut inputs = Vec::with_capacity(meta.len());
         let mut executed = Vec::with_capacity(meta.len());
+        let mut reuse_rows: Vec<(u64, u64, u64, Vec<ReuseEvent>)> = Vec::new();
         for ((id, priority, arrival_us, shared_prefix_tokens, family_seed), result) in
             meta.into_iter().zip(results)
         {
             let entry = accum.entry(priority).or_default();
             let mut gen_calls = 1u64;
             let (status, exec_service_us, digest, usage) = match result {
-                Ok(outcome) => {
+                Ok(mut outcome) => {
                     let digest = outcome.state.trace.digest().ok();
                     entry.report.completed += 1;
                     entry.report.prompt_tokens += outcome.state.metadata.usage.prompt_tokens;
                     entry.report.cached_tokens += outcome.state.metadata.usage.cached_tokens;
                     gen_calls = outcome.state.metadata.gen_calls.max(1);
+                    let events = std::mem::take(&mut outcome.state.metadata.reuse_events);
+                    if !events.is_empty() {
+                        reuse_rows.push((
+                            arrival_us,
+                            id,
+                            outcome.state.metadata.latency_us,
+                            events,
+                        ));
+                    }
                     (
                         ServeStatus::Completed,
                         outcome.state.metadata.latency_us,
@@ -855,11 +893,65 @@ impl ServeNode {
                 compile
             },
             cluster: None,
+            reuse: Self::reuse_ledger(reuse_rows),
         };
         if let (Some(engine), Some(before)) = (engine, cache_before) {
             report.cache = engine.cache_stats().delta_since(&before);
         }
+        if let (Some(engine), Some(before)) = (engine, reuse_before) {
+            Self::stamp_memo_stats(&mut report.reuse, &before, &engine.reuse_stats());
+        }
         ServeRun { outcomes, report }
+    }
+
+    /// The [`ReusePolicy`] stamped on every admitted request's
+    /// [`spear_core::ExecState`].
+    fn reuse_policy(&self) -> ReusePolicy {
+        if self.config.reuse {
+            ReusePolicy::Exact
+        } else {
+            ReusePolicy::Off
+        }
+    }
+
+    /// Deterministic reuse ledger: classify each duplicate GEN as `coalesced`
+    /// (its request arrived while the nominal leader — the first arrival for
+    /// that memo key — was still in service) or a plain cache `hit`
+    /// (arrived after the leader finished). Built from arrival order and
+    /// virtual service times only, so the counters are identical at any lane
+    /// count even though *which* physical call populated the memo varies.
+    fn reuse_ledger(mut rows: Vec<(u64, u64, u64, Vec<ReuseEvent>)>) -> ReuseReport {
+        rows.sort_by_key(|&(arrival_us, id, _, _)| (arrival_us, id));
+        let mut leaders: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut report = ReuseReport::default();
+        for (arrival_us, _, service_us, events) in rows {
+            for event in events {
+                match leaders.entry(event.key) {
+                    Entry::Vacant(slot) => {
+                        slot.insert((arrival_us, service_us));
+                    }
+                    Entry::Occupied(slot) => {
+                        let (lead_arrival, lead_service) = *slot.get();
+                        if arrival_us < lead_arrival.saturating_add(lead_service) {
+                            report.coalesced += 1;
+                        } else {
+                            report.hits += 1;
+                        }
+                        report.saved_calls += 1;
+                        report.saved_tokens += event.prompt_tokens + event.completion_tokens;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Fill in the memo-occupancy half of a [`ReuseReport`] from engine-side
+    /// [`MemoStats`] snapshots taken before and after the run.
+    fn stamp_memo_stats(reuse: &mut ReuseReport, before: &MemoStats, after: &MemoStats) {
+        reuse.inserted = after.insertions.saturating_sub(before.insertions);
+        reuse.evicted = after.evictions.saturating_sub(before.evictions);
+        reuse.bytes = after.resident_bytes;
     }
 
     /// Fresh-owner, round-robin-lane placement (no affinity).

@@ -36,6 +36,7 @@ fn serve(
         verify_admission: true,
         pressure: None,
         program_cache_capacity: 64,
+        reuse: true,
     });
     let run = node.run(&runtime, Some(&engine), workload.requests);
     let statuses = run
@@ -71,6 +72,7 @@ proptest! {
             interactive_deadline_us: None,
             gen_calls: 1,
             family_zipf: 0.0,
+            duplicate_share: 0.0,
         };
         let (s1, d1, r1) = serve(&load, 1, affinity);
         let (s4, d4, r4) = serve(&load, 4, affinity);
@@ -106,6 +108,7 @@ proptest! {
             interactive_deadline_us: Some(deadline_us),
             gen_calls: 1,
             family_zipf: 0.0,
+            duplicate_share: 0.0,
         };
         let (s1, d1, _) = serve(&load, 1, true);
         let (s8, d8, _) = serve(&load, 8, true);
@@ -160,6 +163,7 @@ fn interactive_flood_cannot_starve_batch() {
         verify_admission: true,
         pressure: None,
         program_cache_capacity: 64,
+        reuse: true,
     });
     let run = node.run(&runtime, None, requests);
 
@@ -205,6 +209,7 @@ fn affinity_routing_buys_cache_hit_rate() {
         interactive_deadline_us: None,
         gen_calls: 1,
         family_zipf: 0.0,
+        duplicate_share: 0.0,
     };
     let (_, _, with_affinity) = serve(&load, 4, true);
     let (_, _, without) = serve(&load, 4, false);

@@ -40,6 +40,7 @@ fn config(lanes: usize, pressure: Option<KvPressureConfig>) -> ServeConfig {
         verify_admission: true,
         pressure,
         program_cache_capacity: 64,
+        reuse: true,
     }
 }
 
@@ -69,6 +70,7 @@ fn bursty_load(seed: u64, requests: usize) -> LoadGenConfig {
         // footprints grow, which is what forces mid-flight preemption.
         gen_calls: 6,
         family_zipf: 0.0,
+        duplicate_share: 0.0,
     }
 }
 

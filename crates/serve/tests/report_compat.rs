@@ -68,7 +68,7 @@ fn pre_kv_schema_deserializes_with_defaults() {
 
     let mut value = serde_json::to_value(&report).expect("serializes");
     let obj = value.as_object_mut().expect("report is a JSON object");
-    for field in ["kv", "compile", "cluster"] {
+    for field in ["kv", "compile", "cluster", "reuse"] {
         assert!(obj.remove(field).is_some(), "{field} is in current schema");
     }
     for class in ["interactive", "batch"] {
@@ -80,9 +80,53 @@ fn pre_kv_schema_deserializes_with_defaults() {
     assert_eq!(back.kv, KvReport::default());
     assert_eq!(back.compile, CompileReport::default());
     assert_eq!(back.cluster, None);
+    assert_eq!(back.reuse, ReuseReport::default());
     assert_eq!(back.interactive.preempted, 0);
     assert_eq!(back.interactive.completed, 3);
     assert_eq!(back.trace_fingerprint, 7);
+}
+
+/// A pre-reuse report (every schema up to PR 9) — no `reuse` object —
+/// still deserializes with an all-zero ledger.
+#[test]
+fn pre_reuse_schema_deserializes_with_defaults() {
+    let report = ServeReport {
+        lanes: 8,
+        trace_fingerprint: 21,
+        ..ServeReport::default()
+    };
+    let mut value = serde_json::to_value(&report).expect("serializes");
+    let obj = value.as_object_mut().expect("report is a JSON object");
+    assert!(obj.remove("reuse").is_some(), "reuse is in current schema");
+    let back: ServeReport = serde_json::from_value(value).expect("pre-reuse schema deserializes");
+    assert_eq!(back.reuse, ReuseReport::default());
+    assert_eq!(back.trace_fingerprint, 21);
+}
+
+/// A populated reuse ledger round-trips exactly.
+#[test]
+fn reuse_ledger_round_trips() {
+    let report = ServeReport {
+        lanes: 4,
+        trace_fingerprint: 13,
+        reuse: ReuseReport {
+            hits: 856,
+            coalesced: 4_833,
+            inserted: 455,
+            evicted: 3,
+            bytes: 174_681,
+            saved_tokens: 3_191_630,
+            saved_calls: 5_689,
+        },
+        ..ServeReport::default()
+    };
+    let json = serde_json::to_string(&report).expect("serializes");
+    let back: ServeReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, report);
+    assert_eq!(
+        back.reuse.saved_calls,
+        back.reuse.hits + back.reuse.coalesced
+    );
 }
 
 /// The current schema round-trips exactly, including a populated cluster

@@ -49,6 +49,13 @@ bench-host:
 bench-serve *ARGS:
     cargo run --release -p spear-bench --bin bench_serve -- {{ARGS}}
 
+# Generation-reuse sweep: duplicate-heavy workload served with the
+# whole-call memo on vs off (BENCH_reuse.json; fails below 1.5x host
+# throughput, on any fingerprint divergence from reuse-off, or if the
+# hit/coalesced ledger varies across lane counts).
+bench-reuse *ARGS:
+    cargo run --release -p spear-bench --bin bench_serve -- --reuse {{ARGS}}
+
 # Cluster scale-out sweep: 1→16 prefix-aware nodes vs hash-random
 # scatter under Zipf traffic (BENCH_cluster.json; fails below 0.7x ideal
 # scaling at 8 nodes or if hash-random matches the fleet hit rate).

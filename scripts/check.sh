@@ -18,5 +18,9 @@ cargo run --release -p spear-bench --bin analyze
 # nodes, if hash-random matches prefix-aware on fleet hit rate, or on
 # any cross-lane fingerprint divergence (incl. churn replay).
 cargo run --release -p spear-bench --bin bench_cluster -- --out BENCH_cluster.json
+# Generation-reuse gate: exits non-zero below 1.5x host throughput with
+# the whole-call memo on, on any fingerprint divergence from reuse-off,
+# or if the hit/coalesced ledger varies across lane counts.
+cargo run --release -p spear-bench --bin bench_serve -- --reuse --out BENCH_reuse.json
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all -- --check
